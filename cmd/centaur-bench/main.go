@@ -1,0 +1,131 @@
+// Command centaur-bench reproduces the paper's entire evaluation
+// section in one run — every table and figure, in order — and prints the
+// report EXPERIMENTS.md is built from.
+//
+// The default scale matches the documented reproduction point (4,000
+// node measured-like topologies, a 500-node BRITE prototype network);
+// -quick drops to a laptop-minute smoke scale.
+//
+// Usage:
+//
+//	centaur-bench              # full reproduction (minutes)
+//	centaur-bench -quick       # smoke scale (tens of seconds)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"centaur/internal/experiments"
+	"centaur/internal/policy"
+	"centaur/internal/solver"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "centaur-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		quick = flag.Bool("quick", false, "run at smoke scale")
+		seed  = flag.Int64("seed", 1, "master seed")
+	)
+	flag.Parse()
+
+	sc := experiments.Scale{Nodes: 4000, Seed: *seed}
+	fig6 := experiments.DefaultFigure6Config()
+	fig7 := experiments.DefaultFigure7Config()
+	fig8 := experiments.DefaultFigure8Config()
+	fig5Sample := 600
+	if *quick {
+		sc.Nodes = 600
+		fig6 = experiments.Figure6Config{Nodes: 150, LinksPerNode: 2, Flips: 30, Seed: *seed, MRAI: 30 * time.Second}
+		fig7 = experiments.Figure7Config{Nodes: 150, LinksPerNode: 2, Flips: 30, Seed: *seed}
+		fig8 = experiments.Figure8Config{Sizes: []int{60, 120, 240, 480}, LinksPerNode: 2, FlipsPerSize: 15, Seed: *seed}
+		fig5Sample = 150
+	}
+	fig6.Seed, fig7.Seed, fig8.Seed = *seed, *seed, *seed
+
+	start := time.Now()
+	fmt.Printf("Centaur reproduction report (scale: %d nodes, seed %d)\n", sc.Nodes, *seed)
+	fmt.Printf("generated: %s\n\n", time.Now().UTC().Format(time.RFC3339))
+
+	step := func(name string, f func() (fmt.Stringer, error)) error {
+		t0 := time.Now()
+		res, err := f()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Print(res)
+		fmt.Printf("[%s took %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
+		return nil
+	}
+
+	t3, err := experiments.Table3(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Print(t3)
+	fmt.Println()
+
+	if err := step("tables 4-5", func() (fmt.Stringer, error) {
+		return experiments.Table4And5(sc)
+	}); err != nil {
+		return err
+	}
+
+	if err := step("figure 5", func() (fmt.Stringer, error) {
+		sol, err := solver.SolveOpts(t3.Rows[0].Graph, solver.Options{TieBreak: policy.TieOverride})
+		if err != nil {
+			return nil, err
+		}
+		return experiments.Figure5(t3.Rows[0].Name, sol, fig5Sample, *seed)
+	}); err != nil {
+		return err
+	}
+
+	if err := step("figure 6", func() (fmt.Stringer, error) {
+		return experiments.Figure6(fig6)
+	}); err != nil {
+		return err
+	}
+	if err := step("figure 7", func() (fmt.Stringer, error) {
+		return experiments.Figure7(fig7)
+	}); err != nil {
+		return err
+	}
+	if err := step("figure 8", func() (fmt.Stringer, error) {
+		return experiments.Figure8(fig8)
+	}); err != nil {
+		return err
+	}
+
+	// Extensions beyond the paper's evaluation (DESIGN.md §6).
+	if err := step("multipath extension", func() (fmt.Stringer, error) {
+		sol, err := solver.SolveOpts(t3.Rows[0].Graph, solver.Options{TieBreak: policy.TieOverride})
+		if err != nil {
+			return nil, err
+		}
+		return experiments.MultipathExtension(sol, 3, 200, *seed)
+	}); err != nil {
+		return err
+	}
+	aggCfg := experiments.DefaultAggregationConfig()
+	aggCfg.Seed = *seed
+	if *quick {
+		aggCfg = experiments.AggregationConfig{Nodes: 80, Hosts: 6, Parts: []int{0, 2, 4}, Seed: *seed}
+	}
+	if err := step("aggregation extension", func() (fmt.Stringer, error) {
+		return experiments.AggregationExtension(aggCfg)
+	}); err != nil {
+		return err
+	}
+
+	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

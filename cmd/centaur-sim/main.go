@@ -1,0 +1,163 @@
+// Command centaur-sim runs the event-driven experiments of the paper's
+// §5.3 on the discrete-event simulator: the convergence-time comparison
+// of Figure 6, the convergence-load comparison of Figure 7, and the
+// scalability sweep of Figure 8.
+//
+// Usage:
+//
+//	centaur-sim -fig 6 -nodes 500 -flips 120
+//	centaur-sim -fig 7 -nodes 500 -flips 120
+//	centaur-sim -fig 8 -sizes 100,200,300,400,500 -flips 30
+//	centaur-sim -compare -nodes 200 -flips 40   # protocol ladder
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"centaur/internal/bgp"
+	"centaur/internal/centaur"
+	"centaur/internal/experiments"
+	"centaur/internal/ospf"
+	"centaur/internal/sim"
+	"centaur/internal/topogen"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "centaur-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		fig     = flag.String("fig", "", "reproduce a figure: 6 | 7 | 8")
+		compare = flag.Bool("compare", false, "run the full protocol ladder (Centaur, BGP, BGP+MRAI, BGP-RCN, OSPF) on one flip workload")
+		nodes   = flag.Int("nodes", 500, "BRITE topology size (figures 6 and 7)")
+		m       = flag.Int("m", 2, "BRITE attachment links per node")
+		flips   = flag.Int("flips", 120, "links flipped per measurement (0 = all)")
+		seed    = flag.Int64("seed", 1, "topology, delay, and sampling seed")
+		mrai    = flag.Duration("mrai", 30*time.Second, "BGP MRAI for the figure 6 headline series")
+		sizes   = flag.String("sizes", "100,200,300,400,500,600,700,800,900,1000", "figure 8 topology sizes")
+	)
+	flag.Parse()
+
+	if *compare {
+		return runCompare(*nodes, *m, *flips, *seed, *mrai)
+	}
+
+	switch *fig {
+	case "6":
+		res, err := experiments.Figure6(experiments.Figure6Config{
+			Nodes: *nodes, LinksPerNode: *m, Flips: *flips, Seed: *seed, MRAI: *mrai,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+		return nil
+	case "7":
+		res, err := experiments.Figure7(experiments.Figure7Config{
+			Nodes: *nodes, LinksPerNode: *m, Flips: *flips, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+		return nil
+	case "8":
+		sz, err := parseSizes(*sizes)
+		if err != nil {
+			return err
+		}
+		res, err := experiments.Figure8(experiments.Figure8Config{
+			Sizes: sz, LinksPerNode: *m, FlipsPerSize: *flips, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+		return nil
+	default:
+		flag.Usage()
+		return fmt.Errorf("-fig {6,7,8} is required")
+	}
+}
+
+// runCompare prints, for every protocol in the ladder, the cold-start
+// cost and per-flip-phase means of convergence time, update units, wire
+// messages, and wire bytes on an identical workload.
+func runCompare(nodes, m, flips int, seed int64, mrai time.Duration) error {
+	g, err := topogen.BRITE(nodes, m, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("protocol ladder on %v, %d flips, seed %d\n\n", g.Stats(), flips, seed)
+	fmt.Printf("%-10s %12s %12s %12s %12s %14s %14s\n",
+		"protocol", "cold units", "units/phase", "msgs/phase", "kB/phase", "mean down", "mean up")
+	ladder := []struct {
+		name  string
+		build sim.Builder
+	}{
+		{"centaur", centaur.New(centaur.Config{Incremental: true})},
+		{"bgp", bgp.New(bgp.Config{})},
+		{"bgp+mrai", bgp.New(bgp.Config{MRAI: mrai})},
+		{"bgp-rcn", bgp.New(bgp.Config{RCN: true})},
+		{"ospf", ospf.New()},
+	}
+	for _, proto := range ladder {
+		net, err := sim.NewNetwork(sim.Config{Topology: g, Build: proto.build, DelaySeed: seed})
+		if err != nil {
+			return err
+		}
+		if _, _, err := net.RunToConvergence(500_000_000); err != nil {
+			return fmt.Errorf("%s cold start: %w", proto.name, err)
+		}
+		cold := net.Stats().Units
+		samples, err := experiments.RunFlips(experiments.FlipConfig{
+			Topology: g, Build: proto.build, Flips: flips, Seed: seed,
+		})
+		if err != nil {
+			return fmt.Errorf("%s flips: %w", proto.name, err)
+		}
+		var units, msgs, bytes int64
+		var down, up time.Duration
+		for _, s := range samples {
+			units += s.DownUnits + s.UpUnits
+			msgs += s.DownMsgs + s.UpMsgs
+			bytes += s.DownBytes + s.UpBytes
+			down += s.DownTime
+			up += s.UpTime
+		}
+		phases := int64(2 * len(samples))
+		if phases == 0 {
+			continue
+		}
+		fmt.Printf("%-10s %12d %12.1f %12.1f %12.2f %14v %14v\n",
+			proto.name, cold,
+			float64(units)/float64(phases),
+			float64(msgs)/float64(phases),
+			float64(bytes)/float64(phases)/1024,
+			(down / time.Duration(len(samples))).Round(time.Microsecond),
+			(up / time.Duration(len(samples))).Round(time.Microsecond))
+	}
+	return nil
+}
+
+func parseSizes(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 8 {
+			return nil, fmt.Errorf("bad size %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

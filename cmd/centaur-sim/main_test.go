@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestParseSizes(t *testing.T) {
+	got, err := parseSizes("100, 200,300")
+	if err != nil || len(got) != 3 || got[0] != 100 || got[2] != 300 {
+		t.Fatalf("parseSizes = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "abc", "100,,200", "4"} {
+		if _, err := parseSizes(bad); err == nil {
+			t.Errorf("parseSizes(%q) should fail", bad)
+		}
+	}
+}

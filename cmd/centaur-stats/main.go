@@ -1,0 +1,134 @@
+// Command centaur-stats runs the paper's static analyses: the topology
+// characteristics of Table 3, the P-graph structure of Tables 4 and 5,
+// and the immediate single-link-failure overhead of Figure 5.
+//
+// Usage:
+//
+//	centaur-stats -table 3 -nodes 4000
+//	centaur-stats -table 45 -nodes 4000
+//	centaur-stats -fig 5 -nodes 4000 -sample 500
+//	centaur-stats -fig 5 -topo caida.rel     # real snapshot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"centaur/internal/experiments"
+	"centaur/internal/policy"
+	"centaur/internal/solver"
+	"centaur/internal/topology"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "centaur-stats:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		table    = flag.String("table", "", "reproduce a table: 3 | 45 (Tables 4 and 5 share one computation)")
+		fig      = flag.String("fig", "", "reproduce a figure: 5")
+		ext      = flag.String("ext", "", "run an extension analysis: multipath")
+		k        = flag.Int("k", 3, "paths per destination for -ext multipath")
+		nodes    = flag.Int("nodes", 4000, "topology size for generated inputs")
+		seed     = flag.Int64("seed", 1, "generation and sampling seed")
+		sample   = flag.Int("sample", 500, "links sampled for figure 5 (0 = all)")
+		topoFile = flag.String("topo", "", "CAIDA serial-1 relationship file to analyze instead of a generated topology")
+		tiebreak = flag.String("tiebreak", "override", "within-class preference model: lowest-via | hashed | hashed-preferred | override")
+	)
+	flag.Parse()
+	sc := experiments.Scale{Nodes: *nodes, Seed: *seed}
+	tb, err := parseTieBreak(*tiebreak)
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case *table == "3":
+		res, err := experiments.Table3(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+		return nil
+	case *table == "45" || *table == "4" || *table == "5":
+		res, err := experiments.Table4And5(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+		return nil
+	case *fig == "5":
+		g, name, err := loadOrGenerate(*topoFile, sc)
+		if err != nil {
+			return err
+		}
+		sol, err := solver.SolveOpts(g, solver.Options{TieBreak: tb})
+		if err != nil {
+			return err
+		}
+		res, err := experiments.Figure5(name, sol, *sample, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+		return nil
+	case *ext == "multipath":
+		g, _, err := loadOrGenerate(*topoFile, sc)
+		if err != nil {
+			return err
+		}
+		sol, err := solver.SolveOpts(g, solver.Options{TieBreak: tb})
+		if err != nil {
+			return err
+		}
+		res, err := experiments.MultipathExtension(sol, *k, *sample, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+		return nil
+	default:
+		flag.Usage()
+		return fmt.Errorf("one of -table {3,45}, -fig 5, or -ext multipath is required")
+	}
+}
+
+func loadOrGenerate(topoFile string, sc experiments.Scale) (*topology.Graph, string, error) {
+	if topoFile == "" {
+		t3, err := experiments.Table3(sc)
+		if err != nil {
+			return nil, "", err
+		}
+		return t3.Rows[0].Graph, t3.Rows[0].Name, nil
+	}
+	f, err := os.Open(topoFile)
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	g, err := topology.ParseRelationships(f)
+	if err != nil {
+		return nil, "", err
+	}
+	return g, topoFile, nil
+}
+
+func parseTieBreak(s string) (policy.TieBreakMode, error) {
+	switch s {
+	case "lowest-via":
+		return policy.TieLowestVia, nil
+	case "hashed":
+		return policy.TieHashed, nil
+	case "hashed-preferred":
+		return policy.TieHashedPreferred, nil
+	case "override":
+		return policy.TieOverride, nil
+	default:
+		return 0, fmt.Errorf("unknown tie-break mode %q", s)
+	}
+}

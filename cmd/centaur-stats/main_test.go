@@ -1,0 +1,25 @@
+package main
+
+import (
+	"testing"
+
+	"centaur/internal/policy"
+)
+
+func TestParseTieBreak(t *testing.T) {
+	tests := map[string]policy.TieBreakMode{
+		"lowest-via":       policy.TieLowestVia,
+		"hashed":           policy.TieHashed,
+		"hashed-preferred": policy.TieHashedPreferred,
+		"override":         policy.TieOverride,
+	}
+	for in, want := range tests {
+		got, err := parseTieBreak(in)
+		if err != nil || got != want {
+			t.Errorf("parseTieBreak(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := parseTieBreak("bogus"); err == nil {
+		t.Error("unknown mode must fail")
+	}
+}

@@ -1,0 +1,98 @@
+// Command centaur-topo generates and inspects the annotated AS
+// topologies used throughout the reproduction. Generated topologies are
+// written in the CAIDA serial-1 relationship format, so they can be fed
+// back to the other tools (or replaced by real snapshots).
+//
+// Usage:
+//
+//	centaur-topo -gen caida -nodes 4000 -seed 1 > caida.rel
+//	centaur-topo -gen brite -nodes 500 -m 2 > brite.rel
+//	centaur-topo -stats caida.rel
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"centaur/internal/topogen"
+	"centaur/internal/topology"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "centaur-topo:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		gen   = flag.String("gen", "", "generate a topology: brite | caida | hetop | chain | star | clique | tree")
+		nodes = flag.Int("nodes", 500, "node count for generated topologies")
+		m     = flag.Int("m", 2, "BRITE attachment links per node")
+		seed  = flag.Int64("seed", 1, "generator seed")
+		stats = flag.String("stats", "", "print Table 3 statistics of a CAIDA serial-1 relationship file")
+		out   = flag.String("o", "", "output file for -gen (default stdout)")
+	)
+	flag.Parse()
+
+	switch {
+	case *stats != "":
+		f, err := os.Open(*stats)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		g, err := topology.ParseRelationships(f)
+		if err != nil {
+			return err
+		}
+		fmt.Println(g.Stats())
+		fmt.Printf("connected: %v\n", g.Connected())
+		return nil
+	case *gen != "":
+		g, err := generate(*gen, *nodes, *m, *seed)
+		if err != nil {
+			return err
+		}
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := topology.WriteRelationships(w, g); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, g.Stats())
+		return nil
+	default:
+		flag.Usage()
+		return fmt.Errorf("one of -gen or -stats is required")
+	}
+}
+
+func generate(kind string, nodes, m int, seed int64) (*topology.Graph, error) {
+	switch kind {
+	case "brite":
+		return topogen.BRITE(nodes, m, seed)
+	case "caida":
+		return topogen.CAIDALike(nodes, seed)
+	case "hetop":
+		return topogen.HeTopLike(nodes, seed)
+	case "chain":
+		return topogen.Chain(nodes)
+	case "star":
+		return topogen.Star(nodes)
+	case "clique":
+		return topogen.PeerClique(nodes)
+	case "tree":
+		return topogen.Tree(m, nodes) // fanout m, depth "nodes"
+	default:
+		return nil, fmt.Errorf("unknown generator %q", kind)
+	}
+}

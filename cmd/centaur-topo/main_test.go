@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestGenerateKinds(t *testing.T) {
+	for _, kind := range []string{"brite", "caida", "hetop", "chain", "star", "clique"} {
+		g, err := generate(kind, 30, 2, 1)
+		if err != nil {
+			t.Fatalf("generate(%s): %v", kind, err)
+		}
+		if g.NumNodes() == 0 {
+			t.Fatalf("generate(%s): empty topology", kind)
+		}
+	}
+	// Tree interprets -nodes as depth.
+	if g, err := generate("tree", 3, 2, 1); err != nil || g.NumNodes() != 15 {
+		t.Fatalf("generate(tree): %v", err)
+	}
+	if _, err := generate("bogus", 30, 2, 1); err == nil {
+		t.Fatal("unknown kind must fail")
+	}
+}

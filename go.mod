@@ -1,0 +1,3 @@
+module centaur
+
+go 1.22

@@ -1,0 +1,426 @@
+// Package bgp implements the path-vector baseline the paper compares
+// Centaur against: a session-level BGP abstraction with per-neighbor
+// Adj-RIBs-In, the standard decision process under Gao–Rexford policies,
+// export filtering, announce/withdraw updates, and an optional MRAI
+// (Minimum Route Advertisement Interval) batching timer.
+//
+// Each node originates one destination (itself), matching the paper's
+// one-AS-one-node model. Update messages carry one destination each, so
+// sim.Stats.Units counts per-destination updates — the unit BGP
+// convergence studies (and the paper's Figures 5–8) use.
+package bgp
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"centaur/internal/policy"
+	"centaur/internal/routing"
+	"centaur/internal/sim"
+	"centaur/internal/topology"
+	"centaur/internal/wire"
+)
+
+// Update is a single-destination BGP UPDATE message. A nil Path is a
+// withdrawal; otherwise Path is the sender's full path to Dest (sender
+// first). FailedLinks carries BGP-RCN root cause notifications (see
+// rcn.go); it is always empty in plain BGP mode.
+type Update struct {
+	Dest        routing.NodeID
+	Path        routing.Path
+	FailedLinks []routing.Link
+}
+
+var _ sim.Message = Update{}
+
+// Kind implements sim.Message.
+func (Update) Kind() string { return "bgp.update" }
+
+// Units implements sim.Message: one destination per update.
+func (Update) Units() int { return 1 }
+
+// WireBytes implements sim.ByteSizer with the internal/wire encoding.
+func (u Update) WireBytes() int {
+	return len(wire.AppendBGPUpdate(nil, wire.BGPUpdate{
+		Dest: u.Dest, Path: u.Path, FailedLinks: u.FailedLinks,
+	}))
+}
+
+// String renders the update for traces.
+func (u Update) String() string {
+	if u.Path == nil {
+		return fmt.Sprintf("WITHDRAW %v", u.Dest)
+	}
+	return fmt.Sprintf("ANNOUNCE %v via %v", u.Dest, u.Path)
+}
+
+// Config parameterizes a BGP node.
+type Config struct {
+	// Policy supplies import/export filters and ranking; nil means
+	// policy.GaoRexford{}.
+	Policy policy.Policy
+	// MRAI is the minimum interval between successive advertisement
+	// batches to the same neighbor; zero disables the timer, which is
+	// the default used in the reproduction's figures (see DESIGN.md §2.4
+	// — BGP's slower convergence then stems purely from path
+	// exploration, the mechanism the paper cites).
+	MRAI time.Duration
+	// RCN enables BGP-RCN root cause notification (the paper's
+	// reference [15]; see rcn.go), an intermediate baseline between
+	// plain BGP and Centaur.
+	RCN bool
+	// RCNMaskTTL bounds how long an RCN mask suppresses candidates
+	// crossing a failed link; zero means one second.
+	RCNMaskTTL time.Duration
+}
+
+// Node is one BGP speaker. Create with New; it implements sim.Protocol.
+type Node struct {
+	cfg  Config
+	pol  policy.Policy
+	env  sim.Env
+	self routing.NodeID
+	rel  map[routing.NodeID]topology.Relationship
+
+	// adjIn[n][d] is the candidate at this node via neighbor n for
+	// destination d: the neighbor's announced path with self prepended.
+	adjIn map[routing.NodeID]map[routing.NodeID]routing.Path
+	// best is the Loc-RIB: the selected candidate per destination.
+	best map[routing.NodeID]policy.Candidate
+	// advertised[n][d] is the path last announced to neighbor n.
+	advertised map[routing.NodeID]map[routing.NodeID]routing.Path
+	// MRAI state: destinations awaiting the timer, and whether the
+	// timer is armed, per neighbor.
+	pending   map[routing.NodeID]map[routing.NodeID]struct{}
+	mraiArmed map[routing.NodeID]bool
+	// BGP-RCN state (rcn.go): masked failed links, their generation
+	// sequence, and the per-neighbor root-cause delivery queues.
+	failed     map[edgeKey]uint64
+	failedGen  uint64
+	pendingRCN map[routing.NodeID][]rcnNotice
+}
+
+// rcnNotice is a queued root cause awaiting delivery to one neighbor; a
+// notice not delivered before its deadline is stale (the convergence
+// episode it belonged to is over) and is dropped rather than sent.
+type rcnNotice struct {
+	link     routing.Link
+	deadline time.Duration
+}
+
+var _ sim.Protocol = (*Node)(nil)
+
+// New returns the sim.Builder for BGP nodes with the given configuration.
+func New(cfg Config) sim.Builder {
+	return func(env sim.Env) sim.Protocol {
+		pol := cfg.Policy
+		if pol == nil {
+			pol = policy.GaoRexford{}
+		}
+		n := &Node{
+			cfg:        cfg,
+			pol:        pol,
+			env:        env,
+			self:       env.Self(),
+			rel:        make(map[routing.NodeID]topology.Relationship),
+			adjIn:      make(map[routing.NodeID]map[routing.NodeID]routing.Path),
+			best:       make(map[routing.NodeID]policy.Candidate),
+			advertised: make(map[routing.NodeID]map[routing.NodeID]routing.Path),
+			pending:    make(map[routing.NodeID]map[routing.NodeID]struct{}),
+			mraiArmed:  make(map[routing.NodeID]bool),
+		}
+		for _, nb := range env.Neighbors() {
+			n.rel[nb.ID] = nb.Rel
+			n.adjIn[nb.ID] = make(map[routing.NodeID]routing.Path)
+			n.advertised[nb.ID] = make(map[routing.NodeID]routing.Path)
+			n.pending[nb.ID] = make(map[routing.NodeID]struct{})
+		}
+		if cfg.RCN {
+			n.pendingRCN = make(map[routing.NodeID][]rcnNotice)
+		}
+		return n
+	}
+}
+
+// Start implements sim.Protocol: originate the node's own destination
+// and announce it to every neighbor.
+func (n *Node) Start(env sim.Env) {
+	n.env = env
+	n.best[n.self] = policy.Candidate{
+		Path:  routing.Path{n.self},
+		Class: policy.ClassOwn,
+		Via:   routing.None,
+	}
+	for _, nb := range n.neighbors() {
+		n.scheduleAdvert(nb, n.self)
+	}
+}
+
+// neighbors returns the neighbor IDs in ascending order for
+// deterministic iteration.
+func (n *Node) neighbors() []routing.NodeID {
+	out := make([]routing.NodeID, 0, len(n.rel))
+	for id := range n.rel {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Handle implements sim.Protocol.
+func (n *Node) Handle(from routing.NodeID, msg sim.Message) {
+	u, ok := msg.(Update)
+	if !ok {
+		return
+	}
+	rib, ok := n.adjIn[from]
+	if !ok {
+		return
+	}
+	if n.cfg.RCN {
+		// Root cause notifications: mask the failed links and queue them
+		// for propagation, then re-decide what the masks affect.
+		for _, l := range u.FailedLinks {
+			e := edgeOf(l.From, l.To)
+			if _, already := n.failed[e]; already {
+				continue
+			}
+			n.queueRCN(l)
+			n.maskEdge(e)
+			n.redecideCrossing(e)
+		}
+		// A freshly announced path crossing a masked link is evidence
+		// the link is back: lift those masks.
+		for i := 0; i+1 < len(u.Path); i++ {
+			n.unmaskEdge(edgeOf(u.Path[i], u.Path[i+1]))
+		}
+	}
+	if u.Path == nil || !n.pol.Accept(n.self, from, u.Path) {
+		// Withdrawal, or a path the import filter rejects (e.g. it
+		// contains this node): either way it replaces — and removes —
+		// whatever the neighbor previously announced for the destination.
+		if _, had := rib[u.Dest]; had {
+			delete(rib, u.Dest)
+			n.runDecision(u.Dest)
+		}
+	} else {
+		rib[u.Dest] = u.Path.Prepend(n.self)
+		n.runDecision(u.Dest)
+	}
+}
+
+// queueRCN schedules delivery of the root cause to every neighbor with
+// that neighbor's next real update, valid until the mask TTL elapses.
+func (n *Node) queueRCN(l routing.Link) {
+	if n.pendingRCN == nil {
+		return
+	}
+	ttl := n.cfg.RCNMaskTTL
+	if ttl <= 0 {
+		ttl = time.Second
+	}
+	deadline := n.env.Now() + ttl
+	for _, nb := range n.neighbors() {
+		n.pendingRCN[nb] = append(n.pendingRCN[nb], rcnNotice{link: l, deadline: deadline})
+	}
+}
+
+// runDecision re-selects the best route for dest and, on change,
+// schedules advertisements to every neighbor.
+func (n *Node) runDecision(dest routing.NodeID) {
+	var cands []policy.Candidate
+	if dest == n.self {
+		cands = append(cands, policy.Candidate{
+			Path:  routing.Path{n.self},
+			Class: policy.ClassOwn,
+			Via:   routing.None,
+		})
+	}
+	for _, nb := range n.neighbors() {
+		if p, ok := n.adjIn[nb][dest]; ok {
+			if n.cfg.RCN && n.masked(p) {
+				continue // RCN: never explore a path over a failed link
+			}
+			cands = append(cands, policy.Candidate{
+				Path:  p,
+				Class: policy.ClassOf(n.rel[nb]),
+				Via:   nb,
+			})
+		}
+	}
+	newBest := policy.Best(n.pol, n.self, cands)
+	old, had := n.best[dest]
+	if had && newBest.Path.Equal(old.Path) && newBest.Via == old.Via {
+		return
+	}
+	if len(newBest.Path) == 0 {
+		if !had {
+			return
+		}
+		delete(n.best, dest)
+	} else {
+		n.best[dest] = newBest
+	}
+	for _, nb := range n.neighbors() {
+		n.scheduleAdvert(nb, dest)
+	}
+}
+
+// scheduleAdvert queues (or immediately performs) the advertisement of
+// dest's current state to neighbor nb, honoring MRAI.
+func (n *Node) scheduleAdvert(nb, dest routing.NodeID) {
+	if !n.env.LinkIsUp(nb) {
+		return
+	}
+	if n.cfg.MRAI <= 0 {
+		n.advertise(nb, dest)
+		return
+	}
+	n.pending[nb][dest] = struct{}{}
+	if n.mraiArmed[nb] {
+		return
+	}
+	n.flushPending(nb)
+	n.armMRAI(nb)
+}
+
+// armMRAI starts the per-neighbor MRAI timer; when it fires, held
+// updates are flushed and the timer re-arms if any were sent.
+func (n *Node) armMRAI(nb routing.NodeID) {
+	n.mraiArmed[nb] = true
+	n.env.After(n.cfg.MRAI, func() {
+		n.mraiArmed[nb] = false
+		if len(n.pending[nb]) > 0 && n.env.LinkIsUp(nb) {
+			n.flushPending(nb)
+			n.armMRAI(nb)
+		}
+	})
+}
+
+// flushPending advertises every held destination to nb.
+func (n *Node) flushPending(nb routing.NodeID) {
+	dests := make([]routing.NodeID, 0, len(n.pending[nb]))
+	for d := range n.pending[nb] {
+		dests = append(dests, d)
+	}
+	sort.Slice(dests, func(i, j int) bool { return dests[i] < dests[j] })
+	for _, d := range dests {
+		delete(n.pending[nb], d)
+		n.advertise(nb, d)
+	}
+}
+
+// advertise sends the current state of dest to neighbor nb if it differs
+// from what was last advertised: the best path when exportable, a
+// withdrawal otherwise.
+func (n *Node) advertise(nb, dest routing.NodeID) {
+	var toSend routing.Path
+	if best, ok := n.best[dest]; ok &&
+		n.pol.Export(n.self, best.Class, n.rel[nb]) &&
+		!best.Path.Contains(nb) { // sender-side loop avoidance
+		toSend = best.Path
+	}
+	prev, hadPrev := n.advertised[nb][dest]
+	if toSend == nil {
+		if !hadPrev {
+			return
+		}
+		delete(n.advertised[nb], dest)
+		n.env.Send(nb, Update{Dest: dest, FailedLinks: n.drainRCN(nb)})
+		return
+	}
+	if hadPrev && prev.Equal(toSend) {
+		return
+	}
+	n.advertised[nb][dest] = toSend.Clone()
+	n.env.Send(nb, Update{Dest: dest, Path: toSend.Clone(), FailedLinks: n.drainRCN(nb)})
+}
+
+// drainRCN empties neighbor nb's queued root cause notifications for
+// attachment to the update being sent, dropping notices whose episode
+// has already expired.
+func (n *Node) drainRCN(nb routing.NodeID) []routing.Link {
+	if n.pendingRCN == nil {
+		return nil
+	}
+	queued := n.pendingRCN[nb]
+	if len(queued) == 0 {
+		return nil
+	}
+	delete(n.pendingRCN, nb)
+	now := n.env.Now()
+	out := make([]routing.Link, 0, len(queued))
+	for _, q := range queued {
+		if q.deadline >= now {
+			out = append(out, q.link)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// LinkDown implements sim.Protocol: flush all state learned from and
+// advertised to the failed neighbor, then re-run the decision process
+// for every destination the neighbor had supplied a candidate for.
+func (n *Node) LinkDown(nb routing.NodeID) {
+	if n.cfg.RCN {
+		n.queueRCN(routing.Link{From: n.self, To: nb})
+		n.maskEdge(edgeOf(n.self, nb))
+	}
+	rib := n.adjIn[nb]
+	affected := make([]routing.NodeID, 0, len(rib))
+	for d := range rib {
+		affected = append(affected, d)
+	}
+	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
+	n.adjIn[nb] = make(map[routing.NodeID]routing.Path)
+	n.advertised[nb] = make(map[routing.NodeID]routing.Path)
+	n.pending[nb] = make(map[routing.NodeID]struct{})
+	for _, d := range affected {
+		n.runDecision(d)
+	}
+	if n.cfg.RCN {
+		n.redecideCrossing(edgeOf(n.self, nb))
+	}
+}
+
+// LinkUp implements sim.Protocol: session re-establishment — advertise
+// the full table to the recovered neighbor.
+func (n *Node) LinkUp(nb routing.NodeID) {
+	if n.cfg.RCN {
+		delete(n.pendingRCN, nb) // stale notices must not greet the new session
+		n.unmaskEdge(edgeOf(n.self, nb))
+	}
+	dests := make([]routing.NodeID, 0, len(n.best))
+	for d := range n.best {
+		dests = append(dests, d)
+	}
+	sort.Slice(dests, func(i, j int) bool { return dests[i] < dests[j] })
+	for _, d := range dests {
+		n.scheduleAdvert(nb, d)
+	}
+}
+
+// BestPath returns the node's selected path to dest (nil when it has no
+// route). Exposed for tests and experiment harnesses.
+func (n *Node) BestPath(dest routing.NodeID) routing.Path {
+	return n.best[dest].Path.Clone()
+}
+
+// BestClass returns the class of the node's selected route to dest (0
+// when it has no route).
+func (n *Node) BestClass(dest routing.NodeID) policy.RouteClass {
+	return n.best[dest].Class
+}
+
+// Routes returns a copy of the node's Loc-RIB keyed by destination.
+func (n *Node) Routes() map[routing.NodeID]routing.Path {
+	out := make(map[routing.NodeID]routing.Path, len(n.best))
+	for d, c := range n.best {
+		out[d] = c.Path.Clone()
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+// BGP-RCN (Root Cause Notification) support, after Pei et al.,
+// "BGP-RCN: improving BGP convergence through root cause notification"
+// (the paper's reference [15]). RCN piggybacks the identity of the
+// failed link onto ordinary path-vector updates; receivers then stop
+// considering — and stop exploring — any Adj-RIB-In path that crosses
+// the failed link, which is the same mechanism Centaur gets natively
+// from its link-level announcements (§3.1). The reproduction includes it
+// as an intermediate baseline between plain BGP and Centaur.
+//
+// Masking follows the same consistency rules as Centaur's
+// (internal/centaur): Adj-RIBs-In are never mutated by third-party
+// notices; masked candidates are skipped at decision time; a mask lifts
+// when a newly announced path crosses the link again, when the local
+// adjacency recovers, or after MaskTTL.
+package bgp
+
+import (
+	"time"
+
+	"centaur/internal/routing"
+)
+
+// edgeKey is the undirected identity of a link inside an AS path.
+type edgeKey struct{ lo, hi routing.NodeID }
+
+func edgeOf(a, b routing.NodeID) edgeKey {
+	if a > b {
+		a, b = b, a
+	}
+	return edgeKey{lo: a, hi: b}
+}
+
+// pathCrosses reports whether path p traverses the undirected edge e.
+func pathCrosses(p routing.Path, e edgeKey) bool {
+	for i := 0; i+1 < len(p); i++ {
+		if edgeOf(p[i], p[i+1]) == e {
+			return true
+		}
+	}
+	return false
+}
+
+// maskEdge suppresses every candidate crossing the failed link and
+// schedules the mask's expiry.
+func (n *Node) maskEdge(e edgeKey) {
+	if n.failed == nil {
+		n.failed = make(map[edgeKey]uint64)
+	}
+	n.failedGen++
+	gen := n.failedGen
+	n.failed[e] = gen
+	ttl := n.cfg.RCNMaskTTL
+	if ttl <= 0 {
+		ttl = time.Second
+	}
+	n.env.After(ttl, func() {
+		if n.failed[e] != gen {
+			return // lifted or re-masked since
+		}
+		delete(n.failed, e)
+		n.redecideCrossing(e)
+	})
+}
+
+// unmaskEdge lifts the mask (fresh evidence the link works), cancels any
+// queued notices about the link, and re-decides the destinations the
+// mask was suppressing.
+func (n *Node) unmaskEdge(e edgeKey) {
+	for nb, queued := range n.pendingRCN {
+		kept := queued[:0]
+		for _, q := range queued {
+			if edgeOf(q.link.From, q.link.To) != e {
+				kept = append(kept, q)
+			}
+		}
+		if len(kept) == 0 {
+			delete(n.pendingRCN, nb)
+		} else {
+			n.pendingRCN[nb] = kept
+		}
+	}
+	if _, ok := n.failed[e]; !ok {
+		return
+	}
+	delete(n.failed, e)
+	n.redecideCrossing(e)
+}
+
+// masked reports whether any hop of p crosses a masked link.
+func (n *Node) masked(p routing.Path) bool {
+	if len(n.failed) == 0 {
+		return false
+	}
+	for i := 0; i+1 < len(p); i++ {
+		if _, ok := n.failed[edgeOf(p[i], p[i+1])]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// redecideCrossing re-runs the decision process for every destination
+// that has a candidate crossing e (its eligibility just changed).
+func (n *Node) redecideCrossing(e edgeKey) {
+	affected := make(map[routing.NodeID]struct{})
+	for _, rib := range n.adjIn {
+		for d, p := range rib {
+			if pathCrosses(p, e) {
+				affected[d] = struct{}{}
+			}
+		}
+	}
+	for d := range affected {
+		n.runDecision(d)
+	}
+}

@@ -1,0 +1,112 @@
+// Package bloom provides a Bloom filter over node IDs. The paper (§4.1)
+// suggests Bloom filters to compactly represent the destination lists
+// inside Permission List entries; §5.2 assumes this compression when
+// reporting Permission List sizes.
+package bloom
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+
+	"centaur/internal/routing"
+)
+
+// Filter is a fixed-size Bloom filter over routing.NodeID values. It has
+// no false negatives; the false-positive probability is set at
+// construction time. The zero value is unusable — construct with New.
+type Filter struct {
+	bits []uint64
+	m    uint64 // number of bits
+	k    uint32 // number of hash functions
+	n    int    // elements inserted
+}
+
+// New returns a filter sized for expectedN insertions at roughly the
+// given false-positive rate fpRate (clamped to [1e-6, 0.5]). The classic
+// sizing formulas m = -n·ln(p)/ln(2)² and k = m/n·ln(2) are used.
+func New(expectedN int, fpRate float64) *Filter {
+	if expectedN < 1 {
+		expectedN = 1
+	}
+	if fpRate < 1e-6 {
+		fpRate = 1e-6
+	}
+	if fpRate > 0.5 {
+		fpRate = 0.5
+	}
+	ln2 := math.Ln2
+	m := uint64(math.Ceil(-float64(expectedN) * math.Log(fpRate) / (ln2 * ln2)))
+	if m < 64 {
+		m = 64
+	}
+	k := uint32(math.Round(float64(m) / float64(expectedN) * ln2))
+	if k < 1 {
+		k = 1
+	}
+	return &Filter{
+		bits: make([]uint64, (m+63)/64),
+		m:    m,
+		k:    k,
+	}
+}
+
+// hashPair derives two independent 32-bit hashes of id; the k probe
+// positions are the standard Kirsch–Mitzenmacher double-hash sequence
+// h1 + i·h2.
+func hashPair(id routing.NodeID) (uint32, uint32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], uint32(id))
+	h := fnv.New64a()
+	h.Write(buf[:]) //nolint:errcheck // fnv never fails
+	sum := h.Sum64()
+	h1 := uint32(sum)
+	h2 := uint32(sum >> 32)
+	if h2 == 0 {
+		h2 = 0x9e3779b9 // ensure probes differ
+	}
+	return h1, h2
+}
+
+// Add inserts id into the filter.
+func (f *Filter) Add(id routing.NodeID) {
+	h1, h2 := hashPair(id)
+	for i := uint32(0); i < f.k; i++ {
+		bit := (uint64(h1) + uint64(i)*uint64(h2)) % f.m
+		f.bits[bit/64] |= 1 << (bit % 64)
+	}
+	f.n++
+}
+
+// Has reports whether id may be in the filter. False positives are
+// possible; false negatives are not.
+func (f *Filter) Has(id routing.NodeID) bool {
+	h1, h2 := hashPair(id)
+	for i := uint32(0); i < f.k; i++ {
+		bit := (uint64(h1) + uint64(i)*uint64(h2)) % f.m
+		if f.bits[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of Add calls performed.
+func (f *Filter) Count() int { return f.n }
+
+// SizeBits returns the filter's bit-array size, i.e. the wire size a
+// Bloom-compressed destination list would occupy.
+func (f *Filter) SizeBits() uint64 { return f.m }
+
+// Hashes returns the number of hash probes per operation.
+func (f *Filter) Hashes() uint32 { return f.k }
+
+// EstimatedFPRate returns the expected false-positive probability given
+// the inserts performed so far: (1 - e^(-kn/m))^k.
+func (f *Filter) EstimatedFPRate() float64 {
+	if f.n == 0 {
+		return 0
+	}
+	exp := -float64(f.k) * float64(f.n) / float64(f.m)
+	return math.Pow(1-math.Exp(exp), float64(f.k))
+}

@@ -1,0 +1,118 @@
+package bloom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"centaur/internal/routing"
+)
+
+func TestNoFalseNegativesProperty(t *testing.T) {
+	// DESIGN.md invariant 6: anything added is always found.
+	f := func(ids []uint32) bool {
+		fl := New(len(ids)+1, 0.01)
+		for _, id := range ids {
+			fl.Add(routing.NodeID(id))
+		}
+		for _, id := range ids {
+			if !fl.Has(routing.NodeID(id)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFalsePositiveRateNearTarget(t *testing.T) {
+	const n, fp = 2000, 0.01
+	fl := New(n, fp)
+	rng := rand.New(rand.NewSource(1))
+	inserted := make(map[routing.NodeID]bool, n)
+	for len(inserted) < n {
+		id := routing.NodeID(rng.Uint32()%10_000_000 + 1)
+		if !inserted[id] {
+			inserted[id] = true
+			fl.Add(id)
+		}
+	}
+	falsePos, probes := 0, 0
+	for probes < 20000 {
+		id := routing.NodeID(rng.Uint32()%10_000_000 + 1)
+		if inserted[id] {
+			continue
+		}
+		probes++
+		if fl.Has(id) {
+			falsePos++
+		}
+	}
+	rate := float64(falsePos) / float64(probes)
+	if rate > fp*4 {
+		t.Fatalf("observed FP rate %.4f far above target %.4f", rate, fp)
+	}
+}
+
+func TestEmptyFilterHasNothing(t *testing.T) {
+	fl := New(100, 0.01)
+	hits := 0
+	for id := routing.NodeID(1); id <= 1000; id++ {
+		if fl.Has(id) {
+			hits++
+		}
+	}
+	if hits != 0 {
+		t.Fatalf("empty filter reported %d members", hits)
+	}
+	if fl.EstimatedFPRate() != 0 {
+		t.Fatal("empty filter FP estimate must be 0")
+	}
+}
+
+func TestParameterClamping(t *testing.T) {
+	for _, tc := range []struct {
+		n  int
+		fp float64
+	}{
+		{0, 0.01}, {-5, 0.01}, {10, 0}, {10, 1.5}, {1, 1e-12},
+	} {
+		fl := New(tc.n, tc.fp)
+		if fl.SizeBits() < 64 || fl.Hashes() < 1 {
+			t.Fatalf("New(%d, %g) produced degenerate filter", tc.n, tc.fp)
+		}
+		fl.Add(7)
+		if !fl.Has(7) {
+			t.Fatalf("New(%d, %g) lost an element", tc.n, tc.fp)
+		}
+	}
+}
+
+func TestSizingMonotonicity(t *testing.T) {
+	small := New(100, 0.01)
+	big := New(10000, 0.01)
+	if big.SizeBits() <= small.SizeBits() {
+		t.Fatal("more elements must need more bits")
+	}
+	loose := New(1000, 0.1)
+	tight := New(1000, 0.001)
+	if tight.SizeBits() <= loose.SizeBits() {
+		t.Fatal("tighter FP rate must need more bits")
+	}
+}
+
+func TestCountAndEstimate(t *testing.T) {
+	fl := New(100, 0.01)
+	for i := routing.NodeID(1); i <= 50; i++ {
+		fl.Add(i)
+	}
+	if fl.Count() != 50 {
+		t.Fatalf("Count = %d", fl.Count())
+	}
+	est := fl.EstimatedFPRate()
+	if est <= 0 || est > 0.05 {
+		t.Fatalf("estimate %.5f implausible at half fill", est)
+	}
+}

@@ -1,0 +1,683 @@
+// Package centaur implements the paper's contribution: a hybrid
+// link-state / path-vector protocol for policy-based routing.
+//
+// Each node follows the protocol flow of §4.3:
+//
+//   - It keeps one P-graph per neighbor (G_{B→A}), assembled from that
+//     neighbor's downstream-link announcements, plus its own local
+//     P-graph built from its selected paths (§3.2.2).
+//   - The local solver derives, for every known destination, the unique
+//     policy-compliant path offered by each neighbor's P-graph
+//     (DerivePath, Table 1), prepends itself, performs loop detection
+//     (Observation 1), and ranks the candidates with the Gao–Rexford
+//     preference (§3.2.3).
+//   - It announces to each neighbor only the links of the paths it
+//     actually uses and may export there, with Permission Lists attached
+//     where the exported view has multi-homed nodes (§3.2.1, §4.1).
+//     Updates are incremental per-link deltas (Δ_B, §4.3.2).
+//   - Withdrawals caused by a physical link failure carry the root
+//     cause, so receivers mask the failed link across every neighbor
+//     P-graph at once and never explore stale alternative paths that
+//     contain it ("root cause information", §3.1, [6,15]). The mask
+//     suppresses derivation without mutating the announced graphs (see
+//     the failed field for why that distinction is load-bearing);
+//     withdrawals caused by policy/path changes affect only the
+//     announcing neighbor's P-graph.
+package centaur
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"centaur/internal/pgraph"
+	"centaur/internal/policy"
+	"centaur/internal/routing"
+	"centaur/internal/sim"
+	"centaur/internal/topology"
+	"centaur/internal/wire"
+)
+
+// Update is a Centaur routing update: an incremental per-link delta of
+// the sender's exported view, plus the set of links known to have
+// physically failed (root cause notification).
+type Update struct {
+	Delta pgraph.Delta
+	// FailedLinks are physical failures being propagated; receivers
+	// mask them across every P-graph, not just the sender's.
+	FailedLinks []routing.Link
+}
+
+var _ sim.Message = Update{}
+
+// Kind implements sim.Message.
+func (Update) Kind() string { return "centaur.update" }
+
+// Units implements sim.Message: one unit per link announcement or
+// withdrawal, the link-level analogue of BGP's per-destination updates.
+func (u Update) Units() int { return u.Delta.Size() }
+
+// WireBytes implements sim.ByteSizer with the internal/wire encoding.
+func (u Update) WireBytes() int {
+	return len(wire.AppendCentaurUpdate(nil, wire.CentaurUpdate{
+		Adds:        u.Delta.Adds,
+		Removes:     u.Delta.Removes,
+		FailedLinks: u.FailedLinks,
+	}))
+}
+
+// String renders the update compactly for traces.
+func (u Update) String() string {
+	return fmt.Sprintf("centaur.update(+%d -%d failed=%d)",
+		len(u.Delta.Adds), len(u.Delta.Removes), len(u.FailedLinks))
+}
+
+// Config parameterizes a Centaur node.
+type Config struct {
+	// Policy supplies filtering and ranking; nil means policy.GaoRexford{}.
+	Policy policy.Policy
+	// DisableRootCause turns off the failed-link masking, degrading
+	// withdrawals to plain per-neighbor removals. Used by the ablation
+	// benchmarks to isolate the root-cause contribution to convergence.
+	DisableRootCause bool
+	// MaskTTL bounds how long a root-cause mask suppresses a failed link
+	// before the node re-trusts standing announcements (see the failed
+	// field); zero means one second.
+	MaskTTL time.Duration
+	// Incremental switches the local solver from full re-derivation to
+	// affected-destination recomputation: deltas are analyzed for the
+	// destinations whose derivations they can influence (the marked
+	// destinations below every touched link head, per P-graph), only
+	// those are re-solved, per-neighbor derivations are cached, and
+	// export views are rebuilt only for neighbors an export-relevant
+	// route changed for. Results are identical to the full mode (tested);
+	// this is the "recompute scope" ablation of DESIGN.md §6.
+	Incremental bool
+}
+
+// Node is one Centaur router. Create with New; it implements
+// sim.Protocol.
+type Node struct {
+	cfg  Config
+	pol  policy.Policy
+	env  sim.Env
+	self routing.NodeID
+	rel  map[routing.NodeID]topology.Relationship
+	// nbrList is the static ascending neighbor list (the topology's
+	// adjacencies do not change; only link state does).
+	nbrList []routing.NodeID
+
+	// nbGraph[b] is G_{b→self}: the P-graph announced by neighbor b.
+	// Present exactly for neighbors whose link is up.
+	nbGraph map[routing.NodeID]*pgraph.Graph
+	// paths is the selected path set (Loc-RIB); classes and vias hold
+	// the corresponding route class and learned-from neighbor.
+	paths   map[routing.NodeID]routing.Path
+	classes map[routing.NodeID]policy.RouteClass
+	vias    map[routing.NodeID]routing.NodeID
+	// localView maintains the node's own P-graph incrementally (Table 2
+	// semantics via the §4.3.2 counter machinery).
+	localView *pgraph.View
+	// views[b] maintains the announced (export-filtered) P-graph toward
+	// neighbor b; its Flush yields the Δ_B update messages.
+	views map[routing.NodeID]*pgraph.View
+	// pendingFailed accumulates root-cause links to attach to the next
+	// outgoing updates of the current recompute round.
+	pendingFailed []routing.Link
+	// failed is the root-cause mask: links known to be physically down.
+	// Masked links are treated as absent during path derivation but the
+	// neighbor P-graphs are NOT mutated — a third-party notice must not
+	// break the announcement contract between this node and neighbors
+	// that legitimately still announce the link (they may never learn of
+	// a failure that heals quickly, and then would never re-announce).
+	// A mask lifts when the link is re-announced by anyone, when the
+	// local adjacency comes back, or after MaskTTL (after the
+	// convergence episode the withdrawals have done their work; any
+	// announcement still standing is to be trusted again).
+	failed map[routing.Link]uint64
+	// failedGen sequences mask entries so an expiry timer never clears a
+	// newer mask for the same link.
+	failedGen uint64
+	// derived caches per-neighbor path derivations in incremental mode:
+	// derived[b][d] is the memoized DerivePath result from G_{b->self}.
+	// Entries are invalidated by the affected-set analysis.
+	derived map[routing.NodeID]map[routing.NodeID]derivedEntry
+}
+
+// derivedEntry is one memoized derivation result (ok=false caches a
+// derivation failure, which is as expensive to recompute as a success).
+type derivedEntry struct {
+	path routing.Path
+	ok   bool
+}
+
+var _ sim.Protocol = (*Node)(nil)
+
+// New returns the sim.Builder for Centaur nodes with the given
+// configuration.
+func New(cfg Config) sim.Builder {
+	return func(env sim.Env) sim.Protocol {
+		pol := cfg.Policy
+		if pol == nil {
+			pol = policy.GaoRexford{}
+		}
+		n := &Node{
+			cfg:       cfg,
+			pol:       pol,
+			env:       env,
+			self:      env.Self(),
+			rel:       make(map[routing.NodeID]topology.Relationship),
+			nbGraph:   make(map[routing.NodeID]*pgraph.Graph),
+			paths:     make(map[routing.NodeID]routing.Path),
+			classes:   make(map[routing.NodeID]policy.RouteClass),
+			vias:      make(map[routing.NodeID]routing.NodeID),
+			localView: pgraph.NewView(env.Self()),
+			views:     make(map[routing.NodeID]*pgraph.View),
+		}
+		for _, nb := range env.Neighbors() {
+			n.rel[nb.ID] = nb.Rel
+			n.nbrList = append(n.nbrList, nb.ID)
+		}
+		sort.Slice(n.nbrList, func(i, j int) bool { return n.nbrList[i] < n.nbrList[j] })
+		return n
+	}
+}
+
+// Start implements sim.Protocol: learn adjacent links (§4.3.1 Step 1 —
+// each neighbor is itself a reachable destination) and run the first
+// solve-and-announce round.
+func (n *Node) Start(env sim.Env) {
+	n.env = env
+	for _, nb := range env.Neighbors() {
+		if env.LinkIsUp(nb.ID) {
+			n.nbGraph[nb.ID] = n.freshNeighborGraph(nb.ID)
+		}
+	}
+	n.recompute()
+}
+
+// freshNeighborGraph creates the empty P-graph for neighbor b. The root
+// is marked as a destination: the adjacency itself is a route to b
+// (every node owns its prefix in the paper's one-AS-one-node model).
+func (n *Node) freshNeighborGraph(b routing.NodeID) *pgraph.Graph {
+	g := pgraph.New(b)
+	g.MarkDest(b)
+	return g
+}
+
+// neighbors returns the static ascending neighbor list (shared; do not
+// mutate).
+func (n *Node) neighbors() []routing.NodeID { return n.nbrList }
+
+// Handle implements sim.Protocol: import-filter and apply the neighbor's
+// delta (§4.3.1 Step 2 / §4.3.2 Step 5), then re-solve and re-announce.
+func (n *Node) Handle(from routing.NodeID, msg sim.Message) {
+	u, ok := msg.(Update)
+	if !ok {
+		return
+	}
+	g, ok := n.nbGraph[from]
+	if !ok {
+		return // link went down; the session state is gone
+	}
+	// Import filtering: drop links pointing at this node (loop
+	// elimination — any path through them would revisit us).
+	filtered := pgraph.Delta{
+		Adds:    make([]pgraph.LinkInfo, 0, len(u.Delta.Adds)),
+		Removes: u.Delta.Removes,
+	}
+	for _, li := range u.Delta.Adds {
+		if li.Link.To == n.self {
+			continue
+		}
+		filtered.Adds = append(filtered.Adds, li)
+	}
+	// Incremental mode: the destinations whose derivations this update
+	// can influence are the marked destinations below every touched link
+	// head — in the old graph for context that disappears, in the new
+	// graph for context that appears (any link whose Permission List
+	// changed is re-announced by the sender, so it shows up here too).
+	var affected map[routing.NodeID]struct{}
+	if n.cfg.Incremental {
+		affected = make(map[routing.NodeID]struct{})
+		n.collectHeads(g, from, filtered, affected)
+	}
+	g.Apply(filtered)
+	if n.cfg.Incremental {
+		n.collectHeads(g, from, filtered, affected)
+	}
+	// A re-announced link is evidence it is back in service: lift its
+	// root-cause mask.
+	for _, li := range filtered.Adds {
+		if _, wasMasked := n.failed[li.Link]; wasMasked {
+			delete(n.failed, li.Link)
+			n.maskAffect(li.Link, affected)
+		}
+	}
+	// Root cause notification: a physically failed link invalidates
+	// every path through it in every P-graph; masking it everywhere is
+	// what lets Centaur skip BGP's path exploration (§3.1).
+	if !n.cfg.DisableRootCause {
+		for _, l := range u.FailedLinks {
+			n.noteFailedLink(l)
+			n.mask(l)
+			n.maskAffect(l, affected)
+		}
+	}
+	if n.cfg.Incremental {
+		n.recomputeDests(affected)
+	} else {
+		n.recompute()
+	}
+}
+
+// collectHeads adds to affected the destinations below every link head
+// touched by the delta in neighbor from's current graph, and drops their
+// cached derivations.
+func (n *Node) collectHeads(g *pgraph.Graph, from routing.NodeID, d pgraph.Delta, affected map[routing.NodeID]struct{}) {
+	visit := func(head routing.NodeID) {
+		for _, dst := range g.DestsBelow(head) {
+			affected[dst] = struct{}{}
+			n.invalidate(from, dst)
+		}
+	}
+	for _, li := range d.Adds {
+		visit(li.Link.To)
+	}
+	for _, l := range d.Removes {
+		visit(l.To)
+	}
+}
+
+// maskAffect records, for a link whose failed-mask state changed, the
+// destinations whose derivations that can influence — in every neighbor
+// graph — and drops their cached derivations. A nil affected set (full
+// recompute mode) only performs the invalidation.
+func (n *Node) maskAffect(l routing.Link, affected map[routing.NodeID]struct{}) {
+	for b, g := range n.nbGraph {
+		for _, dst := range g.DestsBelow(l.To) {
+			if affected != nil {
+				affected[dst] = struct{}{}
+			}
+			n.invalidate(b, dst)
+		}
+	}
+}
+
+// invalidate drops the cached derivation for destination d via neighbor b.
+func (n *Node) invalidate(b, d routing.NodeID) {
+	if m := n.derived[b]; m != nil {
+		delete(m, d)
+	}
+}
+
+// mask suppresses link l for derivation and schedules the mask's expiry.
+func (n *Node) mask(l routing.Link) {
+	if n.failed == nil {
+		n.failed = make(map[routing.Link]uint64)
+	}
+	n.failedGen++
+	gen := n.failedGen
+	n.failed[l] = gen
+	ttl := n.cfg.MaskTTL
+	if ttl <= 0 {
+		ttl = time.Second
+	}
+	n.env.After(ttl, func() {
+		if n.failed[l] != gen {
+			return // lifted or re-masked since
+		}
+		delete(n.failed, l)
+		if n.cfg.Incremental {
+			affected := make(map[routing.NodeID]struct{})
+			n.maskAffect(l, affected)
+			n.recomputeDests(affected)
+		} else {
+			n.maskAffect(l, nil)
+			n.recompute()
+		}
+	})
+}
+
+// isFailed reports whether link l is currently masked as failed.
+func (n *Node) isFailed(l routing.Link) bool {
+	_, ok := n.failed[l]
+	return ok
+}
+
+// noteFailedLink records l for propagation with this round's updates.
+func (n *Node) noteFailedLink(l routing.Link) {
+	for _, f := range n.pendingFailed {
+		if f == l {
+			return
+		}
+	}
+	n.pendingFailed = append(n.pendingFailed, l)
+}
+
+// LinkDown implements sim.Protocol: drop the neighbor's P-graph and our
+// announced state toward it, record the root cause, and re-solve.
+func (n *Node) LinkDown(b routing.NodeID) {
+	var affected map[routing.NodeID]struct{}
+	if n.cfg.Incremental {
+		affected = make(map[routing.NodeID]struct{})
+		if g := n.nbGraph[b]; g != nil {
+			for _, d := range g.Dests() {
+				affected[d] = struct{}{}
+			}
+		}
+	}
+	delete(n.nbGraph, b)
+	delete(n.views, b)
+	delete(n.derived, b)
+	if !n.cfg.DisableRootCause {
+		for _, l := range []routing.Link{{From: n.self, To: b}, {From: b, To: n.self}} {
+			n.noteFailedLink(l)
+			n.mask(l)
+			n.maskAffect(l, affected)
+		}
+	}
+	if n.cfg.Incremental {
+		n.recomputeDests(affected)
+	} else {
+		n.recompute()
+	}
+}
+
+// LinkUp implements sim.Protocol: restart the session — a fresh empty
+// P-graph for the neighbor and a full re-announcement toward it (the
+// recompute sees no previously exported view and diffs from empty). The
+// adjacency's own root-cause masks are lifted: the link is
+// authoritatively back.
+func (n *Node) LinkUp(b routing.NodeID) {
+	n.nbGraph[b] = n.freshNeighborGraph(b)
+	delete(n.views, b)
+	delete(n.derived, b)
+	var affected map[routing.NodeID]struct{}
+	if n.cfg.Incremental {
+		affected = map[routing.NodeID]struct{}{b: {}}
+	}
+	for _, l := range []routing.Link{{From: n.self, To: b}, {From: b, To: n.self}} {
+		if _, wasMasked := n.failed[l]; wasMasked {
+			delete(n.failed, l)
+			n.maskAffect(l, affected)
+		}
+	}
+	if n.cfg.Incremental {
+		n.recomputeDests(affected)
+	} else {
+		n.recompute()
+	}
+}
+
+// recompute is the full local solver plus announcement step: re-derive
+// the best path for every known destination from the neighbor P-graphs,
+// rebuild the local P-graph if anything changed, and send per-neighbor
+// deltas of the export-filtered views.
+//
+// Root-cause notifications ride along with the deltas: a node whose
+// selected paths used a failed link withdraws that link in its delta, so
+// exactly the nodes that were told about the link hear that it failed —
+// nodes whose paths were unaffected never announced it and have nothing
+// to propagate.
+func (n *Node) recompute() {
+	// The destination universe is everything any neighbor advertises
+	// plus everything we currently route to — a destination that just
+	// vanished from every graph must still be visited so its stale route
+	// is withdrawn.
+	set := make(map[routing.NodeID]struct{}, len(n.paths))
+	for _, d := range n.knownDests() {
+		set[d] = struct{}{}
+	}
+	for d := range n.paths {
+		set[d] = struct{}{}
+	}
+	dests := make([]routing.NodeID, 0, len(set))
+	for d := range set {
+		dests = append(dests, d)
+	}
+	sort.Slice(dests, func(i, j int) bool { return dests[i] < dests[j] })
+	dirty := make(map[routing.NodeID]bool, len(n.rel))
+	changed := n.solveSome(dests, dirty)
+	n.finish(changed, dirty)
+}
+
+// recomputeDests is the incremental-mode recompute: only the affected
+// destinations are re-solved, and only the export views of neighbors an
+// export-relevant route changed for are updated.
+func (n *Node) recomputeDests(affected map[routing.NodeID]struct{}) {
+	dests := make([]routing.NodeID, 0, len(affected))
+	for d := range affected {
+		dests = append(dests, d)
+	}
+	sort.Slice(dests, func(i, j int) bool { return dests[i] < dests[j] })
+	dirty := make(map[routing.NodeID]bool, len(n.rel))
+	changed := n.solveSome(dests, dirty)
+	n.finish(changed, dirty)
+}
+
+// finish applies the round's route changes to the local P-graph and the
+// per-neighbor announced views (pgraph.View, the §4.3.2 counter
+// machinery), then sends the flushed Δ_B messages. dirty limits view
+// updates to neighbors an export-relevant route changed for.
+func (n *Node) finish(changed []routing.NodeID, dirty map[routing.NodeID]bool) {
+	for _, d := range changed {
+		n.localView.Set(d, n.paths[d])
+	}
+	n.localView.Flush() // the local graph emits no messages
+	failed := n.pendingFailed
+	n.pendingFailed = nil
+	for _, b := range n.neighbors() {
+		if _, up := n.nbGraph[b]; !up {
+			continue
+		}
+		view, hasView := n.views[b]
+		switch {
+		case !hasView:
+			// Fresh session: announce the full exportable path set
+			// (§4.3.1 Steps 1 and 4).
+			view = pgraph.NewView(n.self)
+			n.views[b] = view
+			for d := range n.paths {
+				view.Set(d, n.exportable(d, b))
+			}
+		case len(changed) == 0 || (dirty != nil && !dirty[b]):
+			// No exportable-to-b route changed; the view is current.
+			continue
+		default:
+			for _, d := range changed {
+				view.Set(d, n.exportable(d, b))
+			}
+		}
+		delta := view.Flush()
+		if delta.Empty() {
+			continue
+		}
+		msg := Update{Delta: delta}
+		if len(failed) > 0 {
+			msg.FailedLinks = append([]routing.Link(nil), failed...)
+		}
+		n.env.Send(b, msg)
+	}
+}
+
+// exportable returns the path announced to neighbor b for destination d:
+// the selected path when the export filter admits its class and it does
+// not traverse b (sender-side loop avoidance), nil otherwise.
+func (n *Node) exportable(d, b routing.NodeID) routing.Path {
+	p, ok := n.paths[d]
+	if !ok {
+		return nil
+	}
+	if !n.pol.Export(n.self, n.classes[d], n.rel[b]) {
+		return nil
+	}
+	if p.Contains(b) {
+		return nil
+	}
+	return p
+}
+
+// solveSome is the local solver core (§3.2.3): for each destination the
+// candidates are the unique policy-compliant paths DerivePath
+// reconstructs from each neighbor P-graph, self-prepended, loop-checked,
+// and ranked by the policy. Destinations no longer derivable anywhere
+// lose their route. It returns the destinations whose route changed.
+// When dirty is non-nil, every neighbor whose export view could be
+// altered by a changed route is marked in it.
+func (n *Node) solveSome(dests []routing.NodeID, dirty map[routing.NodeID]bool) []routing.NodeID {
+	nbs := n.neighbors()
+	var changed []routing.NodeID
+	for _, d := range dests {
+		if d == n.self {
+			continue
+		}
+		// Candidates are ranked on the neighbor-derived paths without
+		// materializing the self-prepended copy: every comparison sees
+		// both lengths offset by the same +1, and class/via/destination
+		// are unaffected — only the winner is prepended.
+		var best policy.Candidate
+		for _, b := range nbs {
+			g, up := n.nbGraph[b]
+			if !up {
+				continue
+			}
+			p, ok := n.derive(b, g, d)
+			if !ok || !n.pol.Accept(n.self, b, p) {
+				continue
+			}
+			cand := policy.Candidate{
+				Path:  p,
+				Class: policy.ClassOf(n.rel[b]),
+				Via:   b,
+			}
+			if len(best.Path) == 0 || n.pol.Better(n.self, cand, best) {
+				best = cand
+			}
+		}
+		if len(best.Path) > 0 {
+			best.Path = best.Path.Prepend(n.self)
+		}
+		oldPath, had := n.paths[d]
+		oldClass := n.classes[d]
+		switch {
+		case len(best.Path) == 0 && !had:
+			continue
+		case len(best.Path) == 0:
+			delete(n.paths, d)
+			delete(n.classes, d)
+			delete(n.vias, d)
+		case had && oldPath.Equal(best.Path) && n.vias[d] == best.Via:
+			continue
+		default:
+			n.paths[d] = best.Path
+			n.classes[d] = best.Class
+			n.vias[d] = best.Via
+		}
+		changed = append(changed, d)
+		if dirty != nil {
+			n.markDirty(dirty, d, oldClass, best)
+		}
+	}
+	return changed
+}
+
+// markDirty marks every neighbor whose export view can be altered by
+// destination d's route changing from oldClass to the new best.
+func (n *Node) markDirty(dirty map[routing.NodeID]bool, d routing.NodeID, oldClass policy.RouteClass, best policy.Candidate) {
+	_ = d
+	for _, b := range n.neighbors() {
+		if dirty[b] {
+			continue
+		}
+		rel := n.rel[b]
+		if (oldClass != 0 && n.pol.Export(n.self, oldClass, rel)) ||
+			(best.Class != 0 && n.pol.Export(n.self, best.Class, rel)) {
+			dirty[b] = true
+		}
+	}
+}
+
+// derive returns the (possibly memoized) DerivePath result for
+// destination d from neighbor b's graph. The cache is only active in
+// incremental mode, where the affected-set analysis performs the
+// invalidation.
+func (n *Node) derive(b routing.NodeID, g *pgraph.Graph, d routing.NodeID) (routing.Path, bool) {
+	if !n.cfg.Incremental {
+		return g.DerivePathWith(d, n.isFailed)
+	}
+	m := n.derived[b]
+	if m == nil {
+		m = make(map[routing.NodeID]derivedEntry)
+		if n.derived == nil {
+			n.derived = make(map[routing.NodeID]map[routing.NodeID]derivedEntry)
+		}
+		n.derived[b] = m
+	}
+	if e, ok := m[d]; ok {
+		return e.path, e.ok
+	}
+	p, ok := g.DerivePathWith(d, n.isFailed)
+	m[d] = derivedEntry{path: p, ok: ok}
+	return p, ok
+}
+
+// knownDests returns every destination any neighbor P-graph advertises,
+// plus self, ascending.
+func (n *Node) knownDests() []routing.NodeID {
+	set := map[routing.NodeID]struct{}{n.self: {}}
+	for _, g := range n.nbGraph {
+		for _, d := range g.Dests() {
+			set[d] = struct{}{}
+		}
+	}
+	out := make([]routing.NodeID, 0, len(set))
+	for d := range set {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// BestPath returns the node's selected path to dest (nil when none).
+func (n *Node) BestPath(dest routing.NodeID) routing.Path {
+	if dest == n.self {
+		return routing.Path{n.self}
+	}
+	return n.paths[dest].Clone()
+}
+
+// BestClass returns the class of the selected route to dest (0 if none).
+func (n *Node) BestClass(dest routing.NodeID) policy.RouteClass {
+	if dest == n.self {
+		return policy.ClassOwn
+	}
+	return n.classes[dest]
+}
+
+// Routes returns a copy of the selected path set keyed by destination.
+func (n *Node) Routes() map[routing.NodeID]routing.Path {
+	out := make(map[routing.NodeID]routing.Path, len(n.paths))
+	for d, p := range n.paths {
+		out[d] = p.Clone()
+	}
+	return out
+}
+
+// LocalGraph returns the node's local P-graph (shared, do not mutate).
+func (n *Node) LocalGraph() *pgraph.Graph { return n.localView.Graph() }
+
+// NeighborGraph returns G_{b→self}, the P-graph assembled from neighbor
+// b's announcements, or nil when the adjacency is down (shared, do not
+// mutate).
+func (n *Node) NeighborGraph(b routing.NodeID) *pgraph.Graph { return n.nbGraph[b] }
+
+// ExportedView returns the announced view toward neighbor b as link
+// announcements (nil when no session exists).
+func (n *Node) ExportedView(b routing.NodeID) []pgraph.LinkInfo {
+	v, ok := n.views[b]
+	if !ok {
+		return nil
+	}
+	return v.Graph().LinkInfos()
+}

@@ -1,0 +1,441 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"centaur/internal/policy"
+
+	"centaur/internal/bgp"
+	"centaur/internal/centaur"
+	"centaur/internal/metrics"
+	"centaur/internal/ospf"
+	"centaur/internal/sim"
+	"centaur/internal/topogen"
+	"centaur/internal/topology"
+)
+
+// maxEvents bounds each simulation run; all protocols quiesce far below
+// this, so hitting it indicates a bug rather than a slow run.
+const maxEvents = 500_000_000
+
+// hashedPolicy is the Gao-Rexford policy with per-node hashed
+// tie-breaks, matching the static experiments (see
+// policy.GaoRexford.HashedTieBreak for why).
+var hashedPolicy = policy.GaoRexford{TieBreak: policy.TieHashed}
+
+// FlipSample is one link-flip measurement: the link was failed, the
+// network reconverged, the link was restored, and the network
+// reconverged again, exactly the §5.3 workload.
+type FlipSample struct {
+	Link topology.Edge
+	// DownTime/UpTime are the reconvergence durations ("the duration
+	// time required to re-stabilize") after failure and after restore.
+	DownTime, UpTime time.Duration
+	// DownUnits/UpUnits are the elementary update units sent during each
+	// phase: per-destination updates for BGP, per-link announcements for
+	// Centaur, per-LSA hops for OSPF.
+	DownUnits, UpUnits int64
+	// DownMsgs/UpMsgs are the point-to-point messages sent during each
+	// phase — what a wire trace would count; Centaur batches a whole
+	// delta per message, BGP sends one destination per message.
+	DownMsgs, UpMsgs int64
+	// DownBytes/UpBytes are the encoded wire bytes sent during each
+	// phase (internal/wire), the unit-free cost metric.
+	DownBytes, UpBytes int64
+}
+
+// FlipConfig parameterizes a link-flip experiment run.
+type FlipConfig struct {
+	// Topology is the annotated graph to simulate.
+	Topology *topology.Graph
+	// Build constructs the protocol under test.
+	Build sim.Builder
+	// Flips is the number of links to flip (0 = all links). The paper
+	// sequentially flips every link of its 500-node topology.
+	Flips int
+	// Seed drives link sampling and the per-link delay assignment.
+	Seed int64
+}
+
+// RunFlips cold-starts the protocol, then sequentially flips sampled
+// links: fail, reconverge, restore, reconverge, measuring message units
+// and convergence time for each phase.
+func RunFlips(cfg FlipConfig) ([]FlipSample, error) {
+	net, err := sim.NewNetwork(sim.Config{
+		Topology:  cfg.Topology,
+		Build:     cfg.Build,
+		DelaySeed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := net.RunToConvergence(maxEvents); err != nil {
+		return nil, fmt.Errorf("experiments: cold start: %w", err)
+	}
+	edges := cfg.Topology.Edges()
+	if cfg.Flips > 0 && cfg.Flips < len(edges) {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+		edges = edges[:cfg.Flips]
+	}
+	out := make([]FlipSample, 0, len(edges))
+	for _, e := range edges {
+		s := FlipSample{Link: e}
+		net.ResetStats()
+		start := net.Now()
+		if !net.FailLink(e.A, e.B) {
+			return nil, fmt.Errorf("experiments: failing %v: link not up", e)
+		}
+		if _, _, err := net.RunToConvergence(maxEvents); err != nil {
+			return nil, fmt.Errorf("experiments: reconverging after failing %v: %w", e, err)
+		}
+		st := net.Stats()
+		s.DownUnits = st.Units
+		s.DownMsgs = st.Messages
+		s.DownBytes = st.Bytes
+		if st.Messages > 0 {
+			s.DownTime = st.LastSend - start
+		}
+		net.ResetStats()
+		start = net.Now()
+		if !net.RestoreLink(e.A, e.B) {
+			return nil, fmt.Errorf("experiments: restoring %v: link not down", e)
+		}
+		if _, _, err := net.RunToConvergence(maxEvents); err != nil {
+			return nil, fmt.Errorf("experiments: reconverging after restoring %v: %w", e, err)
+		}
+		st = net.Stats()
+		s.UpUnits = st.Units
+		s.UpMsgs = st.Messages
+		s.UpBytes = st.Bytes
+		if st.Messages > 0 {
+			s.UpTime = st.LastSend - start
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Figure6Config parameterizes the convergence-time comparison. The
+// paper's setup is a 500-node BRITE topology with link delays drawn
+// uniformly from 0–5 ms, flipping each link in turn.
+type Figure6Config struct {
+	Nodes int
+	// LinksPerNode is the BRITE attachment parameter m.
+	LinksPerNode int
+	// Flips caps the number of flipped links (0 = all).
+	Flips int
+	Seed  int64
+	// MRAI is the batching timer of the headline BGP series. Session-
+	// level BGP (the paper's DistComm comparator) rate-limits
+	// advertisements; the eBGP default is 30 s. Centaur needs no such
+	// timer — root cause notification suppresses the path exploration
+	// MRAI exists to dampen — which is precisely the asymmetry Figure 6
+	// demonstrates. A second, MRAI-less BGP series is always measured as
+	// the lower bound.
+	MRAI time.Duration
+}
+
+// DefaultFigure6Config is the paper's setup with a link sample large
+// enough for a stable CDF.
+func DefaultFigure6Config() Figure6Config {
+	return Figure6Config{Nodes: 500, LinksPerNode: 2, Flips: 120, Seed: 1, MRAI: 30 * time.Second}
+}
+
+// Figure6Result holds the convergence-time CDFs (in milliseconds) of
+// both protocols over the same flip workload.
+type Figure6Result struct {
+	Centaur *metrics.Dist
+	// BGP is the headline series (MRAI per Figure6Config.MRAI).
+	BGP *metrics.Dist
+	// BGPNoMRAI is the timer-less lower bound series.
+	BGPNoMRAI *metrics.Dist
+	// FractionCentaurFaster is the share of flip phases where Centaur
+	// reconverged strictly faster than the headline BGP.
+	FractionCentaurFaster float64
+	// FractionCentaurNotSlower additionally counts exact ties, which are
+	// common against the MRAI-less lower bound: with zero modeled CPU
+	// delay, phases without path exploration end at the identical
+	// instant under both protocols.
+	FractionCentaurNotSlower float64
+}
+
+// Figure6 runs the paper's convergence-time comparison: identical
+// topology, delays, and flip sequence for Centaur and BGP.
+func Figure6(cfg Figure6Config) (*Figure6Result, error) {
+	g, err := topogen.BRITE(cfg.Nodes, cfg.LinksPerNode, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cent, err := RunFlips(FlipConfig{Topology: g, Build: centaur.New(centaur.Config{Policy: hashedPolicy, Incremental: true}), Flips: cfg.Flips, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: figure 6 centaur: %w", err)
+	}
+	bgpr, err := RunFlips(FlipConfig{Topology: g, Build: bgp.New(bgp.Config{MRAI: cfg.MRAI, Policy: hashedPolicy}), Flips: cfg.Flips, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: figure 6 bgp: %w", err)
+	}
+	bgpFast, err := RunFlips(FlipConfig{Topology: g, Build: bgp.New(bgp.Config{Policy: hashedPolicy}), Flips: cfg.Flips, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: figure 6 bgp (no mrai): %w", err)
+	}
+	res := &Figure6Result{
+		Centaur:   metrics.NewDist(2 * len(cent)),
+		BGP:       metrics.NewDist(2 * len(bgpr)),
+		BGPNoMRAI: metrics.NewDist(2 * len(bgpFast)),
+	}
+	faster, notSlower, total := 0, 0, 0
+	for i := range cent {
+		phases := [][3]time.Duration{
+			{cent[i].DownTime, bgpr[i].DownTime, bgpFast[i].DownTime},
+			{cent[i].UpTime, bgpr[i].UpTime, bgpFast[i].UpTime},
+		}
+		for _, p := range phases {
+			res.Centaur.Add(float64(p[0]) / float64(time.Millisecond))
+			res.BGP.Add(float64(p[1]) / float64(time.Millisecond))
+			res.BGPNoMRAI.Add(float64(p[2]) / float64(time.Millisecond))
+			if p[0] < p[1] {
+				faster++
+			}
+			if p[0] <= p[1] {
+				notSlower++
+			}
+			total++
+		}
+	}
+	if total > 0 {
+		res.FractionCentaurFaster = float64(faster) / float64(total)
+		res.FractionCentaurNotSlower = float64(notSlower) / float64(total)
+	}
+	return res, nil
+}
+
+// String renders the Figure 6 summary and CDFs (milliseconds).
+func (r *Figure6Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 6. Convergence time comparison (ms per flip phase).\n")
+	fmt.Fprintf(&b, "  Centaur:        %s\n", r.Centaur.Summary())
+	fmt.Fprintf(&b, "  BGP (MRAI):     %s\n", r.BGP.Summary())
+	fmt.Fprintf(&b, "  BGP (no MRAI):  %s\n", r.BGPNoMRAI.Summary())
+	fmt.Fprintf(&b, "  Centaur strictly faster than BGP in %.1f%% of flip phases (not slower in %.1f%%)\n",
+		100*r.FractionCentaurFaster, 100*r.FractionCentaurNotSlower)
+	b.WriteString(renderCDFs(25, []namedDist{
+		{"centaur", r.Centaur},
+		{"bgp-mrai", r.BGP},
+		{"bgp-nomrai", r.BGPNoMRAI},
+	}))
+	return b.String()
+}
+
+// Figure7Config parameterizes the convergence-load comparison against
+// OSPF on the same workload as Figure 6.
+type Figure7Config struct {
+	Nodes        int
+	LinksPerNode int
+	Flips        int
+	Seed         int64
+}
+
+// DefaultFigure7Config mirrors the paper's 500-node setup.
+func DefaultFigure7Config() Figure7Config {
+	return Figure7Config{Nodes: 500, LinksPerNode: 2, Flips: 120, Seed: 1}
+}
+
+// Figure7Result holds the per-flip message-unit distributions of
+// Centaur and OSPF.
+type Figure7Result struct {
+	// Centaur and OSPF are the per-flip-phase update-unit counts
+	// (per-link announcements and per-LSA hops respectively).
+	Centaur *metrics.Dist
+	OSPF    *metrics.Dist
+	// CentaurMsgs and OSPFMsgs count wire messages instead (Centaur
+	// batches one delta per neighbor per round).
+	CentaurMsgs *metrics.Dist
+	OSPFMsgs    *metrics.Dist
+	// CentaurBytes and OSPFBytes count encoded wire bytes, the unit-free
+	// comparison.
+	CentaurBytes *metrics.Dist
+	OSPFBytes    *metrics.Dist
+	// FractionCentaurFewer is the share of flip phases where Centaur
+	// sent strictly fewer units than OSPF (the paper reports 82%).
+	FractionCentaurFewer float64
+}
+
+// Figure7 runs the paper's convergence-load comparison: identical
+// topology, delays, and flip sequence for Centaur and OSPF.
+func Figure7(cfg Figure7Config) (*Figure7Result, error) {
+	g, err := topogen.BRITE(cfg.Nodes, cfg.LinksPerNode, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cent, err := RunFlips(FlipConfig{Topology: g, Build: centaur.New(centaur.Config{Policy: hashedPolicy, Incremental: true}), Flips: cfg.Flips, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: figure 7 centaur: %w", err)
+	}
+	osp, err := RunFlips(FlipConfig{Topology: g, Build: ospf.New(), Flips: cfg.Flips, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: figure 7 ospf: %w", err)
+	}
+	res := &Figure7Result{
+		Centaur:      metrics.NewDist(2 * len(cent)),
+		OSPF:         metrics.NewDist(2 * len(osp)),
+		CentaurMsgs:  metrics.NewDist(2 * len(cent)),
+		OSPFMsgs:     metrics.NewDist(2 * len(osp)),
+		CentaurBytes: metrics.NewDist(2 * len(cent)),
+		OSPFBytes:    metrics.NewDist(2 * len(osp)),
+	}
+	fewer, total := 0, 0
+	for i := range cent {
+		pairs := [][2]int64{
+			{cent[i].DownUnits, osp[i].DownUnits},
+			{cent[i].UpUnits, osp[i].UpUnits},
+		}
+		msgs := [][2]int64{
+			{cent[i].DownMsgs, osp[i].DownMsgs},
+			{cent[i].UpMsgs, osp[i].UpMsgs},
+		}
+		for _, p := range pairs {
+			res.Centaur.Add(float64(p[0]))
+			res.OSPF.Add(float64(p[1]))
+			if p[0] < p[1] {
+				fewer++
+			}
+			total++
+		}
+		for _, m := range msgs {
+			res.CentaurMsgs.Add(float64(m[0]))
+			res.OSPFMsgs.Add(float64(m[1]))
+		}
+		res.CentaurBytes.Add(float64(cent[i].DownBytes))
+		res.CentaurBytes.Add(float64(cent[i].UpBytes))
+		res.OSPFBytes.Add(float64(osp[i].DownBytes))
+		res.OSPFBytes.Add(float64(osp[i].UpBytes))
+	}
+	if total > 0 {
+		res.FractionCentaurFewer = float64(fewer) / float64(total)
+	}
+	return res, nil
+}
+
+// String renders the Figure 7 summary and CDFs (units per flip phase).
+func (r *Figure7Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 7. Convergence load comparison (update units per flip phase).\n")
+	fmt.Fprintf(&b, "  Centaur units: %s\n", r.Centaur.Summary())
+	fmt.Fprintf(&b, "  OSPF units:    %s\n", r.OSPF.Summary())
+	fmt.Fprintf(&b, "  Centaur msgs:  %s\n", r.CentaurMsgs.Summary())
+	fmt.Fprintf(&b, "  OSPF msgs:     %s\n", r.OSPFMsgs.Summary())
+	fmt.Fprintf(&b, "  Centaur bytes: %s\n", r.CentaurBytes.Summary())
+	fmt.Fprintf(&b, "  OSPF bytes:    %s\n", r.OSPFBytes.Summary())
+	fmt.Fprintf(&b, "  Centaur fewer units in %.1f%% of flip phases (paper: 82%%)\n", 100*r.FractionCentaurFewer)
+	b.WriteString(renderCDFs(25, []namedDist{
+		{"centaur", r.Centaur},
+		{"ospf", r.OSPF},
+	}))
+	return b.String()
+}
+
+// Figure8Config parameterizes the scalability sweep.
+type Figure8Config struct {
+	// Sizes are the topology node counts to sweep.
+	Sizes []int
+	// LinksPerNode is the BRITE attachment parameter m.
+	LinksPerNode int
+	// FlipsPerSize is the number of update events measured per size.
+	FlipsPerSize int
+	Seed         int64
+}
+
+// DefaultFigure8Config sweeps 100–1000 nodes like the paper's Figure 8.
+func DefaultFigure8Config() Figure8Config {
+	return Figure8Config{
+		Sizes:        []int{100, 200, 300, 400, 500, 600, 700, 800, 900, 1000},
+		LinksPerNode: 2,
+		FlipsPerSize: 30,
+		Seed:         1,
+	}
+}
+
+// Figure8Point is one sweep point: the mean update units per routing
+// event for each protocol at one topology size.
+type Figure8Point struct {
+	Nodes int
+	// Mean elementary update units per routing event.
+	CentaurUnits float64
+	BGPUnits     float64
+	// Mean wire messages per routing event: the per-packet count, where
+	// Centaur's batching of one delta per neighbor per round pays off.
+	CentaurMsgs float64
+	BGPMsgs     float64
+	// Mean encoded wire bytes per routing event.
+	CentaurBytes float64
+	BGPBytes     float64
+}
+
+// Figure8Result is the scalability series of both protocols.
+type Figure8Result struct {
+	Points []Figure8Point
+}
+
+// Figure8 sweeps topology sizes and measures the mean per-event update
+// overhead of Centaur and BGP ("the update overhead ... under different
+// topology sizes given a routing update event").
+func Figure8(cfg Figure8Config) (*Figure8Result, error) {
+	res := &Figure8Result{Points: make([]Figure8Point, 0, len(cfg.Sizes))}
+	for _, n := range cfg.Sizes {
+		g, err := topogen.BRITE(n, cfg.LinksPerNode, cfg.Seed+int64(n))
+		if err != nil {
+			return nil, err
+		}
+		cent, err := RunFlips(FlipConfig{Topology: g, Build: centaur.New(centaur.Config{Policy: hashedPolicy, Incremental: true}), Flips: cfg.FlipsPerSize, Seed: cfg.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: figure 8 centaur n=%d: %w", n, err)
+		}
+		bgpr, err := RunFlips(FlipConfig{Topology: g, Build: bgp.New(bgp.Config{Policy: hashedPolicy}), Flips: cfg.FlipsPerSize, Seed: cfg.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: figure 8 bgp n=%d: %w", n, err)
+		}
+		pt := Figure8Point{Nodes: n}
+		var cu, bu, cm, bm, cb, bb, events float64
+		for i := range cent {
+			cu += float64(cent[i].DownUnits + cent[i].UpUnits)
+			bu += float64(bgpr[i].DownUnits + bgpr[i].UpUnits)
+			cm += float64(cent[i].DownMsgs + cent[i].UpMsgs)
+			bm += float64(bgpr[i].DownMsgs + bgpr[i].UpMsgs)
+			cb += float64(cent[i].DownBytes + cent[i].UpBytes)
+			bb += float64(bgpr[i].DownBytes + bgpr[i].UpBytes)
+			events += 2
+		}
+		if events > 0 {
+			pt.CentaurUnits = cu / events
+			pt.BGPUnits = bu / events
+			pt.CentaurMsgs = cm / events
+			pt.BGPMsgs = bm / events
+			pt.CentaurBytes = cb / events
+			pt.BGPBytes = bb / events
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// String renders the Figure 8 series.
+func (r *Figure8Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 8. Scalability: mean update overhead per routing event.\n")
+	fmt.Fprintf(&b, "%8s %12s %12s %12s %12s %12s %12s %10s\n",
+		"nodes", "cent-units", "bgp-units", "cent-msgs", "bgp-msgs", "cent-bytes", "bgp-bytes", "msg-ratio")
+	for _, p := range r.Points {
+		ratio := 0.0
+		if p.CentaurMsgs > 0 {
+			ratio = p.BGPMsgs / p.CentaurMsgs
+		}
+		fmt.Fprintf(&b, "%8d %12.1f %12.1f %12.1f %12.1f %12.1f %12.1f %10.2f\n",
+			p.Nodes, p.CentaurUnits, p.BGPUnits, p.CentaurMsgs, p.BGPMsgs,
+			p.CentaurBytes, p.BGPBytes, ratio)
+	}
+	return b.String()
+}

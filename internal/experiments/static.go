@@ -1,0 +1,536 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§5):
+//
+//   - Table 3: characteristics of the input topologies.
+//   - Table 4: structural characteristics of P-graphs (average links and
+//     Permission Lists per local P-graph).
+//   - Table 5: distribution of the number of entries per Permission List.
+//   - Figure 5: immediate update-message overhead of a single link
+//     failure, Centaur vs BGP, without cascading effects.
+//   - Figure 6: CDF of convergence time after link flips, Centaur vs BGP.
+//   - Figure 7: convergence load (message count) per flip, Centaur vs
+//     OSPF.
+//   - Figure 8: update overhead vs topology size, Centaur vs BGP.
+//
+// Each runner returns a typed result whose String method renders the
+// same rows or series the paper reports; EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+
+	"centaur/internal/metrics"
+	"centaur/internal/pgraph"
+	"centaur/internal/policy"
+	"centaur/internal/routing"
+	"centaur/internal/solver"
+	"centaur/internal/topogen"
+	"centaur/internal/topology"
+)
+
+// Scale selects the size of the measured-topology experiments. The
+// paper used ~26k/20k-node snapshots; the default reproduction scale of
+// 4,000 nodes keeps the all-pairs analyses laptop-sized while preserving
+// the structural quantities (see DESIGN.md §2.1).
+type Scale struct {
+	// Nodes is the node count for the CAIDA-like and HeTop-like
+	// topologies.
+	Nodes int
+	// Seed drives topology generation and link sampling.
+	Seed int64
+}
+
+// DefaultScale is the documented reproduction scale.
+func DefaultScale() Scale { return Scale{Nodes: 4000, Seed: 1} }
+
+// Table3Row is one row of Table 3: a topology and its characteristics.
+type Table3Row struct {
+	Name  string
+	Stats topology.Stats
+	Graph *topology.Graph
+}
+
+// Table3Result reproduces Table 3 for the generated stand-ins of the
+// paper's CAIDA and HeTop snapshots.
+type Table3Result struct {
+	Rows []Table3Row
+}
+
+// Table3 generates the two measured-like topologies at the given scale
+// and reports their characteristics.
+func Table3(sc Scale) (*Table3Result, error) {
+	caida, err := topogen.CAIDALike(sc.Nodes, sc.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generating CAIDA-like topology: %w", err)
+	}
+	hetop, err := topogen.HeTopLike(sc.Nodes, sc.Seed+1)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generating HeTop-like topology: %w", err)
+	}
+	return &Table3Result{Rows: []Table3Row{
+		{Name: "CAIDA-like", Stats: caida.Stats(), Graph: caida},
+		{Name: "HeTop-like", Stats: hetop.Stats(), Graph: hetop},
+	}}, nil
+}
+
+// String renders the Table 3 rows.
+func (r *Table3Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 3. Characteristics of input topologies.\n")
+	fmt.Fprintf(&b, "%-12s %8s %8s %9s %9s %8s\n", "Name", "Node", "Link", "Peering", "Provider", "Sibling")
+	for _, row := range r.Rows {
+		s := row.Stats
+		fmt.Fprintf(&b, "%-12s %8d %8d %9d %9d %8d\n", row.Name, s.Nodes, s.Links, s.Peering, s.Provider, s.Sibling)
+	}
+	return b.String()
+}
+
+// PGraphStats aggregates the per-node local P-graph structure of one
+// topology: the Table 4 averages and the Table 5 entry-count histogram.
+type PGraphStats struct {
+	Name string
+	// Nodes is the number of P-graphs built (one per node).
+	Nodes int
+	// AvgLinks is the average number of links per local P-graph
+	// (Table 4, "No. of links").
+	AvgLinks float64
+	// AvgPermissionLists is the average number of links carrying a
+	// Permission List per local P-graph (Table 4, "No. of Permission
+	// Lists").
+	AvgPermissionLists float64
+	// Entries is the distribution of NumEntries over all Permission
+	// Lists of all P-graphs (Table 5).
+	Entries *metrics.Histogram
+}
+
+// ComputePGraphStats builds the local P-graph of every node from the
+// converged solution and aggregates Tables 4 and 5, in parallel across
+// nodes.
+func ComputePGraphStats(name string, sol *solver.Solution) (*PGraphStats, error) {
+	idx := sol.Index()
+	n := idx.Len()
+	type partial struct {
+		links, lists int64
+		hist         *metrics.Histogram
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	parts := make([]partial, workers)
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	tasks := make(chan int)
+	for w := 0; w < workers; w++ {
+		w := w
+		parts[w].hist = metrics.NewHistogram()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range tasks {
+				node := idx.ID(i)
+				g, err := pgraph.Build(node, sol.PathSet(node))
+				if err != nil {
+					errOnce.Do(func() { firstErr = fmt.Errorf("experiments: building P-graph for %v: %w", node, err) })
+					return
+				}
+				parts[w].links += int64(g.NumLinks())
+				parts[w].lists += int64(g.NumPermissionLists())
+				for _, lp := range g.PermissionLists() {
+					parts[w].hist.Add(lp.Perm.NumEntries())
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		tasks <- i
+	}
+	close(tasks)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	out := &PGraphStats{Name: name, Nodes: n, Entries: metrics.NewHistogram()}
+	var links, lists int64
+	for _, p := range parts {
+		links += p.links
+		lists += p.lists
+		out.Entries.Merge(p.hist)
+	}
+	out.AvgLinks = float64(links) / float64(n)
+	out.AvgPermissionLists = float64(lists) / float64(n)
+	return out, nil
+}
+
+// Table45Result bundles the P-graph structure of both topologies:
+// Table 4 (averages) and Table 5 (entry distribution).
+type Table45Result struct {
+	Stats []*PGraphStats
+}
+
+// Table4And5 generates both measured-like topologies, solves them, and
+// computes the P-graph structure tables.
+func Table4And5(sc Scale) (*Table45Result, error) {
+	t3, err := Table3(sc)
+	if err != nil {
+		return nil, err
+	}
+	out := &Table45Result{}
+	for _, row := range t3.Rows {
+		sol, err := solver.SolveOpts(row.Graph, solver.Options{TieBreak: policy.TieOverride})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: solving %s: %w", row.Name, err)
+		}
+		st, err := ComputePGraphStats(row.Name, sol)
+		if err != nil {
+			return nil, err
+		}
+		out.Stats = append(out.Stats, st)
+	}
+	return out, nil
+}
+
+// String renders Tables 4 and 5.
+func (r *Table45Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 4. Structural characteristics of P-graphs (averages per node).\n")
+	fmt.Fprintf(&b, "%-28s", "")
+	for _, s := range r.Stats {
+		fmt.Fprintf(&b, " %12s", s.Name)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-28s", "No. of links")
+	for _, s := range r.Stats {
+		fmt.Fprintf(&b, " %12.0f", s.AvgLinks)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-28s", "No. of Permission Lists")
+	for _, s := range r.Stats {
+		fmt.Fprintf(&b, " %12.0f", s.AvgPermissionLists)
+	}
+	b.WriteString("\n\n")
+	b.WriteString("Table 5. # entries of Permission Lists.\n")
+	fmt.Fprintf(&b, "%-12s %12s %12s %12s %12s\n", "", "#entries=1", "#entries=2", "#entries=3", "#entries>3")
+	for _, s := range r.Stats {
+		fmt.Fprintf(&b, "%-12s %11.1f%% %11.1f%% %11.1f%% %11.1f%%\n", s.Name,
+			100*s.Entries.Fraction(1), 100*s.Entries.Fraction(2),
+			100*s.Entries.Fraction(3), 100*s.Entries.FractionAbove(3))
+	}
+	return b.String()
+}
+
+// Figure5Result holds the immediate single-link-failure overhead: one
+// sample per failed link, under two accounting models.
+//
+// The RootCause metrics implement the paper's §5.2 measurement — the
+// messages that MUST be generated at the instant of the failure, before
+// any repair and excluding all "cascading effects": for Centaur, the
+// withdrawal of the one failed link, sent to every neighbor that had
+// been told about that link (the root cause notification alone lets the
+// rest of the network invalidate every path through it); for BGP, one
+// update (withdrawal or replacement) per affected destination per
+// neighbor, because path vector's only failure signal is
+// per-destination. The ratio between the two is the paper's headline
+// "roughly 100 to 1000 times fewer update messages".
+//
+// FullRepairCentaur is a conservative variant this reproduction adds:
+// it also charges Centaur the complete first-hop delta of its exported
+// views (replacement path links and Permission List changes). This
+// variant shows the link-level advantage eroding to roughly parity when
+// every rerouted destination diverges toward its own distinct tail — a
+// finding EXPERIMENTS.md discusses.
+type Figure5Result struct {
+	Name             string
+	RootCauseCentaur *metrics.Dist
+	RootCauseBGP     *metrics.Dist
+	// RootCauseRatio is the per-link BGP/Centaur message ratio.
+	RootCauseRatio    *metrics.Dist
+	FullRepairCentaur *metrics.Dist
+}
+
+// Figure5 measures, for a sample of links, the number of update
+// messages generated as the immediate result of that single link's
+// failure — no cascading, exactly the paper's §5.2 setup: only the two
+// endpoint nodes react. sampleLinks caps the number of links measured
+// (0 = all links).
+func Figure5(name string, sol *solver.Solution, sampleLinks int, seed int64) (*Figure5Result, error) {
+	g := sol.Topology()
+	edges := g.Edges()
+	if sampleLinks > 0 && sampleLinks < len(edges) {
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+		edges = edges[:sampleLinks]
+	}
+	res := &Figure5Result{
+		Name:              name,
+		RootCauseCentaur:  metrics.NewDist(len(edges)),
+		RootCauseBGP:      metrics.NewDist(len(edges)),
+		RootCauseRatio:    metrics.NewDist(len(edges)),
+		FullRepairCentaur: metrics.NewDist(len(edges)),
+	}
+	type sample struct{ rc, bg, fr float64 }
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(edges) {
+		workers = len(edges)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	samples := make([]sample, len(edges))
+	var wg sync.WaitGroup
+	tasks := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range tasks {
+				e := edges[i]
+				rc := rootCauseCentaurMsgs(sol, e.A, e.B) + rootCauseCentaurMsgs(sol, e.B, e.A)
+				bg := immediateBGPMsgs(sol, e.A, e.B) + immediateBGPMsgs(sol, e.B, e.A)
+				fa := immediateCentaurDelta(sol, e.A, e.B)
+				fb := immediateCentaurDelta(sol, e.B, e.A)
+				samples[i] = sample{
+					rc: float64(rc),
+					bg: float64(bg),
+					fr: float64(fa[0] + fa[1] + fb[0] + fb[1]),
+				}
+			}
+		}()
+	}
+	for i := range edges {
+		tasks <- i
+	}
+	close(tasks)
+	wg.Wait()
+	for _, s := range samples {
+		res.RootCauseCentaur.Add(s.rc)
+		res.RootCauseBGP.Add(s.bg)
+		res.FullRepairCentaur.Add(s.fr)
+		if s.rc > 0 {
+			res.RootCauseRatio.Add(s.bg / s.rc)
+		}
+	}
+	return res, nil
+}
+
+// rootCauseCentaurMsgs counts the root cause notifications endpoint u
+// must emit the moment its link to v fails: one withdrawal of the
+// directed link u->v per neighbor whose exported view contained it.
+func rootCauseCentaurMsgs(sol *solver.Solution, u, v routing.NodeID) int {
+	g := sol.Topology()
+	pol := sol.Policy()
+	paths := sol.PathSet(u)
+	classes := make(map[routing.NodeID]policy.RouteClass, len(paths))
+	for d := range paths {
+		classes[d] = sol.Class(u, d)
+	}
+	failed := routing.Link{From: u, To: v}
+	msgs := 0
+	for _, nb := range g.Neighbors(u) {
+		if nb.ID == v {
+			continue
+		}
+		for _, li := range exportLinkView(u, nb, paths, classes, pol) {
+			if li.Link == failed {
+				msgs++
+				break
+			}
+		}
+	}
+	return msgs
+}
+
+// immediateBGPMsgs counts the updates endpoint u sends right after its
+// link to v fails: for every destination routed through v, u re-runs its
+// decision over the remaining neighbors' (still unchanged) announced
+// paths and sends one announce/withdraw per neighbor whose advertised
+// state changes.
+func immediateBGPMsgs(sol *solver.Solution, u, v routing.NodeID) int {
+	g := sol.Topology()
+	pol := sol.Policy()
+	msgs := 0
+	idx := sol.Index()
+	for i := 0; i < idx.Len(); i++ {
+		d := idx.ID(i)
+		if d == u || sol.NextHop(u, d) != v {
+			continue
+		}
+		oldClass := sol.Class(u, d)
+		oldPath, _ := sol.Path(u, d)
+		// Best replacement among remaining neighbors' current routes.
+		var best policy.Candidate
+		for _, nb := range g.Neighbors(u) {
+			if nb.ID == v {
+				continue
+			}
+			p, ok := sol.Path(nb.ID, d)
+			if !ok || p.Contains(u) {
+				continue
+			}
+			if !pol.Export(nb.ID, sol.Class(nb.ID, d), nb.Rel.Invert()) {
+				continue
+			}
+			cand := policy.Candidate{Path: p.Prepend(u), Class: policy.ClassOf(nb.Rel), Via: nb.ID}
+			if len(best.Path) == 0 || pol.Better(u, cand, best) {
+				best = cand
+			}
+		}
+		// One message per neighbor whose advertised state changes.
+		for _, nb := range g.Neighbors(u) {
+			if nb.ID == v {
+				continue
+			}
+			hadOld := pol.Export(u, oldClass, nb.Rel) && !oldPath.Contains(nb.ID)
+			hasNew := len(best.Path) > 0 && pol.Export(u, best.Class, nb.Rel) && !best.Path.Contains(nb.ID)
+			switch {
+			case hadOld && hasNew:
+				msgs++ // replacement announcement
+			case hadOld && !hasNew:
+				msgs++ // withdrawal
+			case !hadOld && hasNew:
+				msgs++ // new announcement
+			}
+		}
+	}
+	return msgs
+}
+
+// immediateCentaurMsgs counts the link-announcement units endpoint u
+// sends right after its link to v fails: the per-neighbor delta between
+// its old and new exported link-state views (new selected paths are
+// re-derived from the remaining neighbors' unchanged announcements).
+func immediateCentaurMsgs(sol *solver.Solution, u, v routing.NodeID) int {
+	d := immediateCentaurDelta(sol, u, v)
+	return d[0] + d[1]
+}
+
+// immediateCentaurDelta is immediateCentaurMsgs split into [adds,
+// removes] announcement units, for diagnostics and reporting.
+func immediateCentaurDelta(sol *solver.Solution, u, v routing.NodeID) [2]int {
+	g := sol.Topology()
+	pol := sol.Policy()
+	oldPaths := sol.PathSet(u)
+	oldClasses := make(map[routing.NodeID]policy.RouteClass, len(oldPaths))
+	for d := range oldPaths {
+		oldClasses[d] = sol.Class(u, d)
+	}
+	// New path set: replace every route through v by the best candidate
+	// from the remaining neighbors.
+	newPaths := make(map[routing.NodeID]routing.Path, len(oldPaths))
+	newClasses := make(map[routing.NodeID]policy.RouteClass, len(oldPaths))
+	for d, p := range oldPaths {
+		if p.NextHop(u) != v {
+			newPaths[d] = p
+			newClasses[d] = oldClasses[d]
+			continue
+		}
+		var best policy.Candidate
+		for _, nb := range g.Neighbors(u) {
+			if nb.ID == v {
+				continue
+			}
+			np, ok := sol.Path(nb.ID, d)
+			if !ok || np.Contains(u) {
+				continue
+			}
+			if !pol.Export(nb.ID, sol.Class(nb.ID, d), nb.Rel.Invert()) {
+				continue
+			}
+			cand := policy.Candidate{Path: np.Prepend(u), Class: policy.ClassOf(nb.Rel), Via: nb.ID}
+			if len(best.Path) == 0 || pol.Better(u, cand, best) {
+				best = cand
+			}
+		}
+		if len(best.Path) > 0 {
+			newPaths[d] = best.Path
+			newClasses[d] = best.Class
+		}
+	}
+	var out [2]int
+	for _, nb := range g.Neighbors(u) {
+		if nb.ID == v {
+			continue
+		}
+		oldView := exportLinkView(u, nb, oldPaths, oldClasses, pol)
+		newView := exportLinkView(u, nb, newPaths, newClasses, pol)
+		d := pgraph.Diff(oldView, newView)
+		out[0] += len(d.Adds)
+		out[1] += len(d.Removes)
+	}
+	return out
+}
+
+// exportLinkView assembles the link-level announcement view of paths as
+// exported to neighbor nb (the batch equivalent of the protocol's
+// incrementally maintained pgraph.View).
+func exportLinkView(self routing.NodeID, nb topology.Neighbor,
+	paths map[routing.NodeID]routing.Path, classes map[routing.NodeID]policy.RouteClass,
+	pol policy.Policy) []pgraph.LinkInfo {
+	exportable := make(map[routing.NodeID]routing.Path, len(paths))
+	for d, p := range paths {
+		if !pol.Export(self, classes[d], nb.Rel) || p.Contains(nb.ID) {
+			continue
+		}
+		exportable[d] = p
+	}
+	g, err := pgraph.Build(self, exportable)
+	if err != nil {
+		// Selected paths are valid by construction; a failure here is a
+		// programming error.
+		panic(fmt.Sprintf("experiments: building export view: %v", err))
+	}
+	return g.LinkInfos()
+}
+
+// String renders the Figure 5 summary: the distributions and the
+// headline ratio (the paper reports "roughly 100 to 1000 times fewer").
+func (r *Figure5Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5. Immediate overhead of a single link failure (%s).\n", r.Name)
+	fmt.Fprintf(&b, "  Centaur msgs/failure (root cause):  %s\n", r.RootCauseCentaur.Summary())
+	fmt.Fprintf(&b, "  BGP     msgs/failure:               %s\n", r.RootCauseBGP.Summary())
+	fmt.Fprintf(&b, "  BGP/Centaur ratio:                  %s\n", r.RootCauseRatio.Summary())
+	fmt.Fprintf(&b, "  ratio of means: %.1fx\n", safeRatio(r.RootCauseBGP.Mean(), r.RootCauseCentaur.Mean()))
+	fmt.Fprintf(&b, "  Centaur msgs/failure (full repair): %s\n", r.FullRepairCentaur.Summary())
+	b.WriteString(renderCDFs(25, []namedDist{
+		{"centaur-rootcause", r.RootCauseCentaur},
+		{"centaur-fullrepair", r.FullRepairCentaur},
+		{"bgp", r.RootCauseBGP},
+	}))
+	return b.String()
+}
+
+// safeRatio returns a/b, or 0 when b is zero.
+func safeRatio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// namedDist labels a distribution in a rendered CDF block.
+type namedDist struct {
+	name string
+	dist *metrics.Dist
+}
+
+// renderCDFs prints aligned CDF tables for several distributions.
+func renderCDFs(points int, dists []namedDist) string {
+	var b strings.Builder
+	for _, nd := range dists {
+		fmt.Fprintf(&b, "  CDF %s:", nd.name)
+		for _, pt := range nd.dist.CDF(points) {
+			fmt.Fprintf(&b, " (%.4g, %.2f)", pt.X, pt.F)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

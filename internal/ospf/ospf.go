@@ -1,0 +1,208 @@
+// Package ospf implements the link-state flooding baseline of the
+// paper's Figure 7: sequence-numbered router LSAs, reliable flooding
+// (each new LSA is re-flooded on every link except the one it arrived
+// on), a full-topology link-state database, and on-demand Dijkstra SPF.
+//
+// As the paper notes, "OSPF does not implement policies, so every link's
+// information needs to be transmitted over every other link in the
+// network" — that is exactly the behaviour reproduced here, and it is
+// what Centaur's selective downstream-link announcement is measured
+// against.
+//
+// Simplifications relative to RFC 2328, documented for the record: no
+// explicit acknowledgements or retransmissions (the simulator's links
+// are reliable while up), and no database exchange on adjacency
+// formation — the evaluation workload (sequential single-link flips with
+// full reconvergence in between) guarantees the only LSAs that change
+// while a link is down are those of its two endpoints, which are
+// re-originated and flooded on restore.
+package ospf
+
+import (
+	"fmt"
+	"sort"
+
+	"centaur/internal/routing"
+	"centaur/internal/sim"
+	"centaur/internal/wire"
+)
+
+// LSA is a router link-state advertisement: the originator's current
+// adjacency list, versioned by a sequence number.
+type LSA struct {
+	Origin routing.NodeID
+	Seq    uint64
+	// Neighbors is the originator's up adjacencies, sorted ascending.
+	Neighbors []routing.NodeID
+}
+
+// Clone returns an independent copy of the LSA.
+func (l LSA) Clone() LSA {
+	out := l
+	out.Neighbors = append([]routing.NodeID(nil), l.Neighbors...)
+	return out
+}
+
+// String renders the LSA for traces.
+func (l LSA) String() string {
+	return fmt.Sprintf("LSA(origin=%v seq=%d nbrs=%v)", l.Origin, l.Seq, l.Neighbors)
+}
+
+// Flood is the message that carries one LSA hop-by-hop.
+type Flood struct {
+	LSA LSA
+}
+
+var _ sim.Message = Flood{}
+
+// Kind implements sim.Message.
+func (Flood) Kind() string { return "ospf.lsa" }
+
+// Units implements sim.Message: one LSA per flood hop.
+func (Flood) Units() int { return 1 }
+
+// WireBytes implements sim.ByteSizer with the internal/wire encoding.
+func (f Flood) WireBytes() int {
+	return len(wire.AppendOSPFLSA(nil, wire.OSPFLSA{
+		Origin:    f.LSA.Origin,
+		Seq:       f.LSA.Seq,
+		Neighbors: f.LSA.Neighbors,
+	}))
+}
+
+// Node is one OSPF router. Create with New; it implements sim.Protocol.
+type Node struct {
+	env  sim.Env
+	self routing.NodeID
+	seq  uint64
+	lsdb map[routing.NodeID]LSA
+	// spf caches the next-hop table; nil means stale.
+	spf map[routing.NodeID]routing.NodeID
+}
+
+var _ sim.Protocol = (*Node)(nil)
+
+// New returns the sim.Builder for OSPF nodes.
+func New() sim.Builder {
+	return func(env sim.Env) sim.Protocol {
+		return &Node{
+			env:  env,
+			self: env.Self(),
+			lsdb: make(map[routing.NodeID]LSA),
+		}
+	}
+}
+
+// Start implements sim.Protocol: originate and flood the initial LSA.
+func (n *Node) Start(env sim.Env) {
+	n.env = env
+	n.originate()
+}
+
+// originate rebuilds this node's own LSA from its current up
+// adjacencies, bumps the sequence number, installs it, and floods it.
+func (n *Node) originate() {
+	nbrs := make([]routing.NodeID, 0, 4)
+	for _, nb := range n.env.Neighbors() {
+		if n.env.LinkIsUp(nb.ID) {
+			nbrs = append(nbrs, nb.ID)
+		}
+	}
+	sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+	n.seq++
+	lsa := LSA{Origin: n.self, Seq: n.seq, Neighbors: nbrs}
+	n.lsdb[n.self] = lsa
+	n.spf = nil
+	n.flood(lsa, routing.None)
+}
+
+// flood forwards lsa to every up neighbor except the one it came from.
+func (n *Node) flood(lsa LSA, except routing.NodeID) {
+	for _, nb := range n.env.Neighbors() {
+		if nb.ID == except || !n.env.LinkIsUp(nb.ID) {
+			continue
+		}
+		n.env.Send(nb.ID, Flood{LSA: lsa.Clone()})
+	}
+}
+
+// Handle implements sim.Protocol: install newer LSAs and re-flood them.
+func (n *Node) Handle(from routing.NodeID, msg sim.Message) {
+	f, ok := msg.(Flood)
+	if !ok {
+		return
+	}
+	cur, have := n.lsdb[f.LSA.Origin]
+	if have && f.LSA.Seq <= cur.Seq {
+		return // stale or duplicate — flooding stops here
+	}
+	n.lsdb[f.LSA.Origin] = f.LSA.Clone()
+	n.spf = nil
+	n.flood(f.LSA, from)
+}
+
+// LinkDown implements sim.Protocol: re-originate with the adjacency
+// removed. Both endpoints do this, so the failure is flooded twice
+// network-wide — the standard link-state cost Figure 7 measures.
+func (n *Node) LinkDown(routing.NodeID) { n.originate() }
+
+// LinkUp implements sim.Protocol: re-originate with the adjacency back.
+func (n *Node) LinkUp(routing.NodeID) { n.originate() }
+
+// LSDBSize returns the number of LSAs currently held.
+func (n *Node) LSDBSize() int { return len(n.lsdb) }
+
+// NextHop returns this node's shortest-path next hop toward dest
+// (routing.None when unreachable), computing SPF on demand. Links count
+// only when both endpoint LSAs agree they are up (OSPF's two-way check).
+func (n *Node) NextHop(dest routing.NodeID) routing.NodeID {
+	if n.spf == nil {
+		n.runSPF()
+	}
+	return n.spf[dest]
+}
+
+// runSPF runs hop-count Dijkstra (BFS, since all links weigh 1) over the
+// LSDB and fills the next-hop cache.
+func (n *Node) runSPF() {
+	n.spf = make(map[routing.NodeID]routing.NodeID, len(n.lsdb))
+	// twoWay reports whether the directed LSDB edge a->b is confirmed by
+	// b's LSA listing a.
+	twoWay := func(a, b routing.NodeID) bool {
+		back, ok := n.lsdb[b]
+		if !ok {
+			return false
+		}
+		i := sort.Search(len(back.Neighbors), func(i int) bool { return back.Neighbors[i] >= a })
+		return i < len(back.Neighbors) && back.Neighbors[i] == a
+	}
+	type item struct {
+		node  routing.NodeID
+		first routing.NodeID // first hop from self
+	}
+	queue := []item{{node: n.self, first: routing.None}}
+	visited := map[routing.NodeID]struct{}{n.self: {}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		lsa, ok := n.lsdb[cur.node]
+		if !ok {
+			continue
+		}
+		for _, nb := range lsa.Neighbors {
+			if _, seen := visited[nb]; seen {
+				continue
+			}
+			if !twoWay(cur.node, nb) {
+				continue
+			}
+			visited[nb] = struct{}{}
+			first := cur.first
+			if cur.node == n.self {
+				first = nb
+			}
+			n.spf[nb] = first
+			queue = append(queue, item{node: nb, first: first})
+		}
+	}
+}

@@ -1,0 +1,332 @@
+package pgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"centaur/internal/routing"
+)
+
+// DerivePath reconstructs the unique policy-compliant path from the
+// graph's root to dest (paper Table 1). It backtraces from dest along
+// parent links: at a single-homed node it follows the only parent; at a
+// multi-homed node it follows the parent link whose Permission List
+// permits (dest, next), where next is the node the backtrace arrived
+// from (routing.None when the multi-homed node is dest itself).
+//
+// The boolean result is false when no policy-compliant path exists —
+// dest is absent, a node on the way up has no (permitted) parent, or the
+// backtrace would loop.
+func (g *Graph) DerivePath(dest routing.NodeID) (routing.Path, bool) {
+	return g.DerivePathWith(dest, nil)
+}
+
+// DerivePathWith is DerivePath with a link filter: links for which skip
+// returns true are treated as absent. Centaur uses this to suppress
+// links known (via root cause notification) to have failed without
+// mutating the neighbor's announced graph — the announcement contract
+// stays intact and derivation simply avoids the dead links.
+func (g *Graph) DerivePathWith(dest routing.NodeID, skip func(routing.Link) bool) (routing.Path, bool) {
+	if dest == g.root {
+		return routing.Path{g.root}, true
+	}
+	if len(g.parents[dest]) == 0 {
+		return nil, false
+	}
+	// Backtrace produces the path reversed (dest first); reverse at the
+	// end. A step budget of nLinks+1 bounds the walk: any longer chain
+	// must revisit a link, i.e. the graph is malformed (loop detection
+	// without allocating a visited set).
+	reversed := make(routing.Path, 0, 8)
+	reversed = append(reversed, dest)
+	steps := g.nLinks + 1
+	current := dest
+	next := routing.None // current's successor on the path being rebuilt
+	for current != g.root {
+		if steps--; steps < 0 {
+			return nil, false
+		}
+		parents := g.parents[current]
+		var parent routing.NodeID
+		switch {
+		case len(parents) == 0:
+			return nil, false
+		case skip == nil && len(parents) == 1 && g.perms[routing.Link{From: parents[0], To: current}] == nil:
+			parent = parents[0]
+		default:
+			// Multi-homed (or restricted) node: a parent link whose
+			// Permission List explicitly permits (dest, next) wins;
+			// otherwise the path falls through to the node's unique
+			// unrestricted (primary) in-link, the paper's Figure 4(c)
+			// semantics. No explicit permit and zero or several
+			// unrestricted links means no derivable path. Skipped
+			// (failed) links are treated as absent throughout.
+			parent = routing.None
+			unrestricted := routing.None
+			ambiguous := false
+			for _, p := range parents {
+				l := routing.Link{From: p, To: current}
+				if skip != nil && skip(l) {
+					continue
+				}
+				pl := g.perms[l]
+				if pl == nil {
+					if unrestricted != routing.None {
+						ambiguous = true
+					}
+					unrestricted = p
+					continue
+				}
+				if pl.Permit(dest, next) {
+					parent = p
+					break
+				}
+			}
+			if parent == routing.None {
+				if unrestricted == routing.None || ambiguous {
+					return nil, false
+				}
+				parent = unrestricted
+			}
+		}
+		reversed = append(reversed, parent)
+		next = current
+		current = parent
+	}
+	// Reverse into source-first order.
+	path := make(routing.Path, len(reversed))
+	for i, n := range reversed {
+		path[len(reversed)-1-i] = n
+	}
+	return path, true
+}
+
+// DeriveAll derives the policy-compliant path for every marked
+// destination, returning a map keyed by destination. Destinations with
+// no derivable path are omitted.
+func (g *Graph) DeriveAll() map[routing.NodeID]routing.Path {
+	out := make(map[routing.NodeID]routing.Path, len(g.dests))
+	for d := range g.dests {
+		if p, ok := g.DerivePath(d); ok {
+			out[d] = p
+		}
+	}
+	return out
+}
+
+// Build constructs a local P-graph with Permission Lists from a selected
+// path set (paper Table 2's BuildGraph). paths maps each destination to
+// the single selected path from root to it; every path must start at
+// root and end at its destination, and be loop-free.
+//
+// Per DESIGN.md §2.5, construction is two-pass: the paper's pseudocode
+// attaches a Permission List entry only at the moment a link insertion
+// makes a node multi-homed, which would leave paths inserted earlier
+// without entries and make them underivable. Pass one inserts all links
+// and maintains the per-link selected-path counters (§4.3.2); pass two
+// attaches one per-dest-next entry for every selected path segment that
+// crosses a multi-homed node.
+func Build(root routing.NodeID, paths map[routing.NodeID]routing.Path) (*Graph, error) {
+	g := New(root)
+	g.MarkDest(root)
+	// Pass one: links, destination marks, counters.
+	for dest, p := range paths {
+		if err := validatePath(root, dest, p); err != nil {
+			return nil, err
+		}
+		g.MarkDest(dest)
+		for _, l := range p.Links() {
+			g.AddLink(l)
+			g.counters[l]++
+		}
+	}
+	// Pass two: Permission List entries at multi-homed nodes.
+	for dest, p := range paths {
+		for i := 0; i+1 < len(p); i++ {
+			l := routing.Link{From: p[i], To: p[i+1]}
+			b := l.To
+			if !g.MultiHomed(b) {
+				continue
+			}
+			// Next hop of the multi-homed node b in path p; None when the
+			// path terminates at b.
+			next := routing.None
+			if i+2 < len(p) {
+				next = p[i+2]
+			}
+			pl := g.perms[l]
+			if pl == nil {
+				pl = &PermissionList{}
+				g.perms[l] = pl
+			}
+			pl.Add(dest, next)
+		}
+	}
+	// Pass three: strip the Permission List from each multi-homed node's
+	// primary in-link. The paper's Figure 4(c) restricts only the
+	// exceptional link (C->D) and leaves the default parent (B->D)
+	// unrestricted; DerivePath falls through to the unique unrestricted
+	// in-link when no Permission List matches. Choosing the in-link that
+	// carries the most selected paths as the primary minimizes total
+	// Permission List size — this is what keeps the paper's Table 5
+	// entry counts small: the bulk subtree fan-out rides the
+	// unrestricted link, and only exceptional paths are enumerated.
+	for n, parents := range g.parents {
+		if len(parents) < 2 {
+			continue
+		}
+		primary := routing.None
+		best := -1
+		for _, p := range parents {
+			c := g.counters[routing.Link{From: p, To: n}]
+			if c > best { // parents ascend, so ties keep the lowest ID
+				best = c
+				primary = p
+			}
+		}
+		delete(g.perms, routing.Link{From: primary, To: n})
+	}
+	return g, nil
+}
+
+func validatePath(root, dest routing.NodeID, p routing.Path) error {
+	switch {
+	case len(p) == 0:
+		return fmt.Errorf("pgraph: empty path for destination %v", dest)
+	case p.Source() != root:
+		return fmt.Errorf("pgraph: path %v for %v does not start at root %v", p, dest, root)
+	case p.Dest() != dest:
+		return fmt.Errorf("pgraph: path %v does not end at its destination %v", p, dest)
+	case p.HasLoop():
+		return fmt.Errorf("pgraph: path %v for %v contains a loop", p, dest)
+	}
+	return nil
+}
+
+// LinkInfo is the announcement unit for a single downstream link: the
+// link itself, whether its head node is a destination (prefix owner,
+// §3.2.1), and the Permission List pairs attached to it (§4.1). It is
+// what travels inside Centaur update messages and what export views are
+// diffed over.
+type LinkInfo struct {
+	Link     routing.Link
+	ToIsDest bool
+	Perm     []PermEntry // sorted by (Next, Dest); nil when unrestricted
+}
+
+// Equal reports whether two LinkInfo values announce identical state.
+func (li LinkInfo) Equal(other LinkInfo) bool {
+	if li.Link != other.Link || li.ToIsDest != other.ToIsDest || len(li.Perm) != len(other.Perm) {
+		return false
+	}
+	for i := range li.Perm {
+		if li.Perm[i] != other.Perm[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of the LinkInfo.
+func (li LinkInfo) Clone() LinkInfo {
+	out := li
+	out.Perm = append([]PermEntry(nil), li.Perm...)
+	return out
+}
+
+// String renders the announced link with its flags.
+func (li LinkInfo) String() string {
+	s := li.Link.String()
+	if li.ToIsDest {
+		s += "[dest]"
+	}
+	if len(li.Perm) > 0 {
+		s += fmt.Sprintf("%v", li.Perm)
+	}
+	return s
+}
+
+// LinkInfos exports the graph's links as announcement units, sorted by
+// link for deterministic diffing.
+func (g *Graph) LinkInfos() []LinkInfo {
+	out := make([]LinkInfo, 0, g.nLinks)
+	for from, tos := range g.children {
+		for _, to := range tos {
+			l := routing.Link{From: from, To: to}
+			li := LinkInfo{Link: l, ToIsDest: g.IsDest(to)}
+			if pl := g.perms[l]; pl != nil && !pl.Empty() {
+				li.Perm = pl.Pairs()
+			}
+			out = append(out, li)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return linkLess(out[i].Link, out[j].Link) })
+	return out
+}
+
+// Delta is the incremental difference between two announced views of a
+// P-graph: links to add or re-announce with new attributes (Adds) and
+// links withdrawn entirely (Removes). It corresponds to the paper's Δ_B
+// (§4.3.2).
+type Delta struct {
+	Adds    []LinkInfo
+	Removes []routing.Link
+}
+
+// Empty reports whether the delta carries no changes.
+func (d Delta) Empty() bool { return len(d.Adds) == 0 && len(d.Removes) == 0 }
+
+// Size returns the number of per-link announcement units in the delta,
+// the quantity Centaur's message counting is based on.
+func (d Delta) Size() int { return len(d.Adds) + len(d.Removes) }
+
+// Diff computes the delta that transforms the announced view old into
+// the announced view new. A link present in both but with changed
+// attributes (destination mark or Permission List) appears in Adds as a
+// re-announcement. Either argument may be nil, meaning an empty view.
+func Diff(oldView, newView []LinkInfo) Delta {
+	oldByLink := make(map[routing.Link]LinkInfo, len(oldView))
+	for _, li := range oldView {
+		oldByLink[li.Link] = li
+	}
+	var d Delta
+	seen := make(map[routing.Link]struct{}, len(newView))
+	for _, li := range newView {
+		seen[li.Link] = struct{}{}
+		if prev, ok := oldByLink[li.Link]; !ok || !prev.Equal(li) {
+			d.Adds = append(d.Adds, li)
+		}
+	}
+	for _, li := range oldView {
+		if _, ok := seen[li.Link]; !ok {
+			d.Removes = append(d.Removes, li.Link)
+		}
+	}
+	sort.Slice(d.Adds, func(i, j int) bool { return linkLess(d.Adds[i].Link, d.Adds[j].Link) })
+	sort.Slice(d.Removes, func(i, j int) bool { return linkLess(d.Removes[i], d.Removes[j]) })
+	return d
+}
+
+// Apply merges a received delta into the graph, implementing the
+// receiver-side update of §4.3.2: adds insert or re-announce links
+// (replacing their Permission Lists and destination marks), removes
+// withdraw links. Links whose removal isolates a node drop that node's
+// bookkeeping.
+func (g *Graph) Apply(d Delta) {
+	for _, l := range d.Removes {
+		g.RemoveLink(l)
+	}
+	for _, li := range d.Adds {
+		g.AddLink(li.Link)
+		if li.ToIsDest {
+			g.MarkDest(li.Link.To)
+		} else {
+			g.UnmarkDest(li.Link.To)
+		}
+		pl := &PermissionList{}
+		for _, e := range li.Perm {
+			pl.Add(e.Dest, e.Next)
+		}
+		g.SetPermission(li.Link, pl)
+	}
+}

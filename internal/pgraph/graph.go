@@ -1,0 +1,339 @@
+package pgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"centaur/internal/routing"
+)
+
+// Graph is a P-graph: a directed graph of downstream links rooted at the
+// node whose announcements built it (paper §3.2.2). A node stores one
+// Graph per neighbor (assembled from that neighbor's downstream link
+// announcements) plus its own local Graph built by BuildGraph.
+//
+// Links carry optional Permission Lists; nodes carry an optional
+// "destination" mark corresponding to prefix ownership (§3.2.1).
+//
+// Graph is not safe for concurrent mutation.
+type Graph struct {
+	root     routing.NodeID
+	parents  map[routing.NodeID][]routing.NodeID // incoming neighbors, sorted
+	children map[routing.NodeID][]routing.NodeID // outgoing neighbors, sorted
+	perms    map[routing.Link]*PermissionList
+	dests    map[routing.NodeID]struct{}
+	counters map[routing.Link]int // selected paths per link (paper §4.3.2)
+	nLinks   int
+}
+
+// New returns an empty P-graph rooted at root.
+func New(root routing.NodeID) *Graph {
+	return &Graph{
+		root:     root,
+		parents:  make(map[routing.NodeID][]routing.NodeID),
+		children: make(map[routing.NodeID][]routing.NodeID),
+		perms:    make(map[routing.Link]*PermissionList),
+		dests:    make(map[routing.NodeID]struct{}),
+		counters: make(map[routing.Link]int),
+	}
+}
+
+// Root returns the node at which every derivable path begins.
+func (g *Graph) Root() routing.NodeID { return g.root }
+
+// NumLinks returns the number of directed links in the graph.
+func (g *Graph) NumLinks() int { return g.nLinks }
+
+// HasLink reports whether directed link l is present.
+func (g *Graph) HasLink(l routing.Link) bool {
+	return contains(g.children[l.From], l.To)
+}
+
+// AddLink inserts directed link l; it reports whether l was newly added.
+func (g *Graph) AddLink(l routing.Link) bool {
+	if !l.IsValid() || g.HasLink(l) {
+		return false
+	}
+	g.children[l.From] = insertSorted(g.children[l.From], l.To)
+	g.parents[l.To] = insertSorted(g.parents[l.To], l.From)
+	g.nLinks++
+	return true
+}
+
+// RemoveLink deletes directed link l along with its Permission List and
+// counter; it reports whether l was present. Nodes left with no incident
+// links are dropped from the graph (and lose their destination mark).
+func (g *Graph) RemoveLink(l routing.Link) bool {
+	if !g.HasLink(l) {
+		return false
+	}
+	g.children[l.From] = removeSorted(g.children[l.From], l.To)
+	g.parents[l.To] = removeSorted(g.parents[l.To], l.From)
+	delete(g.perms, l)
+	delete(g.counters, l)
+	g.nLinks--
+	g.gcNode(l.From)
+	g.gcNode(l.To)
+	return true
+}
+
+// gcNode drops bookkeeping for a node with no remaining links. The root
+// keeps its destination mark even when isolated: the announcing neighbor
+// itself remains a reachable destination.
+func (g *Graph) gcNode(n routing.NodeID) {
+	if len(g.children[n]) == 0 && len(g.parents[n]) == 0 {
+		delete(g.children, n)
+		delete(g.parents, n)
+		if n != g.root {
+			delete(g.dests, n)
+		}
+	}
+}
+
+// Parents returns the sorted upstream neighbors of n. The slice is owned
+// by the graph and must not be modified.
+func (g *Graph) Parents(n routing.NodeID) []routing.NodeID { return g.parents[n] }
+
+// Children returns the sorted downstream neighbors of n. The slice is
+// owned by the graph and must not be modified.
+func (g *Graph) Children(n routing.NodeID) []routing.NodeID { return g.children[n] }
+
+// InDegree returns the number of links pointing at n. A node with
+// InDegree > 1 is "multi-homed" in the paper's terms (§3.2.4).
+func (g *Graph) InDegree(n routing.NodeID) int { return len(g.parents[n]) }
+
+// MultiHomed reports whether n has more than one parent in the graph.
+func (g *Graph) MultiHomed(n routing.NodeID) bool { return len(g.parents[n]) > 1 }
+
+// MarkDest marks n as a destination (prefix owner).
+func (g *Graph) MarkDest(n routing.NodeID) {
+	if n.IsValid() {
+		g.dests[n] = struct{}{}
+	}
+}
+
+// UnmarkDest removes n's destination mark.
+func (g *Graph) UnmarkDest(n routing.NodeID) { delete(g.dests, n) }
+
+// IsDest reports whether n is marked as a destination.
+func (g *Graph) IsDest(n routing.NodeID) bool {
+	_, ok := g.dests[n]
+	return ok
+}
+
+// Dests returns the marked destinations in ascending order.
+func (g *Graph) Dests() []routing.NodeID {
+	out := make([]routing.NodeID, 0, len(g.dests))
+	for d := range g.dests {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumDests returns the number of marked destinations.
+func (g *Graph) NumDests() int { return len(g.dests) }
+
+// Permission returns the Permission List attached to link l, or nil when
+// the link is unrestricted.
+func (g *Graph) Permission(l routing.Link) *PermissionList { return g.perms[l] }
+
+// SetPermission attaches pl to link l, replacing any existing list. A
+// nil or empty pl clears the restriction.
+func (g *Graph) SetPermission(l routing.Link, pl *PermissionList) {
+	if pl == nil || pl.Empty() {
+		delete(g.perms, l)
+		return
+	}
+	g.perms[l] = pl
+}
+
+// NumPermissionLists returns the number of links carrying a non-empty
+// Permission List (the paper's Table 4 metric).
+func (g *Graph) NumPermissionLists() int { return len(g.perms) }
+
+// PermissionLists returns all non-empty Permission Lists keyed by their
+// link, sorted by link for determinism.
+func (g *Graph) PermissionLists() []LinkPermission {
+	out := make([]LinkPermission, 0, len(g.perms))
+	for l, pl := range g.perms {
+		out = append(out, LinkPermission{Link: l, Perm: pl})
+	}
+	sort.Slice(out, func(i, j int) bool { return linkLess(out[i].Link, out[j].Link) })
+	return out
+}
+
+// LinkPermission pairs a link with its Permission List.
+type LinkPermission struct {
+	Link routing.Link
+	Perm *PermissionList
+}
+
+// Counter returns the number of selected paths using link l, maintained
+// by BuildGraph for Δ computation in the steady phase (paper §4.3.2).
+func (g *Graph) Counter(l routing.Link) int { return g.counters[l] }
+
+// Links returns every directed link in the graph, sorted.
+func (g *Graph) Links() []routing.Link {
+	out := make([]routing.Link, 0, g.nLinks)
+	for from, tos := range g.children {
+		for _, to := range tos {
+			out = append(out, routing.Link{From: from, To: to})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return linkLess(out[i], out[j]) })
+	return out
+}
+
+// Nodes returns every node that is an endpoint of at least one link (or
+// the root), in ascending order.
+func (g *Graph) Nodes() []routing.NodeID {
+	set := make(map[routing.NodeID]struct{}, len(g.children)+1)
+	set[g.root] = struct{}{}
+	for n := range g.children {
+		set[n] = struct{}{}
+	}
+	for n := range g.parents {
+		set[n] = struct{}{}
+	}
+	out := make([]routing.NodeID, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DestsBelow returns the marked destinations reachable from n by
+// following child links (including n itself if marked), ascending. This
+// is the set of destinations whose derivations can be influenced by a
+// change at n — the incremental recompute mode uses it to bound the
+// affected destination set after applying a delta.
+func (g *Graph) DestsBelow(n routing.NodeID) []routing.NodeID {
+	if len(g.children[n]) == 0 && len(g.parents[n]) == 0 && !g.IsDest(n) {
+		return nil
+	}
+	seen := map[routing.NodeID]struct{}{n: {}}
+	stack := []routing.NodeID{n}
+	var out []routing.NodeID
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if g.IsDest(cur) {
+			out = append(out, cur)
+		}
+		for _, c := range g.children[cur] {
+			if _, ok := seen[c]; !ok {
+				seen[c] = struct{}{}
+				stack = append(stack, c)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	out := New(g.root)
+	out.nLinks = g.nLinks
+	for n, list := range g.parents {
+		out.parents[n] = append([]routing.NodeID(nil), list...)
+	}
+	for n, list := range g.children {
+		out.children[n] = append([]routing.NodeID(nil), list...)
+	}
+	for l, pl := range g.perms {
+		out.perms[l] = pl.Clone()
+	}
+	for d := range g.dests {
+		out.dests[d] = struct{}{}
+	}
+	for l, c := range g.counters {
+		out.counters[l] = c
+	}
+	return out
+}
+
+// Equal reports whether two graphs have the same root, links, Permission
+// Lists, and destination marks (counters are bookkeeping and ignored).
+func (g *Graph) Equal(other *Graph) bool {
+	if g.root != other.root || g.nLinks != other.nLinks {
+		return false
+	}
+	if len(g.dests) != len(other.dests) || len(g.perms) != len(other.perms) {
+		return false
+	}
+	for d := range g.dests {
+		if _, ok := other.dests[d]; !ok {
+			return false
+		}
+	}
+	for from, tos := range g.children {
+		otherTos := other.children[from]
+		if len(tos) != len(otherTos) {
+			return false
+		}
+		for i := range tos {
+			if tos[i] != otherTos[i] {
+				return false
+			}
+		}
+	}
+	for l, pl := range g.perms {
+		if !pl.Equal(other.perms[l]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the graph for debugging: root, links (with Permission
+// Lists), and destinations.
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "P-graph(root=%v links=%d dests=%d)\n", g.root, g.nLinks, len(g.dests))
+	for _, l := range g.Links() {
+		fmt.Fprintf(&b, "  %v", l)
+		if g.IsDest(l.To) {
+			b.WriteString(" [dest]")
+		}
+		if pl := g.perms[l]; pl != nil {
+			fmt.Fprintf(&b, " perm=%v", pl)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func contains(list []routing.NodeID, n routing.NodeID) bool {
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= n })
+	return i < len(list) && list[i] == n
+}
+
+func insertSorted(list []routing.NodeID, n routing.NodeID) []routing.NodeID {
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= n })
+	if i < len(list) && list[i] == n {
+		return list
+	}
+	list = append(list, 0)
+	copy(list[i+1:], list[i:])
+	list[i] = n
+	return list
+}
+
+func removeSorted(list []routing.NodeID, n routing.NodeID) []routing.NodeID {
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= n })
+	if i >= len(list) || list[i] != n {
+		return list
+	}
+	return append(list[:i], list[i+1:]...)
+}
+
+func linkLess(a, b routing.Link) bool {
+	if a.From != b.From {
+		return a.From < b.From
+	}
+	return a.To < b.To
+}

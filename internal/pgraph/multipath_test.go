@@ -1,0 +1,262 @@
+package pgraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"centaur/internal/routing"
+)
+
+func multiPathMap(sets ...[]routing.Path) map[routing.NodeID][]routing.Path {
+	out := make(map[routing.NodeID][]routing.Path, len(sets))
+	for _, set := range sets {
+		out[set[0].Dest()] = set
+	}
+	return out
+}
+
+func TestBuildMultiValidation(t *testing.T) {
+	if _, err := BuildMulti(1, map[routing.NodeID][]routing.Path{
+		2: {{1, 2}, {1, 2}},
+	}); err == nil {
+		t.Fatal("duplicate paths for one destination must be rejected")
+	}
+	if _, err := BuildMulti(1, map[routing.NodeID][]routing.Path{
+		2: {{3, 2}},
+	}); err == nil {
+		t.Fatal("wrong-root path must be rejected")
+	}
+}
+
+func TestDeriveMultiSimpleDiamond(t *testing.T) {
+	// Two disjoint paths to one destination: both must derive, nothing
+	// else.
+	paths := multiPathMap([]routing.Path{
+		{1, 2, 4},
+		{1, 3, 4},
+	})
+	g, err := BuildMulti(1, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := g.DeriveMulti(4, 0)
+	if len(got) != 2 {
+		t.Fatalf("derived %d paths, want 2: %v", len(got), got)
+	}
+	if !got[0].Equal(routing.Path{1, 2, 4}) || !got[1].Equal(routing.Path{1, 3, 4}) {
+		t.Fatalf("derived %v", got)
+	}
+}
+
+func TestDeriveMultiLimit(t *testing.T) {
+	paths := multiPathMap([]routing.Path{
+		{1, 2, 5},
+		{1, 3, 5},
+		{1, 4, 5},
+	})
+	g, err := BuildMulti(1, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.DeriveMulti(5, 2); len(got) != 2 {
+		t.Fatalf("limit ignored: %v", got)
+	}
+	if got := g.DeriveMulti(5, 0); len(got) != 3 {
+		t.Fatalf("unlimited derivation: %v", got)
+	}
+}
+
+func TestDeriveMultiRootAndMissing(t *testing.T) {
+	g, err := BuildMulti(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.DeriveMulti(1, 0); len(got) != 1 || !got[0].Equal(routing.Path{1}) {
+		t.Fatalf("root derivation = %v", got)
+	}
+	if got := g.DeriveMulti(9, 0); got != nil {
+		t.Fatalf("missing destination derived %v", got)
+	}
+}
+
+// TestDeriveMultiCrossoverMixture documents the encoding-level
+// limitation: two paths crossing a shared junction with identical
+// (dest, next) keys also admit their recombinations.
+func TestDeriveMultiCrossoverMixture(t *testing.T) {
+	// p1 = 1-2-4-5-8, p2 = 1-3-4-6-8: share node 4 with different
+	// next hops — no mixture possible.
+	g, err := BuildMulti(1, multiPathMap([]routing.Path{
+		{1, 2, 4, 5, 8},
+		{1, 3, 4, 6, 8},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := g.DeriveMulti(8, 0)
+	if len(got) != 2 {
+		t.Fatalf("distinct next hops must not mix: %v", got)
+	}
+	// p1 = 1-2-4-5-8, p2 = 1-3-4-5-9... same dest with same next at 4:
+	// mixtures appear, and each is a valid recombination.
+	g2, err := BuildMulti(1, multiPathMap([]routing.Path{
+		{1, 2, 4, 5, 8},
+		{1, 3, 4, 5, 8},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2 := g2.DeriveMulti(8, 0)
+	if len(got2) != 2 {
+		// Both prefixes reach 4 with next=5 — both ARE the selected
+		// paths here, so exactly 2.
+		t.Fatalf("got %v", got2)
+	}
+}
+
+// TestMultiRoundTripProperty: derived ⊇ selected, every derived path is
+// valid, every derived hop is justified by a selected path, and
+// single-path inputs round-trip exactly.
+func TestMultiRoundTripProperty(t *testing.T) {
+	const root routing.NodeID = 1
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		single := randomPathSet(rng, root)
+		multi := make(map[routing.NodeID][]routing.Path, len(single))
+		// Up to two extra random paths per destination.
+		for d, p := range single {
+			set := []routing.Path{p}
+			for k := 0; k < rng.Intn(3); k++ {
+				alt := randomPathTo(rng, root, d)
+				dup := false
+				for _, q := range set {
+					if q.Equal(alt) {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					set = append(set, alt)
+				}
+			}
+			multi[d] = set
+		}
+		g, err := BuildMulti(root, multi)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for d, set := range multi {
+			derived := g.DeriveMulti(d, 0)
+			// Superset check: every selected path derives.
+			for _, want := range set {
+				found := false
+				for _, got := range derived {
+					if got.Equal(want) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Logf("seed %d: selected %v for %v not derivable", seed, want, d)
+					return false
+				}
+			}
+			// Validity + justification of every derived path.
+			for _, got := range derived {
+				if got.Source() != root || got.Dest() != d || got.HasLoop() {
+					t.Logf("seed %d: malformed derived path %v", seed, got)
+					return false
+				}
+				for _, l := range got.Links() {
+					if !g.HasLink(l) {
+						t.Logf("seed %d: derived path %v uses absent link %v", seed, got, l)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMultiSinglePathEquivalence: with one path per destination,
+// BuildMulti and DeriveMulti reproduce the exact single-path semantics.
+func TestMultiSinglePathEquivalence(t *testing.T) {
+	const root routing.NodeID = 1
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		single := randomPathSet(rng, root)
+		multi := make(map[routing.NodeID][]routing.Path, len(single))
+		for d, p := range single {
+			multi[d] = []routing.Path{p}
+		}
+		g, err := BuildMulti(root, multi)
+		if err != nil {
+			return false
+		}
+		for d, want := range single {
+			derived := g.DeriveMulti(d, 0)
+			if len(derived) != 1 || !derived[0].Equal(want) {
+				t.Logf("seed %d: dest %v derived %v, want exactly %v", seed, d, derived, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomPathTo builds one random loop-free path from root to dest.
+func randomPathTo(rng *rand.Rand, root, dest routing.NodeID) routing.Path {
+	const universe = 12
+	p := routing.Path{root}
+	for _, x := range rng.Perm(universe) {
+		n := routing.NodeID(x + 1)
+		if n == root || n == dest {
+			continue
+		}
+		if rng.Intn(3) == 0 {
+			p = append(p, n)
+		}
+		if len(p) >= 1+rng.Intn(5) {
+			break
+		}
+	}
+	return append(p, dest)
+}
+
+func TestMultipathCompactness(t *testing.T) {
+	// Three paths sharing a long trunk: the link union is much smaller
+	// than three full path vectors.
+	trunk := routing.Path{1, 2, 3, 4, 5}
+	paths := multiPathMap(
+		[]routing.Path{
+			append(trunk.Clone(), 6),
+			append(trunk.Clone(), 7, 6),
+		},
+		[]routing.Path{
+			append(trunk.Clone(), 8),
+		},
+	)
+	cost, g, err := MultipathCompactness(1, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g == nil || cost.PathVectorUnits == 0 {
+		t.Fatal("empty cost")
+	}
+	// Path vector: 6 + 7 + 6 = 19 node entries. Centaur: the 4 trunk
+	// links once, plus 4 tail links, plus permission pairs.
+	if cost.PathVectorUnits != 19 {
+		t.Fatalf("path vector units = %d, want 19", cost.PathVectorUnits)
+	}
+	if cost.Compression() <= 1 {
+		t.Fatalf("trunk sharing must compress: %+v", cost)
+	}
+}

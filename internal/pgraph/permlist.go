@@ -1,0 +1,199 @@
+// Package pgraph implements the paper's central data structure, the
+// P-graph (policy graph, §3.2.2): a directed graph of downstream links
+// rooted at the node that announced them, annotated with Permission
+// Lists (§3.2.4, §4.1) that restrict which paths may be derived.
+//
+// The two operational algorithms from the paper are provided:
+// DerivePath (Table 1) reconstructs the unique policy-compliant path for
+// a destination, and BuildGraph (Table 2) constructs a local P-graph
+// with Permission Lists from a selected path set.
+package pgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"centaur/internal/routing"
+)
+
+// PermEntry is one per-dest-next Permission List pair (§4.1): the path
+// identified by this entry is the one reaching Dest whose next hop after
+// the multi-homed node is Next. Next is routing.None when the path
+// terminates at the multi-homed node itself (the node is the
+// destination).
+type PermEntry struct {
+	Dest routing.NodeID
+	Next routing.NodeID
+}
+
+// String renders the entry in the paper's <Destination, NextHop> form.
+func (e PermEntry) String() string {
+	return fmt.Sprintf("<dest:%v,next:%v>", e.Dest, e.Next)
+}
+
+// PermissionList is the set of policy-compliant paths allowed to use a
+// link, in per-dest-next encoding. Destinations sharing a next hop are
+// grouped into a single entry, matching §4.1's "destinations with the
+// same next hop can be grouped into one pair entry". The zero value is
+// an empty list ready for use.
+type PermissionList struct {
+	byNext map[routing.NodeID]map[routing.NodeID]struct{}
+	pairs  int
+}
+
+// Add records that the path to dest whose next hop (after the
+// multi-homed node) is next may use the link. Adding a duplicate pair is
+// a no-op.
+func (pl *PermissionList) Add(dest, next routing.NodeID) {
+	if pl.byNext == nil {
+		pl.byNext = make(map[routing.NodeID]map[routing.NodeID]struct{}, 2)
+	}
+	dests, ok := pl.byNext[next]
+	if !ok {
+		dests = make(map[routing.NodeID]struct{}, 4)
+		pl.byNext[next] = dests
+	}
+	if _, dup := dests[dest]; !dup {
+		dests[dest] = struct{}{}
+		pl.pairs++
+	}
+}
+
+// Remove deletes the (dest, next) pair; it reports whether the pair was
+// present.
+func (pl *PermissionList) Remove(dest, next routing.NodeID) bool {
+	dests, ok := pl.byNext[next]
+	if !ok {
+		return false
+	}
+	if _, ok := dests[dest]; !ok {
+		return false
+	}
+	delete(dests, dest)
+	if len(dests) == 0 {
+		delete(pl.byNext, next)
+	}
+	pl.pairs--
+	return true
+}
+
+// Permit reports whether the path to dest via next hop next is allowed
+// to use the link (paper Table 1, line 8).
+func (pl *PermissionList) Permit(dest, next routing.NodeID) bool {
+	dests, ok := pl.byNext[next]
+	if !ok {
+		return false
+	}
+	_, ok = dests[dest]
+	return ok
+}
+
+// NumEntries returns the number of grouped entries — (destination list,
+// next hop) pairs — which is the quantity the paper's Table 5 reports.
+func (pl *PermissionList) NumEntries() int { return len(pl.byNext) }
+
+// NumPairs returns the total number of (dest, next) pairs before
+// grouping, i.e. the number of distinct policy-compliant paths the list
+// describes.
+func (pl *PermissionList) NumPairs() int { return pl.pairs }
+
+// Empty reports whether the list permits no paths at all.
+func (pl *PermissionList) Empty() bool { return pl.pairs == 0 }
+
+// Pairs returns every (dest, next) pair sorted by (next, dest), for
+// deterministic wire encoding and comparison.
+func (pl *PermissionList) Pairs() []PermEntry {
+	out := make([]PermEntry, 0, pl.pairs)
+	for next, dests := range pl.byNext {
+		for dest := range dests {
+			out = append(out, PermEntry{Dest: dest, Next: next})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Next != out[j].Next {
+			return out[i].Next < out[j].Next
+		}
+		return out[i].Dest < out[j].Dest
+	})
+	return out
+}
+
+// Clone returns an independent copy of the list.
+func (pl *PermissionList) Clone() *PermissionList {
+	out := &PermissionList{pairs: pl.pairs}
+	if pl.byNext == nil {
+		return out
+	}
+	out.byNext = make(map[routing.NodeID]map[routing.NodeID]struct{}, len(pl.byNext))
+	for next, dests := range pl.byNext {
+		cp := make(map[routing.NodeID]struct{}, len(dests))
+		for d := range dests {
+			cp[d] = struct{}{}
+		}
+		out.byNext[next] = cp
+	}
+	return out
+}
+
+// Equal reports whether two lists permit exactly the same path set. A
+// nil list equals an empty one.
+func (pl *PermissionList) Equal(other *PermissionList) bool {
+	plPairs, otherPairs := 0, 0
+	if pl != nil {
+		plPairs = pl.pairs
+	}
+	if other != nil {
+		otherPairs = other.pairs
+	}
+	if plPairs != otherPairs {
+		return false
+	}
+	if pl == nil || other == nil {
+		return true
+	}
+	for next, dests := range pl.byNext {
+		od, ok := other.byNext[next]
+		if !ok || len(od) != len(dests) {
+			return false
+		}
+		for d := range dests {
+			if _, ok := od[d]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the list's grouped entries sorted by next hop, e.g.
+// "{next:N3 dests:[N5 N7]; next:N4 dests:[N9]}".
+func (pl *PermissionList) String() string {
+	if pl == nil || pl.pairs == 0 {
+		return "{}"
+	}
+	nexts := make([]routing.NodeID, 0, len(pl.byNext))
+	for n := range pl.byNext {
+		nexts = append(nexts, n)
+	}
+	sort.Slice(nexts, func(i, j int) bool { return nexts[i] < nexts[j] })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range nexts {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		dests := make([]routing.NodeID, 0, len(pl.byNext[n]))
+		for d := range pl.byNext[n] {
+			dests = append(dests, d)
+		}
+		sort.Slice(dests, func(i, j int) bool { return dests[i] < dests[j] })
+		strs := make([]string, len(dests))
+		for i, d := range dests {
+			strs[i] = d.String()
+		}
+		fmt.Fprintf(&b, "next:%v dests:[%s]", n, strings.Join(strs, " "))
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,151 @@
+package pgraph
+
+import (
+	"testing"
+
+	"centaur/internal/routing"
+)
+
+func TestPermissionListAddPermit(t *testing.T) {
+	var pl PermissionList
+	if pl.Permit(5, 3) {
+		t.Fatal("empty list should permit nothing")
+	}
+	pl.Add(5, 3)
+	if !pl.Permit(5, 3) {
+		t.Fatal("added pair should be permitted")
+	}
+	if pl.Permit(5, 4) {
+		t.Fatal("different next hop should not be permitted")
+	}
+	if pl.Permit(6, 3) {
+		t.Fatal("different destination should not be permitted")
+	}
+}
+
+func TestPermissionListNoneNextHop(t *testing.T) {
+	// A path terminating at the multi-homed node encodes Next as None.
+	var pl PermissionList
+	pl.Add(7, routing.None)
+	if !pl.Permit(7, routing.None) {
+		t.Fatal("terminating-path pair should be permitted")
+	}
+	if pl.Permit(7, 2) {
+		t.Fatal("pair with a real next hop should not match the None entry")
+	}
+}
+
+func TestPermissionListGroupedEntries(t *testing.T) {
+	// Destinations sharing a next hop group into one entry (§4.1).
+	var pl PermissionList
+	pl.Add(10, 3)
+	pl.Add(11, 3)
+	pl.Add(12, 4)
+	if got := pl.NumEntries(); got != 2 {
+		t.Fatalf("NumEntries = %d, want 2 (two distinct next hops)", got)
+	}
+	if got := pl.NumPairs(); got != 3 {
+		t.Fatalf("NumPairs = %d, want 3", got)
+	}
+}
+
+func TestPermissionListDuplicateAdd(t *testing.T) {
+	var pl PermissionList
+	pl.Add(5, 3)
+	pl.Add(5, 3)
+	if got := pl.NumPairs(); got != 1 {
+		t.Fatalf("duplicate add should be a no-op; NumPairs = %d", got)
+	}
+}
+
+func TestPermissionListRemove(t *testing.T) {
+	var pl PermissionList
+	pl.Add(5, 3)
+	pl.Add(6, 3)
+	if !pl.Remove(5, 3) {
+		t.Fatal("Remove of present pair should report true")
+	}
+	if pl.Remove(5, 3) {
+		t.Fatal("Remove of absent pair should report false")
+	}
+	if pl.Permit(5, 3) {
+		t.Fatal("removed pair should no longer be permitted")
+	}
+	if !pl.Permit(6, 3) {
+		t.Fatal("other pair must survive removal")
+	}
+	if !pl.Remove(6, 3) {
+		t.Fatal("Remove of last pair should report true")
+	}
+	if !pl.Empty() {
+		t.Fatal("list should be empty after removing all pairs")
+	}
+	if pl.NumEntries() != 0 {
+		t.Fatalf("NumEntries = %d after removing all, want 0", pl.NumEntries())
+	}
+}
+
+func TestPermissionListPairsSorted(t *testing.T) {
+	var pl PermissionList
+	pl.Add(9, 4)
+	pl.Add(2, 4)
+	pl.Add(5, 1)
+	got := pl.Pairs()
+	want := []PermEntry{{Dest: 5, Next: 1}, {Dest: 2, Next: 4}, {Dest: 9, Next: 4}}
+	if len(got) != len(want) {
+		t.Fatalf("Pairs len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Pairs[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPermissionListCloneIndependence(t *testing.T) {
+	var pl PermissionList
+	pl.Add(5, 3)
+	cp := pl.Clone()
+	cp.Add(6, 3)
+	if pl.Permit(6, 3) {
+		t.Fatal("mutating the clone must not affect the original")
+	}
+	if !cp.Permit(5, 3) {
+		t.Fatal("clone must contain the original pairs")
+	}
+}
+
+func TestPermissionListEqual(t *testing.T) {
+	a := &PermissionList{}
+	b := &PermissionList{}
+	if !a.Equal(b) {
+		t.Fatal("two empty lists must be equal")
+	}
+	var nilPL *PermissionList
+	if !nilPL.Equal(a) || !a.Equal(nilPL) {
+		t.Fatal("nil list must equal an empty list")
+	}
+	a.Add(5, 3)
+	if a.Equal(b) || b.Equal(a) {
+		t.Fatal("lists with different pairs must differ")
+	}
+	b.Add(5, 3)
+	if !a.Equal(b) {
+		t.Fatal("lists with identical pairs must be equal")
+	}
+	b.Add(5, 4)
+	if a.Equal(b) {
+		t.Fatal("superset list must not be equal")
+	}
+}
+
+func TestPermissionListString(t *testing.T) {
+	var pl PermissionList
+	if got := pl.String(); got != "{}" {
+		t.Fatalf("empty list String = %q, want {}", got)
+	}
+	pl.Add(5, 3)
+	if got := pl.String(); got == "" || got == "{}" {
+		t.Fatalf("non-empty list String = %q", got)
+	}
+}

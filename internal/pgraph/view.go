@@ -1,0 +1,287 @@
+package pgraph
+
+import (
+	"sort"
+
+	"centaur/internal/routing"
+)
+
+// View maintains an announced P-graph incrementally, implementing the
+// paper's §4.3.2 steady phase literally: "node B needs to associate a
+// counter with every link in the P-graph, recording how many selected
+// paths contain each given link. When the counter value of a certain
+// link decreases to zero ... the link is included in Δ_B as to be
+// removed." Set replaces one destination's selected (export-filtered)
+// path; Flush returns the accumulated Δ — link additions, withdrawals,
+// and re-announcements of links whose Permission List or destination
+// mark changed — exactly the delta Diff(before, after) would compute,
+// without rebuilding or rescanning the whole view.
+//
+// The zero value is unusable; construct with NewView. A View is the
+// sender-side bookkeeping for one neighbor (or for the local P-graph);
+// the receiver side remains Graph.Apply.
+type View struct {
+	g *Graph
+	// paths is the current selected path per destination (the slices are
+	// shared with the caller and never mutated).
+	paths map[routing.NodeID]routing.Path
+	// state tracks each node's multi-homing status and current primary
+	// (unrestricted) parent, so transitions can be detected without
+	// rescanning.
+	state map[routing.NodeID]nodeState
+	// round snapshots the announced LinkInfo of every link touched since
+	// the last Flush; absent links snapshot as a zero LinkInfo with
+	// present=false.
+	round map[routing.Link]snapshot
+}
+
+// nodeState is the cached per-node announcement layout.
+type nodeState struct {
+	multi   bool
+	primary routing.NodeID
+}
+
+// snapshot is a link's announced state at first touch in a round.
+type snapshot struct {
+	present bool
+	info    LinkInfo
+}
+
+// NewView returns an empty announced view rooted at root.
+func NewView(root routing.NodeID) *View {
+	g := New(root)
+	// The root is its own destination, matching Build; the mark never
+	// appears in announcements (the root is never a link head).
+	g.MarkDest(root)
+	return &View{
+		g:     g,
+		paths: make(map[routing.NodeID]routing.Path),
+		state: make(map[routing.NodeID]nodeState),
+		round: make(map[routing.Link]snapshot),
+	}
+}
+
+// Graph exposes the maintained P-graph (shared; callers must not mutate).
+func (v *View) Graph() *Graph { return v.g }
+
+// Path returns the currently announced path for dest (nil if none).
+func (v *View) Path(dest routing.NodeID) routing.Path { return v.paths[dest] }
+
+// touch snapshots link l's announced state the first time it is touched
+// in the current round. It must run BEFORE any mutation of the link.
+func (v *View) touch(l routing.Link) {
+	if _, done := v.round[l]; done {
+		return
+	}
+	if !v.g.HasLink(l) {
+		v.round[l] = snapshot{}
+		return
+	}
+	v.round[l] = snapshot{present: true, info: v.linkInfo(l)}
+}
+
+// linkInfo materializes the announced state of link l (deep-copying the
+// Permission List pairs, which mutate in place).
+func (v *View) linkInfo(l routing.Link) LinkInfo {
+	li := LinkInfo{Link: l, ToIsDest: v.g.IsDest(l.To)}
+	if pl := v.g.perms[l]; pl != nil && !pl.Empty() {
+		li.Perm = pl.Pairs()
+	}
+	return li
+}
+
+// Set replaces destination dest's announced path; nil (or empty)
+// withdraws it. The accumulated changes are returned by the next Flush.
+func (v *View) Set(dest routing.NodeID, p routing.Path) {
+	if len(p) == 0 {
+		p = nil
+	}
+	old := v.paths[dest]
+	if old.Equal(p) {
+		return
+	}
+	touched := make(map[routing.NodeID]struct{}, len(old)+len(p))
+
+	// Remove the old path's contributions.
+	if old != nil {
+		for i := 0; i+1 < len(old); i++ {
+			l := routing.Link{From: old[i], To: old[i+1]}
+			v.touch(l)
+			b := l.To
+			touched[b] = struct{}{}
+			if pl := v.g.perms[l]; pl != nil {
+				next := routing.None
+				if i+2 < len(old) {
+					next = old[i+2]
+				}
+				pl.Remove(dest, next)
+				if pl.Empty() {
+					delete(v.g.perms, l)
+				}
+			}
+			if v.g.counters[l]--; v.g.counters[l] <= 0 {
+				v.g.RemoveLink(l) // drops counter and any residual list
+			}
+		}
+		delete(v.paths, dest)
+	}
+
+	// Add the new path's links.
+	if p != nil {
+		v.paths[dest] = p
+		for i := 0; i+1 < len(p); i++ {
+			l := routing.Link{From: p[i], To: p[i+1]}
+			v.touch(l)
+			v.g.AddLink(l)
+			v.g.counters[l]++
+			touched[l.To] = struct{}{}
+		}
+	}
+
+	// Destination mark follows path presence; a change re-announces
+	// every in-link of dest.
+	if v.g.IsDest(dest) != (p != nil) {
+		for _, parent := range v.g.Parents(dest) {
+			v.touch(routing.Link{From: parent, To: dest})
+		}
+		if p != nil {
+			v.g.MarkDest(dest)
+		} else {
+			v.g.UnmarkDest(dest)
+		}
+	}
+
+	// Settle the announcement layout (multi-homing, primary choice) of
+	// every structurally touched node, then place the new path's pairs.
+	for b := range touched {
+		v.fixNode(b)
+	}
+	if p != nil {
+		for i := 0; i+1 < len(p); i++ {
+			l := routing.Link{From: p[i], To: p[i+1]}
+			b := l.To
+			st := v.state[b]
+			if !st.multi || l.From == st.primary {
+				continue
+			}
+			next := routing.None
+			if i+2 < len(p) {
+				next = p[i+2]
+			}
+			pl := v.g.perms[l]
+			if pl == nil {
+				pl = &PermissionList{}
+				v.g.perms[l] = pl
+			}
+			pl.Add(dest, next)
+		}
+	}
+}
+
+// fixNode re-establishes node b's announcement layout after structural
+// changes: single-homed nodes carry no Permission Lists; multi-homed
+// nodes carry one on every in-link except the primary (the in-link with
+// the most selected paths, ties to the lowest parent — Build's rule).
+// Layout transitions rebuild the affected lists from the stored paths.
+func (v *View) fixNode(b routing.NodeID) {
+	parents := v.g.Parents(b)
+	st := v.state[b]
+	if len(parents) < 2 {
+		delete(v.state, b)
+		if len(parents) == 1 {
+			l := routing.Link{From: parents[0], To: b}
+			if v.g.perms[l] != nil {
+				v.touch(l)
+				delete(v.g.perms, l)
+			}
+		}
+		return
+	}
+	primary := routing.None
+	best := -1
+	for _, p := range parents {
+		if c := v.g.counters[routing.Link{From: p, To: b}]; c > best {
+			best = c
+			primary = p
+		}
+	}
+	switch {
+	case !st.multi:
+		// Single → multi: build the list of every non-primary in-link.
+		for _, p := range parents {
+			l := routing.Link{From: p, To: b}
+			if p == primary {
+				if v.g.perms[l] != nil {
+					v.touch(l)
+					delete(v.g.perms, l)
+				}
+				continue
+			}
+			v.touch(l)
+			v.installPairs(l)
+		}
+	case primary != st.primary:
+		// Primary flip: the old primary needs its list built, the new
+		// primary sheds its list.
+		oldL := routing.Link{From: st.primary, To: b}
+		if v.g.HasLink(oldL) {
+			v.touch(oldL)
+			v.installPairs(oldL)
+		}
+		newL := routing.Link{From: primary, To: b}
+		if v.g.perms[newL] != nil {
+			v.touch(newL)
+			delete(v.g.perms, newL)
+		}
+	}
+	v.state[b] = nodeState{multi: true, primary: primary}
+}
+
+// installPairs rebuilds link l's Permission List from the stored paths:
+// one (dest, next) pair per selected path crossing l. Candidate
+// destinations are bounded by the subtree below l's head.
+func (v *View) installPairs(l routing.Link) {
+	pl := &PermissionList{}
+	for _, d := range v.g.DestsBelow(l.To) {
+		p := v.paths[d]
+		for i := 0; i+1 < len(p); i++ {
+			if p[i] == l.From && p[i+1] == l.To {
+				next := routing.None
+				if i+2 < len(p) {
+					next = p[i+2]
+				}
+				pl.Add(d, next)
+				break
+			}
+		}
+	}
+	if pl.Empty() {
+		delete(v.g.perms, l)
+		return
+	}
+	v.g.perms[l] = pl
+}
+
+// Flush returns the Δ accumulated since the last Flush: every touched
+// link whose announced state actually changed, as additions (including
+// attribute re-announcements) and withdrawals, sorted deterministically.
+func (v *View) Flush() Delta {
+	var d Delta
+	for l, before := range v.round {
+		nowPresent := v.g.HasLink(l)
+		switch {
+		case !before.present && nowPresent:
+			d.Adds = append(d.Adds, v.linkInfo(l))
+		case before.present && !nowPresent:
+			d.Removes = append(d.Removes, l)
+		case before.present && nowPresent:
+			if after := v.linkInfo(l); !after.Equal(before.info) {
+				d.Adds = append(d.Adds, after)
+			}
+		}
+	}
+	clear(v.round)
+	sort.Slice(d.Adds, func(i, j int) bool { return linkLess(d.Adds[i].Link, d.Adds[j].Link) })
+	sort.Slice(d.Removes, func(i, j int) bool { return linkLess(d.Removes[i], d.Removes[j]) })
+	return d
+}

@@ -1,0 +1,187 @@
+package pgraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"centaur/internal/routing"
+)
+
+func TestViewBasicLifecycle(t *testing.T) {
+	v := NewView(1)
+	if v.Graph().Root() != 1 {
+		t.Fatal("root wrong")
+	}
+	v.Set(3, routing.Path{1, 2, 3})
+	d := v.Flush()
+	if len(d.Adds) != 2 || len(d.Removes) != 0 {
+		t.Fatalf("initial delta = %+v", d)
+	}
+	// Idempotent set: no delta.
+	v.Set(3, routing.Path{1, 2, 3})
+	if d := v.Flush(); !d.Empty() {
+		t.Fatalf("idempotent set produced %+v", d)
+	}
+	// Reroute: the tail link survives, the head changes.
+	v.Set(3, routing.Path{1, 4, 3})
+	d = v.Flush()
+	if len(d.Removes) != 2 || len(d.Adds) != 2 {
+		t.Fatalf("reroute delta = %+v", d)
+	}
+	// Withdraw: everything goes.
+	v.Set(3, nil)
+	d = v.Flush()
+	if len(d.Removes) != 2 || len(d.Adds) != 0 {
+		t.Fatalf("withdraw delta = %+v", d)
+	}
+	if v.Graph().NumLinks() != 0 {
+		t.Fatal("graph must be empty after withdrawal")
+	}
+	if v.Path(3) != nil {
+		t.Fatal("path must be forgotten")
+	}
+}
+
+// TestViewMatchesBuildProperty is the keystone: after any random
+// sequence of Set operations, the incrementally maintained graph must
+// be byte-identical (links, Permission Lists, destination marks) to
+// Build over the same final path set, and replaying the flushed deltas
+// into a receiver must reproduce the same announced view.
+func TestViewMatchesBuildProperty(t *testing.T) {
+	const root routing.NodeID = 1
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := NewView(root)
+		recv := New(root)
+		recv.MarkDest(root)
+		current := make(map[routing.NodeID]routing.Path)
+		for step := 0; step < 24; step++ {
+			// Mutate a random destination: new random path, or withdraw.
+			dest := routing.NodeID(2 + rng.Intn(10))
+			var p routing.Path
+			if rng.Intn(4) != 0 {
+				p = randomPathTo(rng, root, dest)
+			}
+			v.Set(dest, p)
+			if p == nil {
+				delete(current, dest)
+			} else {
+				current[dest] = p
+			}
+			if rng.Intn(2) == 0 {
+				continue // batch several sets into one flush sometimes
+			}
+			recv.Apply(v.Flush())
+			if !equalView(v.Graph(), recv) {
+				t.Logf("seed %d step %d: receiver diverged\nview: %v\nrecv: %v", seed, step, v.Graph(), recv)
+				return false
+			}
+		}
+		recv.Apply(v.Flush())
+		want, err := Build(root, current)
+		if err != nil {
+			t.Logf("seed %d: Build: %v", seed, err)
+			return false
+		}
+		if !v.Graph().Equal(want) {
+			t.Logf("seed %d: view != Build\nview: %v\nbuild: %v", seed, v.Graph(), want)
+			return false
+		}
+		if !equalView(v.Graph(), recv) {
+			t.Logf("seed %d: receiver != view\nview: %v\nrecv: %v", seed, v.Graph(), recv)
+			return false
+		}
+		// And the round trip still holds on the maintained graph.
+		for d, p := range current {
+			got, ok := v.Graph().DerivePath(d)
+			if !ok || !got.Equal(p) {
+				t.Logf("seed %d: DerivePath(%v) = %v, %v; want %v", seed, d, got, ok, p)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// equalView compares announced content (links, marks, Permission Lists)
+// ignoring counters and the root's own mark, which announcements do not
+// carry.
+func equalView(a, b *Graph) bool {
+	la, lb := a.LinkInfos(), b.LinkInfos()
+	if len(la) != len(lb) {
+		return false
+	}
+	for i := range la {
+		if !la[i].Equal(lb[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestViewCountersMatchBuild: the §4.3.2 counters must track selected
+// path membership exactly.
+func TestViewCountersMatchBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	v := NewView(1)
+	current := make(map[routing.NodeID]routing.Path)
+	for step := 0; step < 40; step++ {
+		dest := routing.NodeID(2 + rng.Intn(8))
+		var p routing.Path
+		if rng.Intn(4) != 0 {
+			p = randomPathTo(rng, 1, dest)
+		}
+		v.Set(dest, p)
+		if p == nil {
+			delete(current, dest)
+		} else {
+			current[dest] = p
+		}
+	}
+	want, err := Build(1, current)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range want.Links() {
+		if got := v.Graph().Counter(l); got != want.Counter(l) {
+			t.Fatalf("counter of %v = %d, Build says %d", l, got, want.Counter(l))
+		}
+	}
+}
+
+func TestViewPrimaryFlip(t *testing.T) {
+	// Node 4 multi-homed via 2 (one path) and 3 (one path): tie broken
+	// to lowest parent (2). Adding a second path through 3 flips the
+	// primary to 3, which must re-announce both in-links.
+	v := NewView(1)
+	v.Set(4, routing.Path{1, 2, 4})
+	v.Set(5, routing.Path{1, 3, 4, 5})
+	v.Flush()
+	g := v.Graph()
+	if g.Permission(routing.Link{From: 2, To: 4}) != nil {
+		t.Fatal("2->4 must be primary (tie to lowest parent)")
+	}
+	if g.Permission(routing.Link{From: 3, To: 4}) == nil {
+		t.Fatal("3->4 must carry the Permission List")
+	}
+	v.Set(6, routing.Path{1, 3, 4, 6})
+	d := v.Flush()
+	if g.Permission(routing.Link{From: 3, To: 4}) != nil {
+		t.Fatal("3->4 must have become primary after carrying two paths")
+	}
+	if g.Permission(routing.Link{From: 2, To: 4}) == nil {
+		t.Fatal("2->4 must now carry the Permission List")
+	}
+	// The flip must be announced: both in-links re-announced.
+	reannounced := map[routing.Link]bool{}
+	for _, li := range d.Adds {
+		reannounced[li.Link] = true
+	}
+	if !reannounced[routing.Link{From: 2, To: 4}] || !reannounced[routing.Link{From: 3, To: 4}] {
+		t.Fatalf("primary flip not announced: %+v", d)
+	}
+}

@@ -1,0 +1,431 @@
+// Package sim is a deterministic discrete-event network simulator — the
+// reproduction's substitute for the DistComm/SSFNet platform the paper's
+// prototype ran on (§5.3). It models what the paper's evaluation relies
+// on: point-to-point links with fixed per-link propagation delays
+// (BRITE-style, e.g. uniform 0–5 ms), zero CPU delay ("We ignore the CPU
+// delay"), FIFO in-order delivery per link (DistComm is session-level,
+// i.e. TCP-like), message counting, link fail/restore injection, and
+// convergence detection defined as "no further update messages are
+// sent".
+//
+// A protocol implementation (Centaur, BGP, OSPF) plugs in through the
+// Protocol interface; the simulator instantiates one protocol node per
+// topology node and drives it with message deliveries and adjacency
+// up/down notifications.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"centaur/internal/routing"
+	"centaur/internal/topology"
+)
+
+// Message is anything a protocol sends between neighbors. Units is the
+// message's accounting weight: the number of elementary routing-update
+// units it carries (path-vector destination updates for BGP, link
+// announcements for Centaur, LSAs for OSPF), which is the quantity the
+// paper's "message count" metrics report.
+type Message interface {
+	// Kind returns a short label for accounting (e.g. "bgp.update").
+	Kind() string
+	// Units returns the number of elementary update units in the message.
+	Units() int
+}
+
+// ByteSizer is optionally implemented by messages that know their
+// encoded wire size; the simulator then accounts Stats.Bytes, giving the
+// evaluation a unit-free cost metric (see internal/wire).
+type ByteSizer interface {
+	WireBytes() int
+}
+
+// Env is the interface a protocol node uses to interact with the
+// simulated world. It is implemented by the Network and handed to each
+// node at construction.
+type Env interface {
+	// Self returns the node's own ID.
+	Self() routing.NodeID
+	// Now returns the current simulated time.
+	Now() time.Duration
+	// Send transmits msg to a neighbor; it is delivered after the link's
+	// propagation delay, or silently dropped if the link is down.
+	Send(to routing.NodeID, msg Message)
+	// After schedules fn to run on this node after delay d (used for
+	// timers such as BGP's MRAI).
+	After(d time.Duration, fn func())
+	// Neighbors returns the node's adjacencies (with relationships) in
+	// the underlying topology, regardless of current link state.
+	Neighbors() []topology.Neighbor
+	// LinkIsUp reports whether the adjacency to neighbor n is currently up.
+	LinkIsUp(n routing.NodeID) bool
+}
+
+// Protocol is one routing protocol instance running at one node.
+// Implementations must be fully event-driven and must not retain the
+// Env beyond the node's lifetime.
+type Protocol interface {
+	// Start is called once at simulation start, with all links up.
+	Start(env Env)
+	// Handle delivers a message previously sent by neighbor from.
+	Handle(from routing.NodeID, msg Message)
+	// LinkDown notifies the node that its adjacency to n failed.
+	LinkDown(n routing.NodeID)
+	// LinkUp notifies the node that its adjacency to n recovered.
+	LinkUp(n routing.NodeID)
+}
+
+// Builder constructs the protocol instance for one node. The Env is
+// valid for the lifetime of the simulation.
+type Builder func(env Env) Protocol
+
+// event is one scheduled occurrence in the simulation.
+type event struct {
+	at  time.Duration
+	seq uint64 // tie-break so equal-time events run in schedule order
+	fn  func()
+}
+
+// eventHeap is a min-heap of events ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// linkKey canonically identifies an undirected link.
+type linkKey struct{ a, b routing.NodeID }
+
+func keyOf(a, b routing.NodeID) linkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return linkKey{a, b}
+}
+
+// linkState is the dynamic state of one undirected link.
+type linkState struct {
+	delay time.Duration
+	up    bool
+	// epoch increments on every failure so in-flight messages sent
+	// before the failure are dropped at delivery time.
+	epoch uint64
+}
+
+// Stats accumulates the simulator's accounting.
+type Stats struct {
+	// Messages is the number of point-to-point messages delivered.
+	Messages int64
+	// Units is the total number of elementary update units delivered
+	// (the paper's "message count" metric).
+	Units int64
+	// UnitsByKind breaks Units down by Message.Kind.
+	UnitsByKind map[string]int64
+	// Bytes is the total encoded wire size of all sent messages whose
+	// type implements ByteSizer (all three built-in protocols do).
+	Bytes int64
+	// LastSend is the simulated time of the last message transmission;
+	// the network has re-stabilized when no send follows it.
+	LastSend time.Duration
+	// Dropped counts messages lost to link failures.
+	Dropped int64
+}
+
+// Config parameterizes a Network.
+type Config struct {
+	// Topology is the annotated AS graph to simulate. Required.
+	Topology *topology.Graph
+	// Build constructs each node's protocol instance. Required.
+	Build Builder
+	// DelaySeed seeds the per-link delay assignment.
+	DelaySeed int64
+	// MinDelay and MaxDelay bound the uniform per-link propagation
+	// delays; the paper's BRITE setup uses 0–5 ms. If both are zero the
+	// defaults 0 and 5 ms apply. Delays are fixed per link, which makes
+	// each link FIFO like DistComm's session transport.
+	MinDelay, MaxDelay time.Duration
+	// Trace, when non-nil, observes every simulation event (sends,
+	// deliveries, drops, link transitions). It runs synchronously inside
+	// the event loop, so it sees a consistent view but should stay cheap.
+	Trace func(TraceEvent)
+}
+
+// TraceKind classifies a TraceEvent.
+type TraceKind uint8
+
+// Trace event kinds.
+const (
+	// TraceSend is a message entering a link.
+	TraceSend TraceKind = iota + 1
+	// TraceDeliver is a message arriving at its destination node.
+	TraceDeliver
+	// TraceDrop is a message lost to a down link.
+	TraceDrop
+	// TraceLinkDown and TraceLinkUp are injected link transitions.
+	TraceLinkDown
+	TraceLinkUp
+)
+
+// String names the trace kind.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceSend:
+		return "send"
+	case TraceDeliver:
+		return "deliver"
+	case TraceDrop:
+		return "drop"
+	case TraceLinkDown:
+		return "link-down"
+	case TraceLinkUp:
+		return "link-up"
+	default:
+		return fmt.Sprintf("trace(%d)", uint8(k))
+	}
+}
+
+// TraceEvent is one observed simulator occurrence. Msg is nil for link
+// transitions.
+type TraceEvent struct {
+	Kind     TraceKind
+	At       time.Duration
+	From, To routing.NodeID
+	Msg      Message
+}
+
+// Network is a running simulation: a topology, one protocol instance
+// per node, an event queue, and accounting. Create with NewNetwork;
+// not safe for concurrent use.
+type Network struct {
+	topo   *topology.Graph
+	nodes  map[routing.NodeID]Protocol
+	envs   map[routing.NodeID]*nodeEnv
+	links  map[linkKey]*linkState
+	pq     eventHeap
+	now    time.Duration
+	seq    uint64
+	stats  Stats
+	events int64
+	trace  func(TraceEvent)
+}
+
+// emit reports a trace event to the configured observer, if any.
+func (n *Network) emit(kind TraceKind, from, to routing.NodeID, msg Message) {
+	if n.trace != nil {
+		n.trace(TraceEvent{Kind: kind, At: n.now, From: from, To: to, Msg: msg})
+	}
+}
+
+// NewNetwork builds the simulation: assigns per-link delays, constructs
+// every protocol node, and schedules their Start calls at time zero.
+func NewNetwork(cfg Config) (*Network, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("sim: Config.Topology is required")
+	}
+	if cfg.Build == nil {
+		return nil, fmt.Errorf("sim: Config.Build is required")
+	}
+	minD, maxD := cfg.MinDelay, cfg.MaxDelay
+	if minD == 0 && maxD == 0 {
+		maxD = 5 * time.Millisecond
+	}
+	if maxD < minD {
+		return nil, fmt.Errorf("sim: MaxDelay %v < MinDelay %v", maxD, minD)
+	}
+	n := &Network{
+		topo:  cfg.Topology,
+		nodes: make(map[routing.NodeID]Protocol, cfg.Topology.NumNodes()),
+		envs:  make(map[routing.NodeID]*nodeEnv, cfg.Topology.NumNodes()),
+		links: make(map[linkKey]*linkState, cfg.Topology.NumEdges()),
+		trace: cfg.Trace,
+	}
+	n.stats.UnitsByKind = make(map[string]int64)
+	rng := rand.New(rand.NewSource(cfg.DelaySeed))
+	for _, e := range cfg.Topology.Edges() {
+		d := minD
+		if span := int64(maxD - minD); span > 0 {
+			d += time.Duration(rng.Int63n(span + 1))
+		}
+		n.links[keyOf(e.A, e.B)] = &linkState{delay: d, up: true}
+	}
+	for _, id := range cfg.Topology.Nodes() {
+		env := &nodeEnv{net: n, self: id}
+		n.envs[id] = env
+		n.nodes[id] = cfg.Build(env)
+	}
+	// Schedule every node's Start at t=0 in deterministic ID order.
+	for _, id := range cfg.Topology.Nodes() {
+		id := id
+		n.schedule(0, func() { n.nodes[id].Start(n.envs[id]) })
+	}
+	return n, nil
+}
+
+// nodeEnv is the per-node view of the network.
+type nodeEnv struct {
+	net  *Network
+	self routing.NodeID
+}
+
+var _ Env = (*nodeEnv)(nil)
+
+func (e *nodeEnv) Self() routing.NodeID { return e.self }
+
+func (e *nodeEnv) Now() time.Duration { return e.net.now }
+
+func (e *nodeEnv) Neighbors() []topology.Neighbor { return e.net.topo.Neighbors(e.self) }
+
+func (e *nodeEnv) LinkIsUp(n routing.NodeID) bool {
+	ls, ok := e.net.links[keyOf(e.self, n)]
+	return ok && ls.up
+}
+
+func (e *nodeEnv) Send(to routing.NodeID, msg Message) {
+	net := e.net
+	ls, ok := net.links[keyOf(e.self, to)]
+	if !ok || !ls.up {
+		net.stats.Dropped++
+		net.emit(TraceDrop, e.self, to, msg)
+		return
+	}
+	net.stats.Messages++
+	units := int64(msg.Units())
+	net.stats.Units += units
+	net.stats.UnitsByKind[msg.Kind()] += units
+	if bs, ok := msg.(ByteSizer); ok {
+		net.stats.Bytes += int64(bs.WireBytes())
+	}
+	net.stats.LastSend = net.now
+	net.emit(TraceSend, e.self, to, msg)
+	from, epoch := e.self, ls.epoch
+	net.schedule(ls.delay, func() {
+		cur, ok := net.links[keyOf(from, to)]
+		if !ok || !cur.up || cur.epoch != epoch {
+			net.stats.Dropped++
+			net.emit(TraceDrop, from, to, msg)
+			return
+		}
+		net.emit(TraceDeliver, from, to, msg)
+		net.nodes[to].Handle(from, msg)
+	})
+}
+
+func (e *nodeEnv) After(d time.Duration, fn func()) {
+	e.net.schedule(d, fn)
+}
+
+func (n *Network) schedule(after time.Duration, fn func()) {
+	n.seq++
+	heap.Push(&n.pq, &event{at: n.now + after, seq: n.seq, fn: fn})
+}
+
+// Now returns the current simulated time.
+func (n *Network) Now() time.Duration { return n.now }
+
+// Stats returns a snapshot of the accounting so far.
+func (n *Network) Stats() Stats {
+	out := n.stats
+	out.UnitsByKind = make(map[string]int64, len(n.stats.UnitsByKind))
+	for k, v := range n.stats.UnitsByKind {
+		out.UnitsByKind[k] = v
+	}
+	return out
+}
+
+// ResetStats zeroes the message accounting (typically called after the
+// initial cold-start convergence, before injecting an event to measure).
+func (n *Network) ResetStats() {
+	n.stats = Stats{UnitsByKind: make(map[string]int64)}
+}
+
+// Node returns the protocol instance at id (nil if absent), so tests and
+// experiments can inspect converged protocol state.
+func (n *Network) Node(id routing.NodeID) Protocol { return n.nodes[id] }
+
+// FailLink takes the undirected link a—b down at the current simulated
+// time: in-flight messages on it are lost and both endpoints receive
+// LinkDown. It reports whether the link existed and was up.
+func (n *Network) FailLink(a, b routing.NodeID) bool {
+	ls, ok := n.links[keyOf(a, b)]
+	if !ok || !ls.up {
+		return false
+	}
+	ls.up = false
+	ls.epoch++
+	n.emit(TraceLinkDown, a, b, nil)
+	n.schedule(0, func() { n.nodes[a].LinkDown(b) })
+	n.schedule(0, func() { n.nodes[b].LinkDown(a) })
+	return true
+}
+
+// RestoreLink brings the undirected link a—b back up; both endpoints
+// receive LinkUp. It reports whether the link existed and was down.
+func (n *Network) RestoreLink(a, b routing.NodeID) bool {
+	ls, ok := n.links[keyOf(a, b)]
+	if !ok || ls.up {
+		return false
+	}
+	ls.up = true
+	n.emit(TraceLinkUp, a, b, nil)
+	n.schedule(0, func() { n.nodes[a].LinkUp(b) })
+	n.schedule(0, func() { n.nodes[b].LinkUp(a) })
+	return true
+}
+
+// LinkDelay returns the propagation delay assigned to link a—b and
+// whether the link exists.
+func (n *Network) LinkDelay(a, b routing.NodeID) (time.Duration, bool) {
+	ls, ok := n.links[keyOf(a, b)]
+	if !ok {
+		return 0, false
+	}
+	return ls.delay, true
+}
+
+// Run processes events until the queue drains or maxEvents events have
+// run (0 means no limit). It returns the number of events processed and
+// whether the network quiesced (queue drained). A protocol that
+// oscillates forever will hit the event limit instead of hanging.
+func (n *Network) Run(maxEvents int64) (processed int64, quiesced bool) {
+	for n.pq.Len() > 0 {
+		if maxEvents > 0 && processed >= maxEvents {
+			return processed, false
+		}
+		ev := heap.Pop(&n.pq).(*event)
+		n.now = ev.at
+		ev.fn()
+		processed++
+		n.events++
+	}
+	return processed, true
+}
+
+// RunToConvergence runs until quiescence and returns the convergence
+// time — the time of the last message transmission, measured from start
+// (i.e. the instant after which "no further update messages are sent",
+// §5.1) — along with the stats snapshot. The limit guards against
+// non-terminating protocols; it returns an error when hit.
+func (n *Network) RunToConvergence(maxEvents int64) (time.Duration, Stats, error) {
+	_, ok := n.Run(maxEvents)
+	if !ok {
+		return 0, n.Stats(), fmt.Errorf("sim: no convergence after %d events", maxEvents)
+	}
+	return n.stats.LastSend, n.Stats(), nil
+}

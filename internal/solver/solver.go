@@ -1,0 +1,519 @@
+// Package solver computes the converged policy routing state of a
+// topology directly, without running a timed protocol: for every
+// destination it finds the stable assignment of best policy-compliant
+// routes under the Gao–Rexford policy (internal/policy).
+//
+// The solver serves three purposes in the reproduction:
+//
+//   - It generates each node's selected path set, from which local
+//     P-graphs are built for the paper's static measurements
+//     (Tables 4–5) and the immediate-overhead analysis (Figure 5).
+//   - It is the ground truth the protocol implementations (BGP and
+//     Centaur) are checked against in integration tests.
+//   - Its per-destination routine is the "local solver" complexity
+//     baseline discussed in §6.3.
+//
+// Algorithm: per destination, an untimed best-response fixpoint over
+// full paths. Each node repeatedly re-selects its best candidate among
+// its neighbors' current routes — subject to the Gao–Rexford export rule
+// and the receiver-side loop check (a node rejects a neighbor route
+// whose path already contains it) — and every change re-activates the
+// node's neighbors. Distance-only relaxations (Dijkstra/Bellman–Ford)
+// are not sound for this preference structure: route rank is not
+// monotone in distance, and sibling re-export without a loop check
+// counts to infinity (a node happily adopts a "sibling" route that loops
+// back through itself). Carrying full paths gives the protocol's exact
+// semantics; under Gao–Rexford policies the stable solution is unique
+// (preferences are strict via the deterministic tie-break), so the
+// fixpoint converges to the same state BGP and Centaur converge to.
+package solver
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"centaur/internal/policy"
+	"centaur/internal/routing"
+	"centaur/internal/topology"
+)
+
+// noRoute marks an unreachable (destination, node) pair in the dense
+// next-hop tables.
+const noRoute = int32(-1)
+
+// Solution holds converged best routes for every (node, destination)
+// pair: next hops, route classes, and hop distances. Memory is Θ(N²);
+// see SolveDest for a per-destination alternative on very large inputs.
+type Solution struct {
+	topo *topology.Graph
+	idx  *topology.Index
+	opts Options
+	// next[d][v] is the dense position of v's next hop toward
+	// destination d, noRoute if unreachable, or v itself when v == d.
+	next [][]int32
+	// class[d][v] is the policy.RouteClass of v's best route to d
+	// (0 when unreachable).
+	class [][]uint8
+	// dist[d][v] is the hop count of v's best route to d.
+	dist [][]uint16
+}
+
+// Options parameterizes the solver's policy details.
+type Options struct {
+	// TieBreak selects the within-class preference model; it must match
+	// the policy.GaoRexford the protocols run so converged states are
+	// comparable.
+	TieBreak policy.TieBreakMode
+}
+
+// Solve computes the full converged routing solution of g under the
+// default (lowest-neighbor-ID) tie-break. See SolveOpts.
+func Solve(g *topology.Graph) (*Solution, error) {
+	return SolveOpts(g, Options{})
+}
+
+// SolveOpts computes the full converged routing solution of g, using
+// all CPU cores (one destination per task). It returns an error if g is
+// empty or if any per-destination fixpoint fails to converge (which
+// would indicate a policy oscillation and cannot happen under the
+// Gao–Rexford rules this package implements).
+func SolveOpts(g *topology.Graph, opts Options) (*Solution, error) {
+	idx := topology.NewIndex(g)
+	n := idx.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("solver: empty topology")
+	}
+	s := &Solution{
+		topo:  g,
+		idx:   idx,
+		opts:  opts,
+		next:  make([][]int32, n),
+		class: make([][]uint8, n),
+		dist:  make([][]uint16, n),
+	}
+	adj := buildAdjacency(g, idx, opts)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	tasks := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st := newDestState(adj)
+			for d := range tasks {
+				if err := st.solve(d); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					continue
+				}
+				nextRow := make([]int32, adj.n)
+				classRow := make([]uint8, adj.n)
+				distRow := make([]uint16, adj.n)
+				for v := 0; v < adj.n; v++ {
+					classRow[v] = st.class[v]
+					if st.class[v] == 0 {
+						nextRow[v] = noRoute
+						continue
+					}
+					distRow[v] = uint16(len(st.path[v]) - 1)
+					if v == d {
+						nextRow[v] = int32(d)
+					} else {
+						nextRow[v] = st.path[v][1]
+					}
+				}
+				s.next[d] = nextRow
+				s.class[d] = classRow
+				s.dist[d] = distRow
+			}
+		}()
+	}
+	for d := 0; d < n; d++ {
+		tasks <- d
+	}
+	close(tasks)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return s, nil
+}
+
+// adjacency is the dense CSR-style neighbor representation shared
+// (read-only) by all per-destination workers.
+type adjacency struct {
+	n int
+	// off[v]..off[v+1] delimit v's slots in the flat arrays.
+	off []int32
+	// nbr[s] is the neighbor at slot s, in ascending neighbor position
+	// order; tie-breaks are applied explicitly during reselection.
+	nbr []int32
+	// ids maps dense positions back to node IDs (tie-break hashing works
+	// on IDs so it matches policy.TieHash exactly).
+	ids []routing.NodeID
+	// tie selects the within-class preference model.
+	tie policy.TieBreakMode
+	// classIn[s] is the class of a route v learns from nbr[s].
+	classIn []uint8
+	// expRel[s] is the relationship nbr[s] sees v as — the argument of
+	// the export check when nbr[s] announces to v.
+	expRel []uint8
+}
+
+func buildAdjacency(g *topology.Graph, idx *topology.Index, opts Options) *adjacency {
+	n := idx.Len()
+	a := &adjacency{n: n, off: make([]int32, n+1), tie: opts.TieBreak}
+	total := 0
+	for i := 0; i < n; i++ {
+		total += g.Degree(idx.ID(i))
+		a.off[i+1] = int32(total)
+	}
+	a.nbr = make([]int32, total)
+	a.classIn = make([]uint8, total)
+	a.expRel = make([]uint8, total)
+	a.ids = make([]routing.NodeID, n)
+	for i := 0; i < n; i++ {
+		a.ids[i] = idx.ID(i)
+		base := a.off[i]
+		for j, nb := range g.Neighbors(idx.ID(i)) {
+			s := base + int32(j)
+			a.nbr[s] = int32(idx.Pos(nb.ID))
+			a.classIn[s] = uint8(policy.ClassOf(nb.Rel))
+			a.expRel[s] = uint8(nb.Rel.Invert())
+		}
+	}
+	return a
+}
+
+// exportOK mirrors policy.GaoRexford.Export on dense relationship codes.
+func exportOK(cl uint8, rel uint8) bool {
+	switch topology.Relationship(rel) {
+	case topology.RelCustomer, topology.RelSibling:
+		return true
+	case topology.RelPeer, topology.RelProvider:
+		c := policy.RouteClass(cl)
+		return c == policy.ClassOwn || c == policy.ClassCustomer || c == policy.ClassSibling
+	default:
+		return false
+	}
+}
+
+// destState is the reusable per-destination scratch space of one worker.
+type destState struct {
+	adj *adjacency
+	// path[v] is v's current best path to the destination as dense node
+	// positions, v first; nil when v has no route.
+	path [][]int32
+	// class[v] is the class of v's current best route (0 = none).
+	class   []uint8
+	inQueue []bool
+	queue   []int32
+}
+
+func newDestState(adj *adjacency) *destState {
+	return &destState{
+		adj:     adj,
+		path:    make([][]int32, adj.n),
+		class:   make([]uint8, adj.n),
+		inQueue: make([]bool, adj.n),
+		queue:   make([]int32, 0, adj.n),
+	}
+}
+
+// solve runs the best-response fixpoint for destination position d.
+func (st *destState) solve(d int) error {
+	adj := st.adj
+	for i := 0; i < adj.n; i++ {
+		st.path[i] = nil
+		st.class[i] = 0
+		st.inQueue[i] = false
+	}
+	st.queue = st.queue[:0]
+	st.path[d] = []int32{int32(d)}
+	st.class[d] = uint8(policy.ClassOwn)
+	st.activateNeighbors(int32(d))
+
+	// Convergence bound: under Gao–Rexford policies every best-response
+	// cascade is finite; the generous cap below only guards against a
+	// malformed topology (e.g. a customer-provider cycle).
+	budget := int64(64) * int64(adj.n+1) * int64(adj.n+1)
+	for len(st.queue) > 0 {
+		if budget--; budget < 0 {
+			return fmt.Errorf("solver: fixpoint did not converge for destination position %d (policy oscillation — check the topology for customer-provider cycles)", d)
+		}
+		v := st.queue[0]
+		st.queue = st.queue[1:]
+		st.inQueue[v] = false
+		if int(v) == d {
+			continue // the destination's own route never changes
+		}
+		if st.reselect(v, d) {
+			st.activateNeighbors(v)
+		}
+	}
+	return nil
+}
+
+// reselect recomputes v's best route as the best response to its
+// neighbors' current routes; it reports whether v's route changed. dest
+// is the destination position (needed by the hashed tie-break).
+func (st *destState) reselect(v int32, dest int) bool {
+	adj := st.adj
+	var (
+		bestClass uint8
+		bestLen   int
+		bestNbr   int32
+		bestPath  []int32
+	)
+	for s := adj.off[v]; s < adj.off[v+1]; s++ {
+		u := adj.nbr[s]
+		up := st.path[u]
+		if up == nil || !exportOK(st.class[u], adj.expRel[s]) {
+			continue
+		}
+		c, plen := adj.classIn[s], len(up)+1
+		// Rank: class, then the within-class order of the selected
+		// tie-break mode (mirroring policy.GaoRexford.Better). Slots
+		// ascend by neighbor position, so when everything else ties the
+		// first slot wins the final lowest-via comparison.
+		if bestPath != nil && !st.better(v, dest, c, plen, u, bestClass, bestLen, bestNbr) {
+			continue
+		}
+		// Receiver-side loop check last — it is the expensive part.
+		if containsNode(up, v) {
+			continue
+		}
+		bestClass, bestLen, bestNbr, bestPath = c, plen, u, up
+	}
+	if bestPath == nil {
+		if st.path[v] == nil {
+			return false
+		}
+		st.path[v] = nil
+		st.class[v] = 0
+		return true
+	}
+	if st.class[v] == bestClass && pathEqualPrepended(st.path[v], v, bestPath) {
+		return false
+	}
+	np := make([]int32, 0, bestLen)
+	np = append(np, v)
+	np = append(np, bestPath...)
+	st.path[v] = np
+	st.class[v] = bestClass
+	return true
+}
+
+// better reports whether candidate (class c, path length plen, via u)
+// outranks the current best (bc, bl, bn) at node v for destination dest,
+// mirroring policy.GaoRexford.Better exactly.
+func (st *destState) better(v int32, dest int, c uint8, plen int, u int32, bc uint8, bl int, bn int32) bool {
+	adj := st.adj
+	if c != bc {
+		return c < bc
+	}
+	prefFirst := adj.tie == policy.TieHashedPreferred ||
+		(adj.tie == policy.TieOverride && policy.Overridden(adj.ids[v], adj.ids[dest]))
+	if prefFirst {
+		hu := policy.TieHash(adj.ids[v], adj.ids[u], adj.ids[dest])
+		hb := policy.TieHash(adj.ids[v], adj.ids[bn], adj.ids[dest])
+		if hu != hb {
+			return hu < hb
+		}
+	}
+	if plen != bl {
+		return plen < bl
+	}
+	switch adj.tie {
+	case policy.TieHashed:
+		hu := policy.TieHash(adj.ids[v], adj.ids[u], adj.ids[dest])
+		hb := policy.TieHash(adj.ids[v], adj.ids[bn], adj.ids[dest])
+		if hu != hb {
+			return hu < hb
+		}
+	case policy.TieOverride:
+		hu := policy.TieHash(adj.ids[v], adj.ids[u], routing.None)
+		hb := policy.TieHash(adj.ids[v], adj.ids[bn], routing.None)
+		if hu != hb {
+			return hu < hb
+		}
+	}
+	return u < bn
+}
+
+// containsNode reports whether path p visits node v.
+func containsNode(p []int32, v int32) bool {
+	for _, x := range p {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// pathEqualPrepended reports whether cur equals v followed by rest.
+func pathEqualPrepended(cur []int32, v int32, rest []int32) bool {
+	if len(cur) != len(rest)+1 || cur == nil {
+		return false
+	}
+	if cur[0] != v {
+		return false
+	}
+	for i, x := range rest {
+		if cur[i+1] != x {
+			return false
+		}
+	}
+	return true
+}
+
+// activateNeighbors enqueues every neighbor of v for reselection.
+func (st *destState) activateNeighbors(v int32) {
+	adj := st.adj
+	for s := adj.off[v]; s < adj.off[v+1]; s++ {
+		u := adj.nbr[s]
+		if !st.inQueue[u] {
+			st.queue = append(st.queue, u)
+			st.inQueue[u] = true
+		}
+	}
+}
+
+// Index returns the dense node index the solution is expressed in.
+func (s *Solution) Index() *topology.Index { return s.idx }
+
+// Options returns the policy options the solution was computed under.
+func (s *Solution) Options() Options { return s.opts }
+
+// Policy returns the policy.GaoRexford instance matching the solution's
+// options, for callers that need to replay ranking decisions.
+func (s *Solution) Policy() policy.GaoRexford {
+	return policy.GaoRexford{TieBreak: s.opts.TieBreak}
+}
+
+// Topology returns the graph the solution was computed on.
+func (s *Solution) Topology() *topology.Graph { return s.topo }
+
+// NextHop returns from's next hop toward dest, or routing.None when
+// unreachable. A node's next hop to itself is itself.
+func (s *Solution) NextHop(from, dest routing.NodeID) routing.NodeID {
+	f, d := s.idx.Pos(from), s.idx.Pos(dest)
+	if f < 0 || d < 0 {
+		return routing.None
+	}
+	nh := s.next[d][f]
+	if nh == noRoute {
+		return routing.None
+	}
+	return s.idx.ID(int(nh))
+}
+
+// Class returns the route class of from's best route to dest, or 0 when
+// unreachable.
+func (s *Solution) Class(from, dest routing.NodeID) policy.RouteClass {
+	f, d := s.idx.Pos(from), s.idx.Pos(dest)
+	if f < 0 || d < 0 {
+		return 0
+	}
+	return policy.RouteClass(s.class[d][f])
+}
+
+// Dist returns the hop count of from's best route to dest; 0 means
+// from == dest or unreachable (check Class to distinguish).
+func (s *Solution) Dist(from, dest routing.NodeID) int {
+	f, d := s.idx.Pos(from), s.idx.Pos(dest)
+	if f < 0 || d < 0 {
+		return 0
+	}
+	return int(s.dist[d][f])
+}
+
+// Path materializes from's best path to dest by following next hops. The
+// boolean result is false when dest is unreachable from from.
+func (s *Solution) Path(from, dest routing.NodeID) (routing.Path, bool) {
+	f, d := s.idx.Pos(from), s.idx.Pos(dest)
+	if f < 0 || d < 0 {
+		return nil, false
+	}
+	if f == d {
+		return routing.Path{from}, true
+	}
+	if s.next[d][f] == noRoute {
+		return nil, false
+	}
+	p := make(routing.Path, 0, int(s.dist[d][f])+1)
+	cur := int32(f)
+	for cur != int32(d) {
+		p = append(p, s.idx.ID(int(cur)))
+		cur = s.next[d][cur]
+		if len(p) > s.idx.Len() {
+			// Defensive: a loop here would mean the fixpoint failed.
+			return nil, false
+		}
+	}
+	p = append(p, dest)
+	return p, true
+}
+
+// PathSet returns from's selected path to every reachable destination
+// other than itself — the input BuildGraph (paper Table 2) consumes.
+func (s *Solution) PathSet(from routing.NodeID) map[routing.NodeID]routing.Path {
+	out := make(map[routing.NodeID]routing.Path, s.idx.Len()-1)
+	for i := 0; i < s.idx.Len(); i++ {
+		dest := s.idx.ID(i)
+		if dest == from {
+			continue
+		}
+		if p, ok := s.Path(from, dest); ok {
+			out[dest] = p
+		}
+	}
+	return out
+}
+
+// Reachable reports whether from has any policy-compliant route to dest.
+func (s *Solution) Reachable(from, dest routing.NodeID) bool {
+	if from == dest {
+		return true
+	}
+	return s.NextHop(from, dest) != routing.None
+}
+
+// SolveDest computes the converged routes toward a single destination,
+// for callers that cannot afford the Θ(N²) full solution. The returned
+// maps give each node's next hop and route class toward dest.
+func SolveDest(g *topology.Graph, dest routing.NodeID) (map[routing.NodeID]routing.NodeID, map[routing.NodeID]policy.RouteClass, error) {
+	return SolveDestOpts(g, dest, Options{})
+}
+
+// SolveDestOpts is SolveDest with explicit policy options.
+func SolveDestOpts(g *topology.Graph, dest routing.NodeID, opts Options) (map[routing.NodeID]routing.NodeID, map[routing.NodeID]policy.RouteClass, error) {
+	idx := topology.NewIndex(g)
+	d := idx.Pos(dest)
+	if d < 0 {
+		return nil, nil, fmt.Errorf("solver: destination %v not in topology", dest)
+	}
+	adj := buildAdjacency(g, idx, opts)
+	st := newDestState(adj)
+	if err := st.solve(d); err != nil {
+		return nil, nil, err
+	}
+	next := make(map[routing.NodeID]routing.NodeID, idx.Len())
+	class := make(map[routing.NodeID]policy.RouteClass, idx.Len())
+	for i := 0; i < idx.Len(); i++ {
+		if st.class[i] == 0 || i == d {
+			continue
+		}
+		next[idx.ID(i)] = idx.ID(int(st.path[i][1]))
+		class[idx.ID(i)] = policy.RouteClass(st.class[i])
+	}
+	return next, class, nil
+}

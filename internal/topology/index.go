@@ -1,0 +1,39 @@
+package topology
+
+import "centaur/internal/routing"
+
+// Index assigns dense array positions to the graph's node IDs so that
+// hot algorithms (the static solver, the generators) can use slices
+// instead of maps. Build one with NewIndex; it is immutable afterwards.
+type Index struct {
+	ids []routing.NodeID
+	pos map[routing.NodeID]int
+}
+
+// NewIndex returns the dense index of g's nodes in ascending ID order.
+func NewIndex(g *Graph) *Index {
+	ids := g.Nodes()
+	pos := make(map[routing.NodeID]int, len(ids))
+	for i, id := range ids {
+		pos[id] = i
+	}
+	return &Index{ids: ids, pos: pos}
+}
+
+// Len returns the number of indexed nodes.
+func (ix *Index) Len() int { return len(ix.ids) }
+
+// ID returns the node ID at dense position i.
+func (ix *Index) ID(i int) routing.NodeID { return ix.ids[i] }
+
+// Pos returns the dense position of id, or -1 if id is not indexed.
+func (ix *Index) Pos(id routing.NodeID) int {
+	if p, ok := ix.pos[id]; ok {
+		return p
+	}
+	return -1
+}
+
+// IDs returns all indexed node IDs in position order. The slice is owned
+// by the index and must not be modified.
+func (ix *Index) IDs() []routing.NodeID { return ix.ids }

@@ -1,0 +1,73 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"centaur/internal/pgraph"
+	"centaur/internal/routing"
+)
+
+// seedLinkInfo is a representative announcement for the fuzz corpus.
+func seedLinkInfo() pgraph.LinkInfo {
+	return pgraph.LinkInfo{
+		Link:     routing.Link{From: 1, To: 2},
+		ToIsDest: true,
+		Perm:     []pgraph.PermEntry{{Dest: 3, Next: 4}, {Dest: 5, Next: routing.None}},
+	}
+}
+
+// Fuzz targets: decoders must never panic, and anything that decodes
+// successfully must re-encode to a canonical form that decodes to the
+// same value (decode ∘ encode ∘ decode = decode).
+
+func FuzzDecodeCentaurUpdate(f *testing.F) {
+	f.Add([]byte{KindCentaurUpdate, 0, 0, 0})
+	f.Add(AppendCentaurUpdate(nil, CentaurUpdate{}))
+	seedUpdate := CentaurUpdate{}
+	seedUpdate.Adds = append(seedUpdate.Adds, seedLinkInfo())
+	f.Add(AppendCentaurUpdate(nil, seedUpdate))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		u, err := DecodeCentaurUpdate(data)
+		if err != nil {
+			return
+		}
+		enc := AppendCentaurUpdate(nil, u)
+		u2, err := DecodeCentaurUpdate(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		enc2 := AppendCentaurUpdate(nil, u2)
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("canonical encoding not a fixpoint:\n%x\n%x", enc, enc2)
+		}
+	})
+}
+
+func FuzzDecodeBGPUpdate(f *testing.F) {
+	f.Add(AppendBGPUpdate(nil, BGPUpdate{Dest: 3}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		u, err := DecodeBGPUpdate(data)
+		if err != nil {
+			return
+		}
+		enc := AppendBGPUpdate(nil, u)
+		if _, err := DecodeBGPUpdate(enc); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}
+
+func FuzzDecodeOSPFLSA(f *testing.F) {
+	f.Add(AppendOSPFLSA(nil, OSPFLSA{Origin: 1, Seq: 1}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := DecodeOSPFLSA(data)
+		if err != nil {
+			return
+		}
+		enc := AppendOSPFLSA(nil, l)
+		if _, err := DecodeOSPFLSA(enc); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}

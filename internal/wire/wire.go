@@ -1,0 +1,298 @@
+// Package wire defines a compact binary encoding for the three
+// protocols' messages, so the evaluation can report bytes-on-the-wire in
+// addition to abstract message/unit counts. The paper compares "message
+// counts" whose units differ per protocol (per-destination updates for
+// BGP, per-link announcements for Centaur, per-LSA floods for OSPF);
+// byte counts are the common currency that makes the comparison
+// unit-free: BGP updates carry full AS paths, Centaur updates carry
+// links plus Permission Lists, LSAs carry adjacency lists.
+//
+// The format is deterministic (field order fixed, Permission List pairs
+// sorted) and self-delimiting, built from unsigned varints:
+//
+//	message   := kind:uvarint body
+//	kind      := 1 (centaur update) | 2 (bgp update) | 3 (ospf lsa)
+//
+// Decoding validates structure and fails on truncated or trailing
+// input; encode→decode is the identity (property-tested).
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"centaur/internal/pgraph"
+	"centaur/internal/routing"
+)
+
+// Message kinds.
+const (
+	// KindCentaurUpdate tags a Centaur link-state delta.
+	KindCentaurUpdate = 1
+	// KindBGPUpdate tags a BGP announce/withdraw.
+	KindBGPUpdate = 2
+	// KindOSPFLSA tags an OSPF router LSA flood.
+	KindOSPFLSA = 3
+)
+
+// CentaurUpdate is the wire form of a Centaur routing update: the delta
+// of the sender's exported view plus root cause notifications.
+// (Mirrors centaur.Update without importing it, so the protocol package
+// can depend on wire for sizing.)
+type CentaurUpdate struct {
+	Adds        []pgraph.LinkInfo
+	Removes     []routing.Link
+	FailedLinks []routing.Link
+}
+
+// BGPUpdate is the wire form of a single-destination BGP update; a nil
+// Path is a withdrawal. FailedLinks carries BGP-RCN root cause
+// notifications (empty in plain BGP).
+type BGPUpdate struct {
+	Dest        routing.NodeID
+	Path        routing.Path
+	FailedLinks []routing.Link
+}
+
+// OSPFLSA is the wire form of a router LSA.
+type OSPFLSA struct {
+	Origin    routing.NodeID
+	Seq       uint64
+	Neighbors []routing.NodeID
+}
+
+// AppendCentaurUpdate appends the encoded update to buf.
+func AppendCentaurUpdate(buf []byte, u CentaurUpdate) []byte {
+	buf = binary.AppendUvarint(buf, KindCentaurUpdate)
+	buf = binary.AppendUvarint(buf, uint64(len(u.Adds)))
+	for _, li := range u.Adds {
+		buf = appendLink(buf, li.Link)
+		flags := uint64(0)
+		if li.ToIsDest {
+			flags |= 1
+		}
+		if len(li.Perm) > 0 {
+			flags |= 2
+		}
+		buf = binary.AppendUvarint(buf, flags)
+		if len(li.Perm) > 0 {
+			buf = appendPerm(buf, li.Perm)
+		}
+	}
+	buf = appendLinks(buf, u.Removes)
+	buf = appendLinks(buf, u.FailedLinks)
+	return buf
+}
+
+// appendPerm encodes Permission List pairs in the grouped per-dest-next
+// form (§4.1): groups sorted by next hop, destinations sorted within.
+func appendPerm(buf []byte, perm []pgraph.PermEntry) []byte {
+	byNext := make(map[routing.NodeID][]routing.NodeID)
+	for _, e := range perm {
+		byNext[e.Next] = append(byNext[e.Next], e.Dest)
+	}
+	nexts := make([]routing.NodeID, 0, len(byNext))
+	for nxt := range byNext {
+		nexts = append(nexts, nxt)
+	}
+	sort.Slice(nexts, func(i, j int) bool { return nexts[i] < nexts[j] })
+	buf = binary.AppendUvarint(buf, uint64(len(nexts)))
+	for _, nxt := range nexts {
+		buf = binary.AppendUvarint(buf, uint64(nxt))
+		dests := byNext[nxt]
+		sort.Slice(dests, func(i, j int) bool { return dests[i] < dests[j] })
+		buf = binary.AppendUvarint(buf, uint64(len(dests)))
+		for _, d := range dests {
+			buf = binary.AppendUvarint(buf, uint64(d))
+		}
+	}
+	return buf
+}
+
+// DecodeCentaurUpdate decodes an update produced by AppendCentaurUpdate.
+func DecodeCentaurUpdate(buf []byte) (CentaurUpdate, error) {
+	d := decoder{buf: buf}
+	var u CentaurUpdate
+	if kind := d.uvarint(); kind != KindCentaurUpdate {
+		return u, fmt.Errorf("wire: kind %d is not a centaur update", kind)
+	}
+	nAdds := d.count()
+	for i := uint64(0); i < nAdds && d.err == nil; i++ {
+		var li pgraph.LinkInfo
+		li.Link = d.link()
+		flags := d.uvarint()
+		li.ToIsDest = flags&1 != 0
+		if flags&2 != 0 {
+			li.Perm = d.perm()
+			if len(li.Perm) == 0 && d.err == nil {
+				d.fail("empty permission list encoded")
+			}
+		}
+		u.Adds = append(u.Adds, li)
+	}
+	u.Removes = d.links()
+	u.FailedLinks = d.links()
+	return u, d.finish()
+}
+
+// AppendBGPUpdate appends the encoded update to buf.
+func AppendBGPUpdate(buf []byte, u BGPUpdate) []byte {
+	buf = binary.AppendUvarint(buf, KindBGPUpdate)
+	buf = binary.AppendUvarint(buf, uint64(u.Dest))
+	buf = binary.AppendUvarint(buf, uint64(len(u.Path)))
+	for _, n := range u.Path {
+		buf = binary.AppendUvarint(buf, uint64(n))
+	}
+	buf = appendLinks(buf, u.FailedLinks)
+	return buf
+}
+
+// DecodeBGPUpdate decodes an update produced by AppendBGPUpdate.
+func DecodeBGPUpdate(buf []byte) (BGPUpdate, error) {
+	d := decoder{buf: buf}
+	var u BGPUpdate
+	if kind := d.uvarint(); kind != KindBGPUpdate {
+		return u, fmt.Errorf("wire: kind %d is not a bgp update", kind)
+	}
+	u.Dest = d.node()
+	n := d.count()
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		u.Path = append(u.Path, d.node())
+	}
+	u.FailedLinks = d.links()
+	return u, d.finish()
+}
+
+// AppendOSPFLSA appends the encoded LSA to buf.
+func AppendOSPFLSA(buf []byte, l OSPFLSA) []byte {
+	buf = binary.AppendUvarint(buf, KindOSPFLSA)
+	buf = binary.AppendUvarint(buf, uint64(l.Origin))
+	buf = binary.AppendUvarint(buf, l.Seq)
+	buf = binary.AppendUvarint(buf, uint64(len(l.Neighbors)))
+	for _, n := range l.Neighbors {
+		buf = binary.AppendUvarint(buf, uint64(n))
+	}
+	return buf
+}
+
+// DecodeOSPFLSA decodes an LSA produced by AppendOSPFLSA.
+func DecodeOSPFLSA(buf []byte) (OSPFLSA, error) {
+	d := decoder{buf: buf}
+	var l OSPFLSA
+	if kind := d.uvarint(); kind != KindOSPFLSA {
+		return l, fmt.Errorf("wire: kind %d is not an ospf lsa", kind)
+	}
+	l.Origin = d.node()
+	l.Seq = d.uvarint()
+	n := d.count()
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		l.Neighbors = append(l.Neighbors, d.node())
+	}
+	return l, d.finish()
+}
+
+// appendLink encodes one directed link.
+func appendLink(buf []byte, l routing.Link) []byte {
+	buf = binary.AppendUvarint(buf, uint64(l.From))
+	return binary.AppendUvarint(buf, uint64(l.To))
+}
+
+// appendLinks encodes a length-prefixed link list.
+func appendLinks(buf []byte, links []routing.Link) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(links)))
+	for _, l := range links {
+		buf = appendLink(buf, l)
+	}
+	return buf
+}
+
+// maxCount bounds decoded collection sizes to keep malformed input from
+// forcing huge allocations.
+const maxCount = 1 << 24
+
+// decoder is a cursor over an encoded message with sticky errors.
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) fail(msg string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("wire: %s", msg)
+	}
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail("truncated varint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) count() uint64 {
+	v := d.uvarint()
+	if v > maxCount {
+		d.fail("implausible collection size")
+		return 0
+	}
+	return v
+}
+
+func (d *decoder) node() routing.NodeID {
+	v := d.uvarint()
+	if v > uint64(^uint32(0)) {
+		d.fail("node id out of range")
+		return routing.None
+	}
+	return routing.NodeID(v)
+}
+
+func (d *decoder) link() routing.Link {
+	return routing.Link{From: d.node(), To: d.node()}
+}
+
+func (d *decoder) links() []routing.Link {
+	n := d.count()
+	var out []routing.Link
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		out = append(out, d.link())
+	}
+	return out
+}
+
+func (d *decoder) perm() []pgraph.PermEntry {
+	nGroups := d.count()
+	var out []pgraph.PermEntry
+	for i := uint64(0); i < nGroups && d.err == nil; i++ {
+		next := d.node()
+		nDests := d.count()
+		for j := uint64(0); j < nDests && d.err == nil; j++ {
+			out = append(out, pgraph.PermEntry{Dest: d.node(), Next: next})
+		}
+	}
+	// Re-sort into the canonical (Next, Dest) order LinkInfo carries.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Next != out[j].Next {
+			return out[i].Next < out[j].Next
+		}
+		return out[i].Dest < out[j].Dest
+	})
+	return out
+}
+
+func (d *decoder) finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.buf) != 0 {
+		return fmt.Errorf("wire: %d trailing bytes", len(d.buf))
+	}
+	return nil
+}
