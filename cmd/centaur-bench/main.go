@@ -10,12 +10,20 @@
 //
 //	centaur-bench              # full reproduction (minutes)
 //	centaur-bench -quick       # smoke scale (tens of seconds)
+//
+// Alongside the text report, a machine-readable summary (per-step wall
+// clock plus each figure's key statistics) is written to the -report
+// path, BENCH_report.json by default. -workers bounds the simulator
+// fan-out; -cpuprofile/-memprofile write pprof profiles.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"centaur/internal/experiments"
@@ -30,12 +38,41 @@ func main() {
 	}
 }
 
+// benchStep is one timed entry of the machine-readable report.
+type benchStep struct {
+	Name    string         `json:"name"`
+	Seconds float64        `json:"seconds"`
+	Stats   map[string]any `json:"stats,omitempty"`
+}
+
+// benchReport is the BENCH_report.json schema.
+type benchReport struct {
+	Generated    string      `json:"generated"`
+	Nodes        int         `json:"nodes"`
+	Seed         int64       `json:"seed"`
+	Quick        bool        `json:"quick"`
+	Workers      int         `json:"workers"`
+	GoMaxProcs   int         `json:"gomaxprocs"`
+	Steps        []benchStep `json:"steps"`
+	TotalSeconds float64     `json:"total_seconds"`
+}
+
 func run() error {
 	var (
-		quick = flag.Bool("quick", false, "run at smoke scale")
-		seed  = flag.Int64("seed", 1, "master seed")
+		quick      = flag.Bool("quick", false, "run at smoke scale")
+		seed       = flag.Int64("seed", 1, "master seed")
+		workers    = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+		reportPath = flag.String("report", "BENCH_report.json", "write the machine-readable report here (empty = skip)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stop, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer stop()
 
 	sc := experiments.Scale{Nodes: 4000, Seed: *seed}
 	fig6 := experiments.DefaultFigure6Config()
@@ -50,10 +87,19 @@ func run() error {
 		fig5Sample = 150
 	}
 	fig6.Seed, fig7.Seed, fig8.Seed = *seed, *seed, *seed
+	fig6.Workers, fig7.Workers, fig8.Workers = *workers, *workers, *workers
 
 	start := time.Now()
+	report := benchReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Nodes:      sc.Nodes,
+		Seed:       *seed,
+		Quick:      *quick,
+		Workers:    *workers,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
 	fmt.Printf("Centaur reproduction report (scale: %d nodes, seed %d)\n", sc.Nodes, *seed)
-	fmt.Printf("generated: %s\n\n", time.Now().UTC().Format(time.RFC3339))
+	fmt.Printf("generated: %s\n\n", report.Generated)
 
 	step := func(name string, f func() (fmt.Stringer, error)) error {
 		t0 := time.Now()
@@ -61,15 +107,21 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
+		took := time.Since(t0)
 		fmt.Print(res)
-		fmt.Printf("[%s took %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
+		fmt.Printf("[%s took %v]\n\n", name, took.Round(time.Millisecond))
+		report.Steps = append(report.Steps, benchStep{
+			Name: name, Seconds: took.Seconds(), Stats: keyStats(res),
+		})
 		return nil
 	}
 
+	t0 := time.Now()
 	t3, err := experiments.Table3(sc)
 	if err != nil {
 		return err
 	}
+	report.Steps = append(report.Steps, benchStep{Name: "table 3", Seconds: time.Since(t0).Seconds()})
 	fmt.Print(t3)
 	fmt.Println()
 
@@ -126,6 +178,98 @@ func run() error {
 		return err
 	}
 
+	report.TotalSeconds = time.Since(start).Seconds()
 	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
+	if *reportPath != "" {
+		if err := writeReport(*reportPath, report); err != nil {
+			return err
+		}
+		fmt.Printf("machine-readable report: %s\n", *reportPath)
+	}
 	return nil
+}
+
+// keyStats pulls the headline numbers out of a figure result for the
+// JSON report; non-figure steps report timing only.
+func keyStats(res fmt.Stringer) map[string]any {
+	switch r := res.(type) {
+	case *experiments.Figure6Result:
+		return map[string]any{
+			"centaur_median_ms":           r.Centaur.Median(),
+			"centaur_p90_ms":              r.Centaur.Percentile(90),
+			"bgp_mrai_median_ms":          r.BGP.Median(),
+			"bgp_nomrai_median_ms":        r.BGPNoMRAI.Median(),
+			"fraction_centaur_faster":     r.FractionCentaurFaster,
+			"fraction_centaur_not_slower": r.FractionCentaurNotSlower,
+		}
+	case *experiments.Figure7Result:
+		return map[string]any{
+			"centaur_mean_units":     r.Centaur.Mean(),
+			"ospf_mean_units":        r.OSPF.Mean(),
+			"centaur_mean_msgs":      r.CentaurMsgs.Mean(),
+			"ospf_mean_msgs":         r.OSPFMsgs.Mean(),
+			"centaur_mean_bytes":     r.CentaurBytes.Mean(),
+			"ospf_mean_bytes":        r.OSPFBytes.Mean(),
+			"fraction_centaur_fewer": r.FractionCentaurFewer,
+		}
+	case *experiments.Figure8Result:
+		points := make([]map[string]any, 0, len(r.Points))
+		for _, p := range r.Points {
+			points = append(points, map[string]any{
+				"nodes":         p.Nodes,
+				"centaur_units": p.CentaurUnits,
+				"bgp_units":     p.BGPUnits,
+				"centaur_msgs":  p.CentaurMsgs,
+				"bgp_msgs":      p.BGPMsgs,
+				"centaur_bytes": p.CentaurBytes,
+				"bgp_bytes":     p.BGPBytes,
+			})
+		}
+		return map[string]any{"points": points}
+	}
+	return nil
+}
+
+// writeReport marshals the report with stable indentation.
+func writeReport(path string, r benchReport) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// startProfiles starts CPU profiling and arranges a heap snapshot; the
+// returned stop function finishes both and is safe to call once.
+func startProfiles(cpu, mem string) (func(), error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "centaur-bench: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "centaur-bench: -memprofile:", err)
+			}
+		}
+	}, nil
 }

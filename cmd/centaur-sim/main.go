@@ -9,14 +9,22 @@
 //	centaur-sim -fig 7 -nodes 500 -flips 120
 //	centaur-sim -fig 8 -sizes 100,200,300,400,500 -flips 30
 //	centaur-sim -compare -nodes 200 -flips 40   # protocol ladder
+//
+// All modes accept -workers and -trials-per-net to fan independent
+// simulations out over a bounded worker pool; results are identical for
+// every worker count (see experiments.FlipConfig). -cpuprofile and
+// -memprofile write pprof profiles of the run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"centaur/internal/bgp"
@@ -25,6 +33,7 @@ import (
 	"centaur/internal/ospf"
 	"centaur/internal/sim"
 	"centaur/internal/topogen"
+	"centaur/internal/topology"
 )
 
 func main() {
@@ -36,25 +45,36 @@ func main() {
 
 func run() error {
 	var (
-		fig     = flag.String("fig", "", "reproduce a figure: 6 | 7 | 8")
-		compare = flag.Bool("compare", false, "run the full protocol ladder (Centaur, BGP, BGP+MRAI, BGP-RCN, OSPF) on one flip workload")
-		nodes   = flag.Int("nodes", 500, "BRITE topology size (figures 6 and 7)")
-		m       = flag.Int("m", 2, "BRITE attachment links per node")
-		flips   = flag.Int("flips", 120, "links flipped per measurement (0 = all)")
-		seed    = flag.Int64("seed", 1, "topology, delay, and sampling seed")
-		mrai    = flag.Duration("mrai", 30*time.Second, "BGP MRAI for the figure 6 headline series")
-		sizes   = flag.String("sizes", "100,200,300,400,500,600,700,800,900,1000", "figure 8 topology sizes")
+		fig        = flag.String("fig", "", "reproduce a figure: 6 | 7 | 8")
+		compare    = flag.Bool("compare", false, "run the full protocol ladder (Centaur, BGP, BGP+MRAI, BGP-RCN, OSPF) on one flip workload")
+		nodes      = flag.Int("nodes", 500, "BRITE topology size (figures 6 and 7)")
+		m          = flag.Int("m", 2, "BRITE attachment links per node")
+		flips      = flag.Int("flips", 120, "links flipped per measurement (0 = all)")
+		seed       = flag.Int64("seed", 1, "topology, delay, and sampling seed")
+		mrai       = flag.Duration("mrai", 30*time.Second, "BGP MRAI for the figure 6 headline series")
+		sizes      = flag.String("sizes", "100,200,300,400,500,600,700,800,900,1000", "figure 8 topology sizes")
+		workers    = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+		trialsPer  = flag.Int("trials-per-net", 0, "flip trials per fresh network; 0 = one shared network per series (historical semantics)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
+	stop, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer stop()
+
 	if *compare {
-		return runCompare(*nodes, *m, *flips, *seed, *mrai)
+		return runCompare(*nodes, *m, *flips, *seed, *mrai, *workers, *trialsPer)
 	}
 
 	switch *fig {
 	case "6":
 		res, err := experiments.Figure6(experiments.Figure6Config{
 			Nodes: *nodes, LinksPerNode: *m, Flips: *flips, Seed: *seed, MRAI: *mrai,
+			TrialsPerNetwork: *trialsPer, Workers: *workers,
 		})
 		if err != nil {
 			return err
@@ -64,6 +84,7 @@ func run() error {
 	case "7":
 		res, err := experiments.Figure7(experiments.Figure7Config{
 			Nodes: *nodes, LinksPerNode: *m, Flips: *flips, Seed: *seed,
+			TrialsPerNetwork: *trialsPer, Workers: *workers,
 		})
 		if err != nil {
 			return err
@@ -77,6 +98,7 @@ func run() error {
 		}
 		res, err := experiments.Figure8(experiments.Figure8Config{
 			Sizes: sz, LinksPerNode: *m, FlipsPerSize: *flips, Seed: *seed,
+			TrialsPerNetwork: *trialsPer, Workers: *workers,
 		})
 		if err != nil {
 			return err
@@ -89,10 +111,47 @@ func run() error {
 	}
 }
 
+// startProfiles starts CPU profiling and arranges a heap snapshot; the
+// returned stop function finishes both and is safe to call once.
+func startProfiles(cpu, mem string) (func(), error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "centaur-sim: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "centaur-sim: -memprofile:", err)
+			}
+		}
+	}, nil
+}
+
 // runCompare prints, for every protocol in the ladder, the cold-start
 // cost and per-flip-phase means of convergence time, update units, wire
-// messages, and wire bytes on an identical workload.
-func runCompare(nodes, m, flips int, seed int64, mrai time.Duration) error {
+// messages, and wire bytes on an identical workload. The five protocol
+// runs are independent, so they fan out across the worker budget; each
+// row's remaining share of workers flows into its RunFlips call.
+func runCompare(nodes, m, flips int, seed int64, mrai time.Duration, workers, trialsPer int) error {
 	g, err := topogen.BRITE(nodes, m, seed)
 	if err != nil {
 		return err
@@ -110,43 +169,78 @@ func runCompare(nodes, m, flips int, seed int64, mrai time.Duration) error {
 		{"bgp-rcn", bgp.New(bgp.Config{RCN: true})},
 		{"ospf", ospf.New()},
 	}
-	for _, proto := range ladder {
-		net, err := sim.NewNetwork(sim.Config{Topology: g, Build: proto.build, DelaySeed: seed})
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	outer := workers
+	if outer > len(ladder) {
+		outer = len(ladder)
+	}
+	inner := workers / outer
+	if inner < 1 {
+		inner = 1
+	}
+	rows := make([]string, len(ladder))
+	errs := make([]error, len(ladder))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, outer)
+	for i, proto := range ladder {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rows[i], errs[i] = compareRow(g, proto.name, proto.build, flips, seed, inner, trialsPer)
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
 		if err != nil {
 			return err
 		}
-		if _, _, err := net.RunToConvergence(500_000_000); err != nil {
-			return fmt.Errorf("%s cold start: %w", proto.name, err)
-		}
-		cold := net.Stats().Units
-		samples, err := experiments.RunFlips(experiments.FlipConfig{
-			Topology: g, Build: proto.build, Flips: flips, Seed: seed,
-		})
-		if err != nil {
-			return fmt.Errorf("%s flips: %w", proto.name, err)
-		}
-		var units, msgs, bytes int64
-		var down, up time.Duration
-		for _, s := range samples {
-			units += s.DownUnits + s.UpUnits
-			msgs += s.DownMsgs + s.UpMsgs
-			bytes += s.DownBytes + s.UpBytes
-			down += s.DownTime
-			up += s.UpTime
-		}
-		phases := int64(2 * len(samples))
-		if phases == 0 {
-			continue
-		}
-		fmt.Printf("%-10s %12d %12.1f %12.1f %12.2f %14v %14v\n",
-			proto.name, cold,
-			float64(units)/float64(phases),
-			float64(msgs)/float64(phases),
-			float64(bytes)/float64(phases)/1024,
-			(down / time.Duration(len(samples))).Round(time.Microsecond),
-			(up / time.Duration(len(samples))).Round(time.Microsecond))
+		fmt.Print(rows[i])
 	}
 	return nil
+}
+
+// compareRow measures one ladder protocol and renders its table row
+// (empty when the workload produced no samples).
+func compareRow(g *topology.Graph, name string, build sim.Builder, flips int, seed int64, workers, trialsPer int) (string, error) {
+	net, err := sim.NewNetwork(sim.Config{Topology: g, Build: build, DelaySeed: seed})
+	if err != nil {
+		return "", err
+	}
+	if _, _, err := net.RunToConvergence(500_000_000); err != nil {
+		return "", fmt.Errorf("%s cold start: %w", name, err)
+	}
+	cold := net.Stats().Units
+	samples, err := experiments.RunFlips(experiments.FlipConfig{
+		Topology: g, Build: build, Flips: flips, Seed: seed,
+		TrialsPerNetwork: trialsPer, Workers: workers,
+	})
+	if err != nil {
+		return "", fmt.Errorf("%s flips: %w", name, err)
+	}
+	var units, msgs, bytes int64
+	var down, up time.Duration
+	for _, s := range samples {
+		units += s.DownUnits + s.UpUnits
+		msgs += s.DownMsgs + s.UpMsgs
+		bytes += s.DownBytes + s.UpBytes
+		down += s.DownTime
+		up += s.UpTime
+	}
+	phases := int64(2 * len(samples))
+	if phases == 0 {
+		return "", nil
+	}
+	return fmt.Sprintf("%-10s %12d %12.1f %12.1f %12.2f %14v %14v\n",
+		name, cold,
+		float64(units)/float64(phases),
+		float64(msgs)/float64(phases),
+		float64(bytes)/float64(phases)/1024,
+		(down / time.Duration(len(samples))).Round(time.Microsecond),
+		(up / time.Duration(len(samples))).Round(time.Microsecond)), nil
 }
 
 func parseSizes(s string) ([]int, error) {

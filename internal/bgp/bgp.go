@@ -12,7 +12,7 @@ package bgp
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"centaur/internal/policy"
@@ -42,9 +42,9 @@ func (Update) Units() int { return 1 }
 
 // WireBytes implements sim.ByteSizer with the internal/wire encoding.
 func (u Update) WireBytes() int {
-	return len(wire.AppendBGPUpdate(nil, wire.BGPUpdate{
+	return wire.BGPUpdateSize(wire.BGPUpdate{
 		Dest: u.Dest, Path: u.Path, FailedLinks: u.FailedLinks,
-	}))
+	})
 }
 
 // String renders the update for traces.
@@ -82,6 +82,9 @@ type Node struct {
 	env  sim.Env
 	self routing.NodeID
 	rel  map[routing.NodeID]topology.Relationship
+	// nbrs is the fixed neighbor set in ascending ID order, cached so the
+	// decision process doesn't rebuild and re-sort it per destination.
+	nbrs []routing.NodeID
 
 	// adjIn[n][d] is the candidate at this node via neighbor n for
 	// destination d: the neighbor's announced path with self prepended.
@@ -99,6 +102,10 @@ type Node struct {
 	failed     map[edgeKey]uint64
 	failedGen  uint64
 	pendingRCN map[routing.NodeID][]rcnNotice
+
+	// Scratch buffers reused across the decision process's hot calls.
+	candBuf []policy.Candidate
+	destBuf []routing.NodeID // flushPending only: never reused re-entrantly
 }
 
 // rcnNotice is a queued root cause awaiting delivery to one neighbor; a
@@ -130,8 +137,9 @@ func New(cfg Config) sim.Builder {
 			pending:    make(map[routing.NodeID]map[routing.NodeID]struct{}),
 			mraiArmed:  make(map[routing.NodeID]bool),
 		}
-		for _, nb := range env.Neighbors() {
+		for _, nb := range env.Neighbors() { // ascending by ID
 			n.rel[nb.ID] = nb.Rel
+			n.nbrs = append(n.nbrs, nb.ID)
 			n.adjIn[nb.ID] = make(map[routing.NodeID]routing.Path)
 			n.advertised[nb.ID] = make(map[routing.NodeID]routing.Path)
 			n.pending[nb.ID] = make(map[routing.NodeID]struct{})
@@ -152,20 +160,9 @@ func (n *Node) Start(env sim.Env) {
 		Class: policy.ClassOwn,
 		Via:   routing.None,
 	}
-	for _, nb := range n.neighbors() {
+	for _, nb := range n.nbrs {
 		n.scheduleAdvert(nb, n.self)
 	}
-}
-
-// neighbors returns the neighbor IDs in ascending order for
-// deterministic iteration.
-func (n *Node) neighbors() []routing.NodeID {
-	out := make([]routing.NodeID, 0, len(n.rel))
-	for id := range n.rel {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
 }
 
 // Handle implements sim.Protocol.
@@ -221,7 +218,7 @@ func (n *Node) queueRCN(l routing.Link) {
 		ttl = time.Second
 	}
 	deadline := n.env.Now() + ttl
-	for _, nb := range n.neighbors() {
+	for _, nb := range n.nbrs {
 		n.pendingRCN[nb] = append(n.pendingRCN[nb], rcnNotice{link: l, deadline: deadline})
 	}
 }
@@ -229,7 +226,7 @@ func (n *Node) queueRCN(l routing.Link) {
 // runDecision re-selects the best route for dest and, on change,
 // schedules advertisements to every neighbor.
 func (n *Node) runDecision(dest routing.NodeID) {
-	var cands []policy.Candidate
+	cands := n.candBuf[:0]
 	if dest == n.self {
 		cands = append(cands, policy.Candidate{
 			Path:  routing.Path{n.self},
@@ -237,7 +234,7 @@ func (n *Node) runDecision(dest routing.NodeID) {
 			Via:   routing.None,
 		})
 	}
-	for _, nb := range n.neighbors() {
+	for _, nb := range n.nbrs {
 		if p, ok := n.adjIn[nb][dest]; ok {
 			if n.cfg.RCN && n.masked(p) {
 				continue // RCN: never explore a path over a failed link
@@ -249,7 +246,10 @@ func (n *Node) runDecision(dest routing.NodeID) {
 			})
 		}
 	}
+	// policy.Best copies the winner out by value, so the buffer can be
+	// reused on the next decision.
 	newBest := policy.Best(n.pol, n.self, cands)
+	n.candBuf = cands[:0]
 	old, had := n.best[dest]
 	if had && newBest.Path.Equal(old.Path) && newBest.Via == old.Via {
 		return
@@ -262,7 +262,7 @@ func (n *Node) runDecision(dest routing.NodeID) {
 	} else {
 		n.best[dest] = newBest
 	}
-	for _, nb := range n.neighbors() {
+	for _, nb := range n.nbrs {
 		n.scheduleAdvert(nb, dest)
 	}
 }
@@ -300,11 +300,14 @@ func (n *Node) armMRAI(nb routing.NodeID) {
 
 // flushPending advertises every held destination to nb.
 func (n *Node) flushPending(nb routing.NodeID) {
-	dests := make([]routing.NodeID, 0, len(n.pending[nb]))
+	dests := n.destBuf[:0]
 	for d := range n.pending[nb] {
 		dests = append(dests, d)
 	}
-	sort.Slice(dests, func(i, j int) bool { return dests[i] < dests[j] })
+	slices.Sort(dests)
+	// advertise never re-enters flushPending, so destBuf stays coherent
+	// for the duration of the loop.
+	n.destBuf = dests
 	for _, d := range dests {
 		delete(n.pending[nb], d)
 		n.advertise(nb, d)
@@ -333,8 +336,11 @@ func (n *Node) advertise(nb, dest routing.NodeID) {
 	if hadPrev && prev.Equal(toSend) {
 		return
 	}
-	n.advertised[nb][dest] = toSend.Clone()
-	n.env.Send(nb, Update{Dest: dest, Path: toSend.Clone(), FailedLinks: n.drainRCN(nb)})
+	// Paths are immutable once installed (Prepend copies), so the best
+	// path can back both the advertised record and the in-flight update
+	// without defensive clones.
+	n.advertised[nb][dest] = toSend
+	n.env.Send(nb, Update{Dest: dest, Path: toSend, FailedLinks: n.drainRCN(nb)})
 }
 
 // drainRCN empties neighbor nb's queued root cause notifications for
@@ -375,7 +381,7 @@ func (n *Node) LinkDown(nb routing.NodeID) {
 	for d := range rib {
 		affected = append(affected, d)
 	}
-	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
+	slices.Sort(affected)
 	n.adjIn[nb] = make(map[routing.NodeID]routing.Path)
 	n.advertised[nb] = make(map[routing.NodeID]routing.Path)
 	n.pending[nb] = make(map[routing.NodeID]struct{})
@@ -398,7 +404,7 @@ func (n *Node) LinkUp(nb routing.NodeID) {
 	for d := range n.best {
 		dests = append(dests, d)
 	}
-	sort.Slice(dests, func(i, j int) bool { return dests[i] < dests[j] })
+	slices.Sort(dests)
 	for _, d := range dests {
 		n.scheduleAdvert(nb, d)
 	}

@@ -27,7 +27,7 @@ package centaur
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"centaur/internal/pgraph"
@@ -59,11 +59,11 @@ func (u Update) Units() int { return u.Delta.Size() }
 
 // WireBytes implements sim.ByteSizer with the internal/wire encoding.
 func (u Update) WireBytes() int {
-	return len(wire.AppendCentaurUpdate(nil, wire.CentaurUpdate{
+	return wire.CentaurUpdateSize(wire.CentaurUpdate{
 		Adds:        u.Delta.Adds,
 		Removes:     u.Delta.Removes,
 		FailedLinks: u.FailedLinks,
-	}))
+	})
 }
 
 // String renders the update compactly for traces.
@@ -142,6 +142,12 @@ type Node struct {
 	// derived[b][d] is the memoized DerivePath result from G_{b->self}.
 	// Entries are invalidated by the affected-set analysis.
 	derived map[routing.NodeID]map[routing.NodeID]derivedEntry
+
+	// Per-round scratch, reused across Handle calls (each round finishes
+	// before the next event is dispatched).
+	destBuf  []routing.NodeID
+	addsBuf  []pgraph.LinkInfo
+	dirtyBuf map[routing.NodeID]bool
 }
 
 // derivedEntry is one memoized derivation result (ok=false caches a
@@ -178,7 +184,7 @@ func New(cfg Config) sim.Builder {
 			n.rel[nb.ID] = nb.Rel
 			n.nbrList = append(n.nbrList, nb.ID)
 		}
-		sort.Slice(n.nbrList, func(i, j int) bool { return n.nbrList[i] < n.nbrList[j] })
+		slices.Sort(n.nbrList)
 		return n
 	}
 }
@@ -221,9 +227,10 @@ func (n *Node) Handle(from routing.NodeID, msg sim.Message) {
 		return // link went down; the session state is gone
 	}
 	// Import filtering: drop links pointing at this node (loop
-	// elimination — any path through them would revisit us).
+	// elimination — any path through them would revisit us). Apply copies
+	// what it keeps, so the filtered delta can live in scratch.
 	filtered := pgraph.Delta{
-		Adds:    make([]pgraph.LinkInfo, 0, len(u.Delta.Adds)),
+		Adds:    n.addsBuf[:0],
 		Removes: u.Delta.Removes,
 	}
 	for _, li := range u.Delta.Adds {
@@ -232,6 +239,7 @@ func (n *Node) Handle(from routing.NodeID, msg sim.Message) {
 		}
 		filtered.Adds = append(filtered.Adds, li)
 	}
+	n.addsBuf = filtered.Adds
 	// Incremental mode: the destinations whose derivations this update
 	// can influence are the marked destinations below every touched link
 	// head — in the old graph for context that disappears, in the new
@@ -432,28 +440,38 @@ func (n *Node) recompute() {
 	for d := range n.paths {
 		set[d] = struct{}{}
 	}
-	dests := make([]routing.NodeID, 0, len(set))
+	dests := n.destBuf[:0]
 	for d := range set {
 		dests = append(dests, d)
 	}
-	sort.Slice(dests, func(i, j int) bool { return dests[i] < dests[j] })
-	dirty := make(map[routing.NodeID]bool, len(n.rel))
-	changed := n.solveSome(dests, dirty)
-	n.finish(changed, dirty)
+	slices.Sort(dests)
+	n.destBuf = dests
+	changed := n.solveSome(dests, n.dirtyScratch())
+	n.finish(changed, n.dirtyBuf)
 }
 
 // recomputeDests is the incremental-mode recompute: only the affected
 // destinations are re-solved, and only the export views of neighbors an
 // export-relevant route changed for are updated.
 func (n *Node) recomputeDests(affected map[routing.NodeID]struct{}) {
-	dests := make([]routing.NodeID, 0, len(affected))
+	dests := n.destBuf[:0]
 	for d := range affected {
 		dests = append(dests, d)
 	}
-	sort.Slice(dests, func(i, j int) bool { return dests[i] < dests[j] })
-	dirty := make(map[routing.NodeID]bool, len(n.rel))
-	changed := n.solveSome(dests, dirty)
-	n.finish(changed, dirty)
+	slices.Sort(dests)
+	n.destBuf = dests
+	changed := n.solveSome(dests, n.dirtyScratch())
+	n.finish(changed, n.dirtyBuf)
+}
+
+// dirtyScratch returns the cleared per-round dirty-neighbor scratch map.
+func (n *Node) dirtyScratch() map[routing.NodeID]bool {
+	if n.dirtyBuf == nil {
+		n.dirtyBuf = make(map[routing.NodeID]bool, len(n.rel))
+	} else {
+		clear(n.dirtyBuf)
+	}
+	return n.dirtyBuf
 }
 
 // finish applies the round's route changes to the local P-graph and the
@@ -635,7 +653,7 @@ func (n *Node) knownDests() []routing.NodeID {
 	for d := range set {
 		out = append(out, d)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

@@ -58,39 +58,93 @@ type FlipConfig struct {
 	Flips int
 	// Seed drives link sampling and the per-link delay assignment.
 	Seed int64
+	// TrialsPerNetwork splits the flip schedule into independent chunks
+	// of this many contiguous trials, each simulated on a fresh network
+	// whose delay seed is Seed + the chunk's first trial index — the
+	// deterministic per-trial seeding rule that makes chunks independent
+	// of each other and of the worker count. 0 keeps the paper's (and
+	// this repo's historical) semantics: every flip runs sequentially on
+	// one shared network, which also costs only one cold start.
+	TrialsPerNetwork int
+	// Workers bounds how many chunks run concurrently; 0 means
+	// GOMAXPROCS, 1 forces serial execution. The reported samples are
+	// identical for every worker count: chunking is fixed by
+	// TrialsPerNetwork and each chunk writes its own result slots.
+	Workers int
 }
 
-// RunFlips cold-starts the protocol, then sequentially flips sampled
-// links: fail, reconverge, restore, reconverge, measuring message units
-// and convergence time for each phase.
-func RunFlips(cfg FlipConfig) ([]FlipSample, error) {
-	net, err := sim.NewNetwork(sim.Config{
-		Topology:  cfg.Topology,
-		Build:     cfg.Build,
-		DelaySeed: cfg.Seed,
-	})
-	if err != nil {
-		return nil, err
-	}
-	if _, _, err := net.RunToConvergence(maxEvents); err != nil {
-		return nil, fmt.Errorf("experiments: cold start: %w", err)
-	}
+// flipJob is one independent unit of simulation work: a fresh network
+// (topology + protocol + delaySeed) whose flip schedule fills out[i]
+// for each edge, in order.
+type flipJob struct {
+	label     string
+	topo      *topology.Graph
+	build     sim.Builder
+	edges     []topology.Edge
+	delaySeed int64
+	out       []FlipSample
+}
+
+// flipEdges returns the flip schedule for cfg: all edges, or a
+// Seed-shuffled sample of Flips of them.
+func flipEdges(cfg FlipConfig) []topology.Edge {
 	edges := cfg.Topology.Edges()
 	if cfg.Flips > 0 && cfg.Flips < len(edges) {
 		rng := rand.New(rand.NewSource(cfg.Seed))
 		rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
 		edges = edges[:cfg.Flips]
 	}
-	out := make([]FlipSample, 0, len(edges))
-	for _, e := range edges {
+	return edges
+}
+
+// flipJobs splits cfg's flip schedule into independent jobs writing into
+// out (which must have one slot per scheduled flip).
+func flipJobs(cfg FlipConfig, label string, out []FlipSample) []flipJob {
+	edges := flipEdges(cfg)
+	chunk := cfg.TrialsPerNetwork
+	if chunk <= 0 {
+		chunk = len(edges) // single shared network, historical semantics
+	}
+	var jobs []flipJob
+	for start := 0; start < len(edges); start += chunk {
+		end := start + chunk
+		if end > len(edges) {
+			end = len(edges)
+		}
+		jobs = append(jobs, flipJob{
+			label:     label,
+			topo:      cfg.Topology,
+			build:     cfg.Build,
+			edges:     edges[start:end],
+			delaySeed: cfg.Seed + int64(start),
+			out:       out[start:end],
+		})
+	}
+	return jobs
+}
+
+// run cold-starts the job's network and measures its flip schedule.
+func (j flipJob) run() error {
+	net, err := sim.NewNetwork(sim.Config{
+		Topology:  j.topo,
+		Build:     j.build,
+		DelaySeed: j.delaySeed,
+	})
+	if err != nil {
+		return j.wrap(err)
+	}
+	if _, _, err := net.RunToConvergence(maxEvents); err != nil {
+		return j.wrap(fmt.Errorf("experiments: cold start: %w", err))
+	}
+	for i, e := range j.edges {
 		s := FlipSample{Link: e}
 		net.ResetStats()
 		start := net.Now()
 		if !net.FailLink(e.A, e.B) {
-			return nil, fmt.Errorf("experiments: failing %v: link not up", e)
+			return j.wrap(fmt.Errorf("experiments: failing %v: link not up", e))
 		}
 		if _, _, err := net.RunToConvergence(maxEvents); err != nil {
-			return nil, fmt.Errorf("experiments: reconverging after failing %v: %w", e, err)
+			return j.wrap(fmt.Errorf("experiments: reconverging after failing %v: %w", e, err))
 		}
 		st := net.Stats()
 		s.DownUnits = st.Units
@@ -102,10 +156,10 @@ func RunFlips(cfg FlipConfig) ([]FlipSample, error) {
 		net.ResetStats()
 		start = net.Now()
 		if !net.RestoreLink(e.A, e.B) {
-			return nil, fmt.Errorf("experiments: restoring %v: link not down", e)
+			return j.wrap(fmt.Errorf("experiments: restoring %v: link not down", e))
 		}
 		if _, _, err := net.RunToConvergence(maxEvents); err != nil {
-			return nil, fmt.Errorf("experiments: reconverging after restoring %v: %w", e, err)
+			return j.wrap(fmt.Errorf("experiments: reconverging after restoring %v: %w", e, err))
 		}
 		st = net.Stats()
 		s.UpUnits = st.Units
@@ -114,7 +168,40 @@ func RunFlips(cfg FlipConfig) ([]FlipSample, error) {
 		if st.Messages > 0 {
 			s.UpTime = st.LastSend - start
 		}
-		out = append(out, s)
+		j.out[i] = s
+	}
+	return nil
+}
+
+// wrap prefixes job errors with the job's figure/protocol label.
+func (j flipJob) wrap(err error) error {
+	if j.label == "" {
+		return err
+	}
+	return fmt.Errorf("%s: %w", j.label, err)
+}
+
+// runJobs executes a flattened job list on the shared bounded pool.
+func runJobs(jobs []flipJob, workers int) error {
+	return parallelEach(len(jobs), workers, func(i int) error { return jobs[i].run() })
+}
+
+// RunFlips cold-starts the protocol, then flips sampled links: fail,
+// reconverge, restore, reconverge, measuring message units and
+// convergence time for each phase. With the default TrialsPerNetwork=0
+// every flip runs sequentially on one shared network; a positive value
+// fans independent trial chunks out over the worker pool (see
+// FlipConfig for the seeding rule).
+func RunFlips(cfg FlipConfig) ([]FlipSample, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("experiments: FlipConfig.Topology is required")
+	}
+	if cfg.Build == nil {
+		return nil, fmt.Errorf("experiments: FlipConfig.Build is required")
+	}
+	out := make([]FlipSample, len(flipEdges(cfg)))
+	if err := runJobs(flipJobs(cfg, "", out), cfg.Workers); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -137,6 +224,12 @@ type Figure6Config struct {
 	// demonstrates. A second, MRAI-less BGP series is always measured as
 	// the lower bound.
 	MRAI time.Duration
+	// TrialsPerNetwork and Workers are the parallelism knobs, applied to
+	// every protocol series; see FlipConfig. All three series fan out on
+	// one shared pool (protocol × trial chunk), so even the default
+	// TrialsPerNetwork=0 runs the protocols concurrently.
+	TrialsPerNetwork int
+	Workers          int
 }
 
 // DefaultFigure6Config is the paper's setup with a link sample large
@@ -170,17 +263,22 @@ func Figure6(cfg Figure6Config) (*Figure6Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	cent, err := RunFlips(FlipConfig{Topology: g, Build: centaur.New(centaur.Config{Policy: hashedPolicy, Incremental: true}), Flips: cfg.Flips, Seed: cfg.Seed})
-	if err != nil {
-		return nil, fmt.Errorf("experiments: figure 6 centaur: %w", err)
+	flip := func(b sim.Builder) FlipConfig {
+		return FlipConfig{Topology: g, Build: b, Flips: cfg.Flips, Seed: cfg.Seed,
+			TrialsPerNetwork: cfg.TrialsPerNetwork}
 	}
-	bgpr, err := RunFlips(FlipConfig{Topology: g, Build: bgp.New(bgp.Config{MRAI: cfg.MRAI, Policy: hashedPolicy}), Flips: cfg.Flips, Seed: cfg.Seed})
-	if err != nil {
-		return nil, fmt.Errorf("experiments: figure 6 bgp: %w", err)
-	}
-	bgpFast, err := RunFlips(FlipConfig{Topology: g, Build: bgp.New(bgp.Config{Policy: hashedPolicy}), Flips: cfg.Flips, Seed: cfg.Seed})
-	if err != nil {
-		return nil, fmt.Errorf("experiments: figure 6 bgp (no mrai): %w", err)
+	nFlips := len(flipEdges(flip(nil)))
+	cent := make([]FlipSample, nFlips)
+	bgpr := make([]FlipSample, nFlips)
+	bgpFast := make([]FlipSample, nFlips)
+	// One flat job list across all three protocol series: the pool is
+	// never nested and stays busy even when chunk runtimes are skewed.
+	var jobs []flipJob
+	jobs = append(jobs, flipJobs(flip(centaur.New(centaur.Config{Policy: hashedPolicy, Incremental: true})), "experiments: figure 6 centaur", cent)...)
+	jobs = append(jobs, flipJobs(flip(bgp.New(bgp.Config{MRAI: cfg.MRAI, Policy: hashedPolicy})), "experiments: figure 6 bgp", bgpr)...)
+	jobs = append(jobs, flipJobs(flip(bgp.New(bgp.Config{Policy: hashedPolicy})), "experiments: figure 6 bgp (no mrai)", bgpFast)...)
+	if err := runJobs(jobs, cfg.Workers); err != nil {
+		return nil, err
 	}
 	res := &Figure6Result{
 		Centaur:   metrics.NewDist(2 * len(cent)),
@@ -237,6 +335,10 @@ type Figure7Config struct {
 	LinksPerNode int
 	Flips        int
 	Seed         int64
+	// TrialsPerNetwork and Workers are the parallelism knobs; see
+	// FlipConfig and Figure6Config.
+	TrialsPerNetwork int
+	Workers          int
 }
 
 // DefaultFigure7Config mirrors the paper's 500-node setup.
@@ -271,13 +373,18 @@ func Figure7(cfg Figure7Config) (*Figure7Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	cent, err := RunFlips(FlipConfig{Topology: g, Build: centaur.New(centaur.Config{Policy: hashedPolicy, Incremental: true}), Flips: cfg.Flips, Seed: cfg.Seed})
-	if err != nil {
-		return nil, fmt.Errorf("experiments: figure 7 centaur: %w", err)
+	flip := func(b sim.Builder) FlipConfig {
+		return FlipConfig{Topology: g, Build: b, Flips: cfg.Flips, Seed: cfg.Seed,
+			TrialsPerNetwork: cfg.TrialsPerNetwork}
 	}
-	osp, err := RunFlips(FlipConfig{Topology: g, Build: ospf.New(), Flips: cfg.Flips, Seed: cfg.Seed})
-	if err != nil {
-		return nil, fmt.Errorf("experiments: figure 7 ospf: %w", err)
+	nFlips := len(flipEdges(flip(nil)))
+	cent := make([]FlipSample, nFlips)
+	osp := make([]FlipSample, nFlips)
+	var jobs []flipJob
+	jobs = append(jobs, flipJobs(flip(centaur.New(centaur.Config{Policy: hashedPolicy, Incremental: true})), "experiments: figure 7 centaur", cent)...)
+	jobs = append(jobs, flipJobs(flip(ospf.New()), "experiments: figure 7 ospf", osp)...)
+	if err := runJobs(jobs, cfg.Workers); err != nil {
+		return nil, err
 	}
 	res := &Figure7Result{
 		Centaur:      metrics.NewDist(2 * len(cent)),
@@ -347,6 +454,10 @@ type Figure8Config struct {
 	// FlipsPerSize is the number of update events measured per size.
 	FlipsPerSize int
 	Seed         int64
+	// TrialsPerNetwork and Workers are the parallelism knobs; the pool
+	// spans size × protocol × trial chunk.
+	TrialsPerNetwork int
+	Workers          int
 }
 
 // DefaultFigure8Config sweeps 100–1000 nodes like the paper's Figure 8.
@@ -385,19 +496,31 @@ type Figure8Result struct {
 // topology sizes given a routing update event").
 func Figure8(cfg Figure8Config) (*Figure8Result, error) {
 	res := &Figure8Result{Points: make([]Figure8Point, 0, len(cfg.Sizes))}
-	for _, n := range cfg.Sizes {
+	// Flatten size × protocol × trial chunk into one job list so small
+	// sizes don't leave the pool idle while a big size finishes.
+	centBySize := make([][]FlipSample, len(cfg.Sizes))
+	bgpBySize := make([][]FlipSample, len(cfg.Sizes))
+	var jobs []flipJob
+	for i, n := range cfg.Sizes {
 		g, err := topogen.BRITE(n, cfg.LinksPerNode, cfg.Seed+int64(n))
 		if err != nil {
 			return nil, err
 		}
-		cent, err := RunFlips(FlipConfig{Topology: g, Build: centaur.New(centaur.Config{Policy: hashedPolicy, Incremental: true}), Flips: cfg.FlipsPerSize, Seed: cfg.Seed})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: figure 8 centaur n=%d: %w", n, err)
+		flip := func(b sim.Builder) FlipConfig {
+			return FlipConfig{Topology: g, Build: b, Flips: cfg.FlipsPerSize, Seed: cfg.Seed,
+				TrialsPerNetwork: cfg.TrialsPerNetwork}
 		}
-		bgpr, err := RunFlips(FlipConfig{Topology: g, Build: bgp.New(bgp.Config{Policy: hashedPolicy}), Flips: cfg.FlipsPerSize, Seed: cfg.Seed})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: figure 8 bgp n=%d: %w", n, err)
-		}
+		nFlips := len(flipEdges(flip(nil)))
+		centBySize[i] = make([]FlipSample, nFlips)
+		bgpBySize[i] = make([]FlipSample, nFlips)
+		jobs = append(jobs, flipJobs(flip(centaur.New(centaur.Config{Policy: hashedPolicy, Incremental: true})), fmt.Sprintf("experiments: figure 8 centaur n=%d", n), centBySize[i])...)
+		jobs = append(jobs, flipJobs(flip(bgp.New(bgp.Config{Policy: hashedPolicy})), fmt.Sprintf("experiments: figure 8 bgp n=%d", n), bgpBySize[i])...)
+	}
+	if err := runJobs(jobs, cfg.Workers); err != nil {
+		return nil, err
+	}
+	for i, n := range cfg.Sizes {
+		cent, bgpr := centBySize[i], bgpBySize[i]
 		pt := Figure8Point{Nodes: n}
 		var cu, bu, cm, bm, cb, bb, events float64
 		for i := range cent {

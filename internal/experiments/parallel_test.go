@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"centaur/internal/bgp"
+	"centaur/internal/topogen"
+)
+
+func TestParallelEach(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		var sum atomic.Int64
+		if err := parallelEach(100, workers, func(i int) error {
+			sum.Add(int64(i))
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := sum.Load(); got != 4950 {
+			t.Errorf("workers=%d: sum = %d, want 4950", workers, got)
+		}
+	}
+	if err := parallelEach(0, 4, func(i int) error { return errors.New("never") }); err != nil {
+		t.Errorf("n=0: err = %v, want nil", err)
+	}
+}
+
+// TestParallelEachReturnsLowestIndexError pins the error contract: the
+// surfaced error is the one a serial loop would have hit first.
+func TestParallelEachReturnsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		err := parallelEach(50, workers, func(i int) error {
+			if i%7 == 3 {
+				return fmt.Errorf("task %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "task 3" {
+			t.Errorf("workers=%d: err = %v, want task 3", workers, err)
+		}
+	}
+}
+
+// TestRunFlipsWorkerCountInvariance checks the headline determinism
+// guarantee: with a fixed seed and chunking, the measured samples are
+// byte-identical for every worker count.
+func TestRunFlipsWorkerCountInvariance(t *testing.T) {
+	g, err := topogen.BRITE(60, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := FlipConfig{
+		Topology: g, Build: bgp.New(bgp.Config{}), Flips: 8, Seed: 5,
+		TrialsPerNetwork: 2,
+	}
+	serial := base
+	serial.Workers = 1
+	want, err := RunFlips(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, runtime.GOMAXPROCS(0) + 3} {
+		cfg := base
+		cfg.Workers = workers
+		got, err := RunFlips(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: samples differ from serial run", workers)
+		}
+	}
+}
+
+// TestFigure6WorkerCountInvariance checks that the full figure pipeline
+// (protocol × trial-chunk fan-out, aggregation into distributions)
+// yields identical results serial and parallel.
+func TestFigure6WorkerCountInvariance(t *testing.T) {
+	cfg := Figure6Config{
+		Nodes: 60, LinksPerNode: 2, Flips: 6, Seed: 9, MRAI: 30 * time.Second,
+		TrialsPerNetwork: 2,
+	}
+	serial := cfg
+	serial.Workers = 1
+	want, err := Figure6(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel := cfg
+	parallel.Workers = runtime.GOMAXPROCS(0) + 2
+	got, err := Figure6(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("Figure6 results differ between serial and parallel runs")
+	}
+	if got.String() != want.String() {
+		t.Error("Figure6 rendered output differs between serial and parallel runs")
+	}
+}
+
+// TestFigure7WorkerCountInvariance mirrors the Figure 6 check for the
+// load-comparison pipeline, in the default shared-network mode where
+// the fan-out dimension is the protocol alone.
+func TestFigure7WorkerCountInvariance(t *testing.T) {
+	cfg := Figure7Config{Nodes: 60, LinksPerNode: 2, Flips: 6, Seed: 9}
+	serial := cfg
+	serial.Workers = 1
+	want, err := Figure7(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel := cfg
+	parallel.Workers = runtime.GOMAXPROCS(0) + 2
+	got, err := Figure7(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("Figure7 results differ between serial and parallel runs")
+	}
+}
+
+// TestRunFlipsChunkedSeedRule pins the per-chunk seeding rule: chunk
+// delay seeds are Seed + the chunk's first trial index, so a chunked
+// run equals manually running each chunk on its own fresh network.
+func TestRunFlipsChunkedSeedRule(t *testing.T) {
+	g, err := topogen.BRITE(60, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := bgp.New(bgp.Config{})
+	chunked, err := RunFlips(FlipConfig{
+		Topology: g, Build: build, Flips: 6, Seed: 5,
+		TrialsPerNetwork: 2, Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := flipEdges(FlipConfig{Topology: g, Flips: 6, Seed: 5})
+	for start := 0; start < len(edges); start += 2 {
+		end := min(start+2, len(edges))
+		out := make([]FlipSample, end-start)
+		job := flipJob{
+			topo: g, build: build, edges: edges[start:end],
+			delaySeed: 5 + int64(start), out: out,
+		}
+		if err := job.run(); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(out, chunked[start:end]) {
+			t.Errorf("chunk starting at %d differs from RunFlips result", start)
+		}
+	}
+}

@@ -20,9 +20,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
 	"strings"
-	"sync"
 
 	"centaur/internal/metrics"
 	"centaur/internal/pgraph"
@@ -114,56 +112,36 @@ type PGraphStats struct {
 func ComputePGraphStats(name string, sol *solver.Solution) (*PGraphStats, error) {
 	idx := sol.Index()
 	n := idx.Len()
-	type partial struct {
+	type nodeCounts struct {
 		links, lists int64
-		hist         *metrics.Histogram
+		entries      []int
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	parts := make([]partial, workers)
-	var (
-		wg       sync.WaitGroup
-		errOnce  sync.Once
-		firstErr error
-	)
-	tasks := make(chan int)
-	for w := 0; w < workers; w++ {
-		w := w
-		parts[w].hist = metrics.NewHistogram()
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range tasks {
-				node := idx.ID(i)
-				g, err := pgraph.Build(node, sol.PathSet(node))
-				if err != nil {
-					errOnce.Do(func() { firstErr = fmt.Errorf("experiments: building P-graph for %v: %w", node, err) })
-					return
-				}
-				parts[w].links += int64(g.NumLinks())
-				parts[w].lists += int64(g.NumPermissionLists())
-				for _, lp := range g.PermissionLists() {
-					parts[w].hist.Add(lp.Perm.NumEntries())
-				}
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		tasks <- i
-	}
-	close(tasks)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	counts := make([]nodeCounts, n)
+	err := parallelEach(n, 0, func(i int) error {
+		node := idx.ID(i)
+		g, err := pgraph.Build(node, sol.PathSet(node))
+		if err != nil {
+			return fmt.Errorf("experiments: building P-graph for %v: %w", node, err)
+		}
+		c := &counts[i]
+		c.links = int64(g.NumLinks())
+		c.lists = int64(g.NumPermissionLists())
+		for _, lp := range g.PermissionLists() {
+			c.entries = append(c.entries, lp.Perm.NumEntries())
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	out := &PGraphStats{Name: name, Nodes: n, Entries: metrics.NewHistogram()}
 	var links, lists int64
-	for _, p := range parts {
-		links += p.links
-		lists += p.lists
-		out.Entries.Merge(p.hist)
+	for _, c := range counts {
+		links += c.links
+		lists += c.lists
+		for _, e := range c.entries {
+			out.Entries.Add(e)
+		}
 	}
 	out.AvgLinks = float64(links) / float64(n)
 	out.AvgPermissionLists = float64(lists) / float64(n)
@@ -276,40 +254,42 @@ func Figure5(name string, sol *solver.Solution, sampleLinks int, seed int64) (*F
 		RootCauseRatio:    metrics.NewDist(len(edges)),
 		FullRepairCentaur: metrics.NewDist(len(edges)),
 	}
-	type sample struct{ rc, bg, fr float64 }
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(edges) {
-		workers = len(edges)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	samples := make([]sample, len(edges))
-	var wg sync.WaitGroup
-	tasks := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range tasks {
-				e := edges[i]
-				rc := rootCauseCentaurMsgs(sol, e.A, e.B) + rootCauseCentaurMsgs(sol, e.B, e.A)
-				bg := immediateBGPMsgs(sol, e.A, e.B) + immediateBGPMsgs(sol, e.B, e.A)
-				fa := immediateCentaurDelta(sol, e.A, e.B)
-				fb := immediateCentaurDelta(sol, e.B, e.A)
-				samples[i] = sample{
-					rc: float64(rc),
-					bg: float64(bg),
-					fr: float64(fa[0] + fa[1] + fb[0] + fb[1]),
-				}
+	// Failure-independent node state (selected paths and route classes)
+	// is computed once per distinct endpoint and shared by every sample
+	// touching that node.
+	endpoints := make([]routing.NodeID, 0, 2*len(edges))
+	seen := make(map[routing.NodeID]int, 2*len(edges))
+	for _, e := range edges {
+		for _, u := range [2]routing.NodeID{e.A, e.B} {
+			if _, ok := seen[u]; !ok {
+				seen[u] = len(endpoints)
+				endpoints = append(endpoints, u)
 			}
-		}()
+		}
 	}
-	for i := range edges {
-		tasks <- i
+	statics := make([]*nodeStatic, len(endpoints))
+	if err := parallelEach(len(endpoints), 0, func(i int) error {
+		statics[i] = newNodeStatic(sol, endpoints[i])
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	close(tasks)
-	wg.Wait()
+
+	type sample struct{ rc, bg, fr float64 }
+	samples := make([]sample, len(edges))
+	if err := parallelEach(len(edges), 0, func(i int) error {
+		e := edges[i]
+		a := failureImpact(sol, statics[seen[e.A]], e.A, e.B)
+		b := failureImpact(sol, statics[seen[e.B]], e.B, e.A)
+		samples[i] = sample{
+			rc: float64(a.rootCause + b.rootCause),
+			bg: float64(a.bgpMsgs + b.bgpMsgs),
+			fr: float64(a.delta[0] + a.delta[1] + b.delta[0] + b.delta[1]),
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	for _, s := range samples {
 		res.RootCauseCentaur.Add(s.rc)
 		res.RootCauseBGP.Add(s.bg)
@@ -321,24 +301,107 @@ func Figure5(name string, sol *solver.Solution, sampleLinks int, seed int64) (*F
 	return res, nil
 }
 
-// rootCauseCentaurMsgs counts the root cause notifications endpoint u
-// must emit the moment its link to v fails: one withdrawal of the
-// directed link u->v per neighbor whose exported view contained it.
-func rootCauseCentaurMsgs(sol *solver.Solution, u, v routing.NodeID) int {
-	g := sol.Topology()
-	pol := sol.Policy()
+// nodeStatic caches a node's failure-independent routing state — its
+// selected paths and their route classes — so Figure 5 computes it once
+// per endpoint instead of once per accounting model per sample.
+type nodeStatic struct {
+	paths   map[routing.NodeID]routing.Path
+	classes map[routing.NodeID]policy.RouteClass
+}
+
+// newNodeStatic materializes u's path set and class map.
+func newNodeStatic(sol *solver.Solution, u routing.NodeID) *nodeStatic {
 	paths := sol.PathSet(u)
 	classes := make(map[routing.NodeID]policy.RouteClass, len(paths))
 	for d := range paths {
 		classes[d] = sol.Class(u, d)
 	}
-	failed := routing.Link{From: u, To: v}
-	msgs := 0
+	return &nodeStatic{paths: paths, classes: classes}
+}
+
+// edgeImpact is one endpoint's immediate reaction to a link failure
+// under the three accounting models of Figure 5.
+type edgeImpact struct {
+	rootCause int
+	bgpMsgs   int
+	delta     [2]int
+}
+
+// failureImpact measures endpoint u's immediate reaction to losing its
+// link to v. The expensive intermediates — u's exported link views and
+// the best replacement route per affected destination — are computed
+// once here and shared by the individual accountings.
+func failureImpact(sol *solver.Solution, st *nodeStatic, u, v routing.NodeID) edgeImpact {
+	pol := sol.Policy()
+	nbs := sol.Topology().Neighbors(u)
+	// Old exported views toward every surviving neighbor, aligned with
+	// nbs (nil at v's slot).
+	oldViews := make([][]pgraph.LinkInfo, len(nbs))
+	for i, nb := range nbs {
+		if nb.ID != v {
+			oldViews[i] = exportLinkView(u, nb, st.paths, st.classes, pol)
+		}
+	}
+	repl := replacements(sol, st, u, v)
+	return edgeImpact{
+		rootCause: rootCauseCentaurMsgs(oldViews, routing.Link{From: u, To: v}),
+		bgpMsgs:   immediateBGPMsgs(sol, st, repl, u, v),
+		delta:     immediateCentaurDelta(sol, st, repl, oldViews, u, v),
+	}
+}
+
+// replacements computes, for every destination u currently routes
+// through v, the best replacement among the remaining neighbors'
+// (still unchanged) announced paths. Destinations with no surviving
+// route are absent.
+func replacements(sol *solver.Solution, st *nodeStatic, u, v routing.NodeID) map[routing.NodeID]policy.Candidate {
+	out := make(map[routing.NodeID]policy.Candidate)
+	for d, p := range st.paths {
+		if p.NextHop(u) != v {
+			continue
+		}
+		if best := bestReplacement(sol, u, v, d); len(best.Path) > 0 {
+			out[d] = best
+		}
+	}
+	return out
+}
+
+// bestReplacement re-runs u's decision process for destination d over
+// the announced routes of every neighbor except v, applying the same
+// export and loop filters the protocols do. A zero Candidate means no
+// neighbor offers a usable route.
+func bestReplacement(sol *solver.Solution, u, v, d routing.NodeID) policy.Candidate {
+	g := sol.Topology()
+	pol := sol.Policy()
+	var best policy.Candidate
 	for _, nb := range g.Neighbors(u) {
 		if nb.ID == v {
 			continue
 		}
-		for _, li := range exportLinkView(u, nb, paths, classes, pol) {
+		p, ok := sol.Path(nb.ID, d)
+		if !ok || p.Contains(u) {
+			continue
+		}
+		if !pol.Export(nb.ID, sol.Class(nb.ID, d), nb.Rel.Invert()) {
+			continue
+		}
+		cand := policy.Candidate{Path: p.Prepend(u), Class: policy.ClassOf(nb.Rel), Via: nb.ID}
+		if len(best.Path) == 0 || pol.Better(u, cand, best) {
+			best = cand
+		}
+	}
+	return best
+}
+
+// rootCauseCentaurMsgs counts the root cause notifications endpoint u
+// must emit the moment its link to v fails: one withdrawal of the
+// directed failed link per surviving neighbor whose exported view
+// contained it.
+func rootCauseCentaurMsgs(oldViews [][]pgraph.LinkInfo, failed routing.Link) int {
+	msgs := 0
+	for _, view := range oldViews {
+		for _, li := range view {
 			if li.Link == failed {
 				msgs++
 				break
@@ -349,40 +412,19 @@ func rootCauseCentaurMsgs(sol *solver.Solution, u, v routing.NodeID) int {
 }
 
 // immediateBGPMsgs counts the updates endpoint u sends right after its
-// link to v fails: for every destination routed through v, u re-runs its
-// decision over the remaining neighbors' (still unchanged) announced
-// paths and sends one announce/withdraw per neighbor whose advertised
-// state changes.
-func immediateBGPMsgs(sol *solver.Solution, u, v routing.NodeID) int {
+// link to v fails: for every destination routed through v, one
+// announce/withdraw per neighbor whose advertised state changes when
+// the route moves to its best replacement (repl).
+func immediateBGPMsgs(sol *solver.Solution, st *nodeStatic, repl map[routing.NodeID]policy.Candidate, u, v routing.NodeID) int {
 	g := sol.Topology()
 	pol := sol.Policy()
 	msgs := 0
-	idx := sol.Index()
-	for i := 0; i < idx.Len(); i++ {
-		d := idx.ID(i)
-		if d == u || sol.NextHop(u, d) != v {
+	for d, oldPath := range st.paths {
+		if oldPath.NextHop(u) != v {
 			continue
 		}
-		oldClass := sol.Class(u, d)
-		oldPath, _ := sol.Path(u, d)
-		// Best replacement among remaining neighbors' current routes.
-		var best policy.Candidate
-		for _, nb := range g.Neighbors(u) {
-			if nb.ID == v {
-				continue
-			}
-			p, ok := sol.Path(nb.ID, d)
-			if !ok || p.Contains(u) {
-				continue
-			}
-			if !pol.Export(nb.ID, sol.Class(nb.ID, d), nb.Rel.Invert()) {
-				continue
-			}
-			cand := policy.Candidate{Path: p.Prepend(u), Class: policy.ClassOf(nb.Rel), Via: nb.ID}
-			if len(best.Path) == 0 || pol.Better(u, cand, best) {
-				best = cand
-			}
-		}
+		oldClass := st.classes[d]
+		best := repl[d]
 		// One message per neighbor whose advertised state changes.
 		for _, nb := range g.Neighbors(u) {
 			if nb.ID == v {
@@ -403,65 +445,34 @@ func immediateBGPMsgs(sol *solver.Solution, u, v routing.NodeID) int {
 	return msgs
 }
 
-// immediateCentaurMsgs counts the link-announcement units endpoint u
-// sends right after its link to v fails: the per-neighbor delta between
-// its old and new exported link-state views (new selected paths are
-// re-derived from the remaining neighbors' unchanged announcements).
-func immediateCentaurMsgs(sol *solver.Solution, u, v routing.NodeID) int {
-	d := immediateCentaurDelta(sol, u, v)
-	return d[0] + d[1]
-}
-
-// immediateCentaurDelta is immediateCentaurMsgs split into [adds,
-// removes] announcement units, for diagnostics and reporting.
-func immediateCentaurDelta(sol *solver.Solution, u, v routing.NodeID) [2]int {
-	g := sol.Topology()
+// immediateCentaurDelta counts the [adds, removes] link-announcement
+// units endpoint u sends right after its link to v fails: the
+// per-neighbor delta between its old exported link-state views
+// (oldViews, aligned with Neighbors(u)) and the views rebuilt from the
+// replacement routes (repl).
+func immediateCentaurDelta(sol *solver.Solution, st *nodeStatic, repl map[routing.NodeID]policy.Candidate,
+	oldViews [][]pgraph.LinkInfo, u, v routing.NodeID) [2]int {
 	pol := sol.Policy()
-	oldPaths := sol.PathSet(u)
-	oldClasses := make(map[routing.NodeID]policy.RouteClass, len(oldPaths))
-	for d := range oldPaths {
-		oldClasses[d] = sol.Class(u, d)
-	}
-	// New path set: replace every route through v by the best candidate
-	// from the remaining neighbors.
-	newPaths := make(map[routing.NodeID]routing.Path, len(oldPaths))
-	newClasses := make(map[routing.NodeID]policy.RouteClass, len(oldPaths))
-	for d, p := range oldPaths {
+	// New path set: every route through v moves to its best replacement
+	// (or disappears); the rest carry over.
+	newPaths := make(map[routing.NodeID]routing.Path, len(st.paths))
+	newClasses := make(map[routing.NodeID]policy.RouteClass, len(st.paths))
+	for d, p := range st.paths {
 		if p.NextHop(u) != v {
 			newPaths[d] = p
-			newClasses[d] = oldClasses[d]
-			continue
-		}
-		var best policy.Candidate
-		for _, nb := range g.Neighbors(u) {
-			if nb.ID == v {
-				continue
-			}
-			np, ok := sol.Path(nb.ID, d)
-			if !ok || np.Contains(u) {
-				continue
-			}
-			if !pol.Export(nb.ID, sol.Class(nb.ID, d), nb.Rel.Invert()) {
-				continue
-			}
-			cand := policy.Candidate{Path: np.Prepend(u), Class: policy.ClassOf(nb.Rel), Via: nb.ID}
-			if len(best.Path) == 0 || pol.Better(u, cand, best) {
-				best = cand
-			}
-		}
-		if len(best.Path) > 0 {
+			newClasses[d] = st.classes[d]
+		} else if best, ok := repl[d]; ok {
 			newPaths[d] = best.Path
 			newClasses[d] = best.Class
 		}
 	}
 	var out [2]int
-	for _, nb := range g.Neighbors(u) {
+	for i, nb := range sol.Topology().Neighbors(u) {
 		if nb.ID == v {
 			continue
 		}
-		oldView := exportLinkView(u, nb, oldPaths, oldClasses, pol)
 		newView := exportLinkView(u, nb, newPaths, newClasses, pol)
-		d := pgraph.Diff(oldView, newView)
+		d := pgraph.Diff(oldViews[i], newView)
 		out[0] += len(d.Adds)
 		out[1] += len(d.Removes)
 	}

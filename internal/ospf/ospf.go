@@ -63,11 +63,11 @@ func (Flood) Units() int { return 1 }
 
 // WireBytes implements sim.ByteSizer with the internal/wire encoding.
 func (f Flood) WireBytes() int {
-	return len(wire.AppendOSPFLSA(nil, wire.OSPFLSA{
+	return wire.OSPFLSASize(wire.OSPFLSA{
 		Origin:    f.LSA.Origin,
 		Seq:       f.LSA.Seq,
 		Neighbors: f.LSA.Neighbors,
-	}))
+	})
 }
 
 // Node is one OSPF router. Create with New; it implements sim.Protocol.
@@ -103,12 +103,11 @@ func (n *Node) Start(env sim.Env) {
 // adjacencies, bumps the sequence number, installs it, and floods it.
 func (n *Node) originate() {
 	nbrs := make([]routing.NodeID, 0, 4)
-	for _, nb := range n.env.Neighbors() {
+	for _, nb := range n.env.Neighbors() { // ascending by ID
 		if n.env.LinkIsUp(nb.ID) {
 			nbrs = append(nbrs, nb.ID)
 		}
 	}
-	sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
 	n.seq++
 	lsa := LSA{Origin: n.self, Seq: n.seq, Neighbors: nbrs}
 	n.lsdb[n.self] = lsa
@@ -117,12 +116,15 @@ func (n *Node) originate() {
 }
 
 // flood forwards lsa to every up neighbor except the one it came from.
+// LSAs are immutable once originated (originate builds a fresh Neighbors
+// slice and nothing writes to an installed one), so every hop can share
+// the same backing array without defensive clones.
 func (n *Node) flood(lsa LSA, except routing.NodeID) {
 	for _, nb := range n.env.Neighbors() {
 		if nb.ID == except || !n.env.LinkIsUp(nb.ID) {
 			continue
 		}
-		n.env.Send(nb.ID, Flood{LSA: lsa.Clone()})
+		n.env.Send(nb.ID, Flood{LSA: lsa})
 	}
 }
 
@@ -136,7 +138,7 @@ func (n *Node) Handle(from routing.NodeID, msg sim.Message) {
 	if have && f.LSA.Seq <= cur.Seq {
 		return // stale or duplicate — flooding stops here
 	}
-	n.lsdb[f.LSA.Origin] = f.LSA.Clone()
+	n.lsdb[f.LSA.Origin] = f.LSA
 	n.spf = nil
 	n.flood(f.LSA, from)
 }

@@ -1,7 +1,9 @@
 package pgraph
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 
@@ -16,7 +18,8 @@ import (
 // Links carry optional Permission Lists; nodes carry an optional
 // "destination" mark corresponding to prefix ownership (§3.2.1).
 //
-// Graph is not safe for concurrent mutation.
+// Graph is not safe for concurrent use: even the read-only traversals
+// reuse internal scratch space.
 type Graph struct {
 	root     routing.NodeID
 	parents  map[routing.NodeID][]routing.NodeID // incoming neighbors, sorted
@@ -25,6 +28,10 @@ type Graph struct {
 	dests    map[routing.NodeID]struct{}
 	counters map[routing.Link]int // selected paths per link (paper §4.3.2)
 	nLinks   int
+
+	// DFS scratch reused across DestsBelow calls.
+	dbSeen  map[routing.NodeID]struct{}
+	dbStack []routing.NodeID
 }
 
 // New returns an empty P-graph rooted at root.
@@ -128,7 +135,7 @@ func (g *Graph) Dests() []routing.NodeID {
 	for d := range g.dests {
 		out = append(out, d)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -160,7 +167,7 @@ func (g *Graph) PermissionLists() []LinkPermission {
 	for l, pl := range g.perms {
 		out = append(out, LinkPermission{Link: l, Perm: pl})
 	}
-	sort.Slice(out, func(i, j int) bool { return linkLess(out[i].Link, out[j].Link) })
+	slices.SortFunc(out, func(a, b LinkPermission) int { return linkCompare(a.Link, b.Link) })
 	return out
 }
 
@@ -182,7 +189,7 @@ func (g *Graph) Links() []routing.Link {
 			out = append(out, routing.Link{From: from, To: to})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return linkLess(out[i], out[j]) })
+	slices.SortFunc(out, linkCompare)
 	return out
 }
 
@@ -201,7 +208,7 @@ func (g *Graph) Nodes() []routing.NodeID {
 	for n := range set {
 		out = append(out, n)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -214,8 +221,14 @@ func (g *Graph) DestsBelow(n routing.NodeID) []routing.NodeID {
 	if len(g.children[n]) == 0 && len(g.parents[n]) == 0 && !g.IsDest(n) {
 		return nil
 	}
-	seen := map[routing.NodeID]struct{}{n: {}}
-	stack := []routing.NodeID{n}
+	if g.dbSeen == nil {
+		g.dbSeen = make(map[routing.NodeID]struct{})
+	} else {
+		clear(g.dbSeen)
+	}
+	seen := g.dbSeen
+	seen[n] = struct{}{}
+	stack := append(g.dbStack[:0], n)
 	var out []routing.NodeID
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
@@ -230,7 +243,8 @@ func (g *Graph) DestsBelow(n routing.NodeID) []routing.NodeID {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	g.dbStack = stack
+	slices.Sort(out)
 	return out
 }
 
@@ -336,4 +350,11 @@ func linkLess(a, b routing.Link) bool {
 		return a.From < b.From
 	}
 	return a.To < b.To
+}
+
+func linkCompare(a, b routing.Link) int {
+	if c := cmp.Compare(a.From, b.From); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.To, b.To)
 }

@@ -1,7 +1,7 @@
 package pgraph
 
 import (
-	"sort"
+	"slices"
 
 	"centaur/internal/routing"
 )
@@ -33,6 +33,9 @@ type View struct {
 	// the last Flush; absent links snapshot as a zero LinkInfo with
 	// present=false.
 	round map[routing.Link]snapshot
+	// nodeBuf is Set's scratch for the structurally touched node set;
+	// paths are short, so membership checks stay linear.
+	nodeBuf []routing.NodeID
 }
 
 // nodeState is the cached per-node announcement layout.
@@ -100,15 +103,14 @@ func (v *View) Set(dest routing.NodeID, p routing.Path) {
 	if old.Equal(p) {
 		return
 	}
-	touched := make(map[routing.NodeID]struct{}, len(old)+len(p))
+	touched := v.nodeBuf[:0]
 
 	// Remove the old path's contributions.
 	if old != nil {
 		for i := 0; i+1 < len(old); i++ {
 			l := routing.Link{From: old[i], To: old[i+1]}
 			v.touch(l)
-			b := l.To
-			touched[b] = struct{}{}
+			touched = addNode(touched, l.To)
 			if pl := v.g.perms[l]; pl != nil {
 				next := routing.None
 				if i+2 < len(old) {
@@ -134,7 +136,7 @@ func (v *View) Set(dest routing.NodeID, p routing.Path) {
 			v.touch(l)
 			v.g.AddLink(l)
 			v.g.counters[l]++
-			touched[l.To] = struct{}{}
+			touched = addNode(touched, l.To)
 		}
 	}
 
@@ -153,7 +155,10 @@ func (v *View) Set(dest routing.NodeID, p routing.Path) {
 
 	// Settle the announcement layout (multi-homing, primary choice) of
 	// every structurally touched node, then place the new path's pairs.
-	for b := range touched {
+	// fixNode only inspects and mutates state keyed by its own node, so
+	// the visit order is immaterial.
+	v.nodeBuf = touched
+	for _, b := range touched {
 		v.fixNode(b)
 	}
 	if p != nil {
@@ -281,7 +286,17 @@ func (v *View) Flush() Delta {
 		}
 	}
 	clear(v.round)
-	sort.Slice(d.Adds, func(i, j int) bool { return linkLess(d.Adds[i].Link, d.Adds[j].Link) })
-	sort.Slice(d.Removes, func(i, j int) bool { return linkLess(d.Removes[i], d.Removes[j]) })
+	slices.SortFunc(d.Adds, func(a, b LinkInfo) int { return linkCompare(a.Link, b.Link) })
+	slices.SortFunc(d.Removes, linkCompare)
 	return d
+}
+
+// addNode appends n to set if absent, preserving first-touch order.
+func addNode(set []routing.NodeID, n routing.NodeID) []routing.NodeID {
+	for _, x := range set {
+		if x == n {
+			return set
+		}
+	}
+	return append(set, n)
 }

@@ -12,10 +12,17 @@
 // Protocol interface; the simulator instantiates one protocol node per
 // topology node and drives it with message deliveries and adjacency
 // up/down notifications.
+//
+// The event loop is the hot path of every Figure 6–8 experiment, so the
+// internals avoid per-event allocations: nodes and links live in dense
+// index-based slices (via topology.Index), the event queue is a typed
+// 4-ary min-heap of by-value events (no container/heap boxing), and
+// message deliveries, protocol starts, and link transitions are encoded
+// as tagged events rather than heap-allocated closures. Only explicit
+// protocol timers (Env.After) carry a closure.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -82,32 +89,93 @@ type Protocol interface {
 // valid for the lifetime of the simulation.
 type Builder func(env Env) Protocol
 
-// event is one scheduled occurrence in the simulation.
+// Event kinds of the tagged event union. evFunc is the only kind that
+// carries a closure; the others are dispatched inline by Run so the
+// steady-state send/deliver cycle allocates nothing per event.
+const (
+	evFunc uint8 = iota
+	evStart
+	evDeliver
+	evLinkDown
+	evLinkUp
+)
+
+// event is one scheduled occurrence. Which fields are meaningful depends
+// on kind: evFunc uses fn; evStart uses to; evDeliver uses from, to,
+// link, epoch, and msg; evLinkDown/evLinkUp use from (the peer) and to
+// (the dense index of the notified node).
 type event struct {
-	at  time.Duration
-	seq uint64 // tie-break so equal-time events run in schedule order
-	fn  func()
+	at    time.Duration
+	seq   uint64 // tie-break so equal-time events run in schedule order
+	epoch uint64
+	fn    func()
+	msg   Message
+	from  routing.NodeID
+	to    int32
+	link  int32
+	kind  uint8
 }
 
-// eventHeap is a min-heap of events ordered by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before orders events by (at, seq); seq is unique, so this is a total
+// order and the pop sequence is independent of heap internals.
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+
+// eventQueue is a 4-ary min-heap of by-value events. The wider fan-out
+// halves the sift-down depth relative to a binary heap and keeps the
+// slice cache-resident; events are stored by value so pushes reuse the
+// slice's capacity instead of allocating per event.
+type eventQueue []event
+
+func (q *eventQueue) push(e event) {
+	h := append(*q, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !h[i].before(&h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	*q = h
+}
+
+func (q *eventQueue) pop() event {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // drop fn/msg references for the GC
+	h = h[:n]
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if h[c].before(&h[best]) {
+				best = c
+			}
+		}
+		if !h[best].before(&h[i]) {
+			break
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+	*q = h
+	return top
 }
 
 // linkKey canonically identifies an undirected link.
@@ -123,10 +191,10 @@ func keyOf(a, b routing.NodeID) linkKey {
 // linkState is the dynamic state of one undirected link.
 type linkState struct {
 	delay time.Duration
-	up    bool
 	// epoch increments on every failure so in-flight messages sent
 	// before the failure are dropped at delivery time.
 	epoch uint64
+	up    bool
 }
 
 // Stats accumulates the simulator's accounting.
@@ -210,20 +278,41 @@ type TraceEvent struct {
 	Msg      Message
 }
 
+// adjRef is one adjacency of a node in the dense layout: the neighbor's
+// ID (for lookup by protocols, which speak NodeID), its dense index, and
+// the slot of the shared undirected link state.
+type adjRef struct {
+	id   routing.NodeID
+	node int32
+	link int32
+}
+
 // Network is a running simulation: a topology, one protocol instance
 // per node, an event queue, and accounting. Create with NewNetwork;
 // not safe for concurrent use.
 type Network struct {
 	topo   *topology.Graph
-	nodes  map[routing.NodeID]Protocol
-	envs   map[routing.NodeID]*nodeEnv
-	links  map[linkKey]*linkState
-	pq     eventHeap
+	idx    *topology.Index
+	nodes  []Protocol // dense, by topology.Index position
+	envs   []nodeEnv  // dense; envs[i] is handed to nodes[i]
+	links  []linkState
+	linkAt map[linkKey]int32 // cold-path lookup (fail/restore/delay)
+	pq     eventQueue
 	now    time.Duration
 	seq    uint64
 	stats  Stats
-	events int64
-	trace  func(TraceEvent)
+	// kindUnits accumulates Stats.UnitsByKind as a tiny linear list (a
+	// handful of constant kinds), avoiding a string-hash map op per send;
+	// Stats() materializes the map.
+	kindUnits []kindCount
+	events    int64
+	trace     func(TraceEvent)
+}
+
+// kindCount is one per-kind accumulator of delivered units.
+type kindCount struct {
+	kind  string
+	units int64
 }
 
 // emit reports a trace event to the configured observer, if any.
@@ -249,31 +338,47 @@ func NewNetwork(cfg Config) (*Network, error) {
 	if maxD < minD {
 		return nil, fmt.Errorf("sim: MaxDelay %v < MinDelay %v", maxD, minD)
 	}
+	idx := topology.NewIndex(cfg.Topology)
+	numNodes := idx.Len()
+	edges := cfg.Topology.Edges()
 	n := &Network{
-		topo:  cfg.Topology,
-		nodes: make(map[routing.NodeID]Protocol, cfg.Topology.NumNodes()),
-		envs:  make(map[routing.NodeID]*nodeEnv, cfg.Topology.NumNodes()),
-		links: make(map[linkKey]*linkState, cfg.Topology.NumEdges()),
-		trace: cfg.Trace,
+		topo:   cfg.Topology,
+		idx:    idx,
+		nodes:  make([]Protocol, numNodes),
+		envs:   make([]nodeEnv, numNodes),
+		links:  make([]linkState, 0, len(edges)),
+		linkAt: make(map[linkKey]int32, len(edges)),
+		pq:     make(eventQueue, 0, numNodes),
+		trace:  cfg.Trace,
 	}
-	n.stats.UnitsByKind = make(map[string]int64)
 	rng := rand.New(rand.NewSource(cfg.DelaySeed))
-	for _, e := range cfg.Topology.Edges() {
+	for _, e := range edges {
 		d := minD
 		if span := int64(maxD - minD); span > 0 {
 			d += time.Duration(rng.Int63n(span + 1))
 		}
-		n.links[keyOf(e.A, e.B)] = &linkState{delay: d, up: true}
+		n.linkAt[keyOf(e.A, e.B)] = int32(len(n.links))
+		n.links = append(n.links, linkState{delay: d, up: true})
 	}
-	for _, id := range cfg.Topology.Nodes() {
-		env := &nodeEnv{net: n, self: id}
-		n.envs[id] = env
-		n.nodes[id] = cfg.Build(env)
+	for i := 0; i < numNodes; i++ {
+		id := idx.ID(i)
+		nbs := cfg.Topology.Neighbors(id) // sorted by neighbor ID
+		adj := make([]adjRef, len(nbs))
+		for j, nb := range nbs {
+			adj[j] = adjRef{
+				id:   nb.ID,
+				node: int32(idx.Pos(nb.ID)),
+				link: n.linkAt[keyOf(id, nb.ID)],
+			}
+		}
+		n.envs[i] = nodeEnv{net: n, self: id, pos: int32(i), adj: adj}
+	}
+	for i := 0; i < numNodes; i++ {
+		n.nodes[i] = cfg.Build(&n.envs[i])
 	}
 	// Schedule every node's Start at t=0 in deterministic ID order.
-	for _, id := range cfg.Topology.Nodes() {
-		id := id
-		n.schedule(0, func() { n.nodes[id].Start(n.envs[id]) })
+	for i := 0; i < numNodes; i++ {
+		n.push(event{kind: evStart, to: int32(i)})
 	}
 	return n, nil
 }
@@ -282,9 +387,30 @@ func NewNetwork(cfg Config) (*Network, error) {
 type nodeEnv struct {
 	net  *Network
 	self routing.NodeID
+	pos  int32
+	adj  []adjRef // ascending by neighbor ID
 }
 
 var _ Env = (*nodeEnv)(nil)
+
+// ref finds the adjacency entry for neighbor to by binary search over
+// the (small, sorted) adjacency list.
+func (e *nodeEnv) ref(to routing.NodeID) (adjRef, bool) {
+	adj := e.adj
+	lo, hi := 0, len(adj)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if adj[mid].id < to {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(adj) && adj[lo].id == to {
+		return adj[lo], true
+	}
+	return adjRef{}, false
+}
 
 func (e *nodeEnv) Self() routing.NodeID { return e.self }
 
@@ -293,37 +419,38 @@ func (e *nodeEnv) Now() time.Duration { return e.net.now }
 func (e *nodeEnv) Neighbors() []topology.Neighbor { return e.net.topo.Neighbors(e.self) }
 
 func (e *nodeEnv) LinkIsUp(n routing.NodeID) bool {
-	ls, ok := e.net.links[keyOf(e.self, n)]
-	return ok && ls.up
+	ar, ok := e.ref(n)
+	return ok && e.net.links[ar.link].up
 }
 
 func (e *nodeEnv) Send(to routing.NodeID, msg Message) {
 	net := e.net
-	ls, ok := net.links[keyOf(e.self, to)]
-	if !ok || !ls.up {
+	ar, ok := e.ref(to)
+	if !ok || !net.links[ar.link].up {
 		net.stats.Dropped++
 		net.emit(TraceDrop, e.self, to, msg)
 		return
 	}
+	ls := &net.links[ar.link]
 	net.stats.Messages++
 	units := int64(msg.Units())
 	net.stats.Units += units
-	net.stats.UnitsByKind[msg.Kind()] += units
+	net.addUnits(msg.Kind(), units)
 	if bs, ok := msg.(ByteSizer); ok {
 		net.stats.Bytes += int64(bs.WireBytes())
 	}
 	net.stats.LastSend = net.now
 	net.emit(TraceSend, e.self, to, msg)
-	from, epoch := e.self, ls.epoch
-	net.schedule(ls.delay, func() {
-		cur, ok := net.links[keyOf(from, to)]
-		if !ok || !cur.up || cur.epoch != epoch {
-			net.stats.Dropped++
-			net.emit(TraceDrop, from, to, msg)
-			return
-		}
-		net.emit(TraceDeliver, from, to, msg)
-		net.nodes[to].Handle(from, msg)
+	net.seq++
+	net.pq.push(event{
+		at:    net.now + ls.delay,
+		seq:   net.seq,
+		epoch: ls.epoch,
+		msg:   msg,
+		from:  e.self,
+		to:    ar.node,
+		link:  ar.link,
+		kind:  evDeliver,
 	})
 }
 
@@ -331,9 +458,33 @@ func (e *nodeEnv) After(d time.Duration, fn func()) {
 	e.net.schedule(d, fn)
 }
 
+// schedule enqueues a closure event after the given delay. Protocol
+// timers (Env.After) and tests use it; the steady-state message cycle
+// goes through the allocation-free tagged kinds instead.
 func (n *Network) schedule(after time.Duration, fn func()) {
 	n.seq++
-	heap.Push(&n.pq, &event{at: n.now + after, seq: n.seq, fn: fn})
+	n.pq.push(event{at: n.now + after, seq: n.seq, fn: fn, kind: evFunc})
+}
+
+// push enqueues a tagged event at the current time plus ev.at, assigning
+// the next sequence number. Callers pass ev.at as a relative delay.
+func (n *Network) push(ev event) {
+	n.seq++
+	ev.at += n.now
+	ev.seq = n.seq
+	n.pq.push(ev)
+}
+
+// addUnits accumulates units under the message kind. Kinds are constant
+// strings, so the linear scan compares pointers in the common case.
+func (n *Network) addUnits(kind string, units int64) {
+	for i := range n.kindUnits {
+		if n.kindUnits[i].kind == kind {
+			n.kindUnits[i].units += units
+			return
+		}
+	}
+	n.kindUnits = append(n.kindUnits, kindCount{kind: kind, units: units})
 }
 
 // Now returns the current simulated time.
@@ -342,9 +493,9 @@ func (n *Network) Now() time.Duration { return n.now }
 // Stats returns a snapshot of the accounting so far.
 func (n *Network) Stats() Stats {
 	out := n.stats
-	out.UnitsByKind = make(map[string]int64, len(n.stats.UnitsByKind))
-	for k, v := range n.stats.UnitsByKind {
-		out.UnitsByKind[k] = v
+	out.UnitsByKind = make(map[string]int64, len(n.kindUnits))
+	for _, kc := range n.kindUnits {
+		out.UnitsByKind[kc.kind] = kc.units
 	}
 	return out
 }
@@ -352,51 +503,58 @@ func (n *Network) Stats() Stats {
 // ResetStats zeroes the message accounting (typically called after the
 // initial cold-start convergence, before injecting an event to measure).
 func (n *Network) ResetStats() {
-	n.stats = Stats{UnitsByKind: make(map[string]int64)}
+	n.stats = Stats{}
+	n.kindUnits = n.kindUnits[:0]
 }
 
 // Node returns the protocol instance at id (nil if absent), so tests and
 // experiments can inspect converged protocol state.
-func (n *Network) Node(id routing.NodeID) Protocol { return n.nodes[id] }
+func (n *Network) Node(id routing.NodeID) Protocol {
+	i := n.idx.Pos(id)
+	if i < 0 {
+		return nil
+	}
+	return n.nodes[i]
+}
 
 // FailLink takes the undirected link a—b down at the current simulated
 // time: in-flight messages on it are lost and both endpoints receive
 // LinkDown. It reports whether the link existed and was up.
 func (n *Network) FailLink(a, b routing.NodeID) bool {
-	ls, ok := n.links[keyOf(a, b)]
-	if !ok || !ls.up {
+	li, ok := n.linkAt[keyOf(a, b)]
+	if !ok || !n.links[li].up {
 		return false
 	}
-	ls.up = false
-	ls.epoch++
+	n.links[li].up = false
+	n.links[li].epoch++
 	n.emit(TraceLinkDown, a, b, nil)
-	n.schedule(0, func() { n.nodes[a].LinkDown(b) })
-	n.schedule(0, func() { n.nodes[b].LinkDown(a) })
+	n.push(event{kind: evLinkDown, to: int32(n.idx.Pos(a)), from: b})
+	n.push(event{kind: evLinkDown, to: int32(n.idx.Pos(b)), from: a})
 	return true
 }
 
 // RestoreLink brings the undirected link a—b back up; both endpoints
 // receive LinkUp. It reports whether the link existed and was down.
 func (n *Network) RestoreLink(a, b routing.NodeID) bool {
-	ls, ok := n.links[keyOf(a, b)]
-	if !ok || ls.up {
+	li, ok := n.linkAt[keyOf(a, b)]
+	if !ok || n.links[li].up {
 		return false
 	}
-	ls.up = true
+	n.links[li].up = true
 	n.emit(TraceLinkUp, a, b, nil)
-	n.schedule(0, func() { n.nodes[a].LinkUp(b) })
-	n.schedule(0, func() { n.nodes[b].LinkUp(a) })
+	n.push(event{kind: evLinkUp, to: int32(n.idx.Pos(a)), from: b})
+	n.push(event{kind: evLinkUp, to: int32(n.idx.Pos(b)), from: a})
 	return true
 }
 
 // LinkDelay returns the propagation delay assigned to link a—b and
 // whether the link exists.
 func (n *Network) LinkDelay(a, b routing.NodeID) (time.Duration, bool) {
-	ls, ok := n.links[keyOf(a, b)]
+	li, ok := n.linkAt[keyOf(a, b)]
 	if !ok {
 		return 0, false
 	}
-	return ls.delay, true
+	return n.links[li].delay, true
 }
 
 // Run processes events until the queue drains or maxEvents events have
@@ -404,13 +562,31 @@ func (n *Network) LinkDelay(a, b routing.NodeID) (time.Duration, bool) {
 // whether the network quiesced (queue drained). A protocol that
 // oscillates forever will hit the event limit instead of hanging.
 func (n *Network) Run(maxEvents int64) (processed int64, quiesced bool) {
-	for n.pq.Len() > 0 {
+	for len(n.pq) > 0 {
 		if maxEvents > 0 && processed >= maxEvents {
 			return processed, false
 		}
-		ev := heap.Pop(&n.pq).(*event)
+		ev := n.pq.pop()
 		n.now = ev.at
-		ev.fn()
+		switch ev.kind {
+		case evDeliver:
+			ls := &n.links[ev.link]
+			if !ls.up || ls.epoch != ev.epoch {
+				n.stats.Dropped++
+				n.emit(TraceDrop, ev.from, n.idx.ID(int(ev.to)), ev.msg)
+			} else {
+				n.emit(TraceDeliver, ev.from, n.idx.ID(int(ev.to)), ev.msg)
+				n.nodes[ev.to].Handle(ev.from, ev.msg)
+			}
+		case evFunc:
+			ev.fn()
+		case evStart:
+			n.nodes[ev.to].Start(&n.envs[ev.to])
+		case evLinkDown:
+			n.nodes[ev.to].LinkDown(ev.from)
+		case evLinkUp:
+			n.nodes[ev.to].LinkUp(ev.from)
+		}
 		processed++
 		n.events++
 	}

@@ -210,12 +210,16 @@ func exportOK(cl uint8, rel uint8) bool {
 type destState struct {
 	adj *adjacency
 	// path[v] is v's current best path to the destination as dense node
-	// positions, v first; nil when v has no route.
+	// positions, v first. Valid only while class[v] != 0; the backing
+	// arrays are reused across route changes and destinations.
 	path [][]int32
 	// class[v] is the class of v's current best route (0 = none).
 	class   []uint8
 	inQueue []bool
-	queue   []int32
+	// queue[head:] holds the pending activations; popping advances head
+	// so the backing array keeps its capacity across pushes.
+	queue []int32
+	head  int
 }
 
 func newDestState(adj *adjacency) *destState {
@@ -232,12 +236,12 @@ func newDestState(adj *adjacency) *destState {
 func (st *destState) solve(d int) error {
 	adj := st.adj
 	for i := 0; i < adj.n; i++ {
-		st.path[i] = nil
 		st.class[i] = 0
 		st.inQueue[i] = false
 	}
 	st.queue = st.queue[:0]
-	st.path[d] = []int32{int32(d)}
+	st.head = 0
+	st.path[d] = append(st.path[d][:0], int32(d))
 	st.class[d] = uint8(policy.ClassOwn)
 	st.activateNeighbors(int32(d))
 
@@ -245,12 +249,18 @@ func (st *destState) solve(d int) error {
 	// cascade is finite; the generous cap below only guards against a
 	// malformed topology (e.g. a customer-provider cycle).
 	budget := int64(64) * int64(adj.n+1) * int64(adj.n+1)
-	for len(st.queue) > 0 {
+	for st.head < len(st.queue) {
 		if budget--; budget < 0 {
 			return fmt.Errorf("solver: fixpoint did not converge for destination position %d (policy oscillation — check the topology for customer-provider cycles)", d)
 		}
-		v := st.queue[0]
-		st.queue = st.queue[1:]
+		// Compact the drained prefix occasionally so the backing array
+		// stays proportional to the pending set, not the total enqueued.
+		if st.head >= 1024 && 2*st.head >= len(st.queue) {
+			st.queue = st.queue[:copy(st.queue, st.queue[st.head:])]
+			st.head = 0
+		}
+		v := st.queue[st.head]
+		st.head++
 		st.inQueue[v] = false
 		if int(v) == d {
 			continue // the destination's own route never changes
@@ -275,10 +285,10 @@ func (st *destState) reselect(v int32, dest int) bool {
 	)
 	for s := adj.off[v]; s < adj.off[v+1]; s++ {
 		u := adj.nbr[s]
-		up := st.path[u]
-		if up == nil || !exportOK(st.class[u], adj.expRel[s]) {
+		if st.class[u] == 0 || !exportOK(st.class[u], adj.expRel[s]) {
 			continue
 		}
+		up := st.path[u]
 		c, plen := adj.classIn[s], len(up)+1
 		// Rank: class, then the within-class order of the selected
 		// tie-break mode (mirroring policy.GaoRexford.Better). Slots
@@ -294,20 +304,19 @@ func (st *destState) reselect(v int32, dest int) bool {
 		bestClass, bestLen, bestNbr, bestPath = c, plen, u, up
 	}
 	if bestPath == nil {
-		if st.path[v] == nil {
+		if st.class[v] == 0 {
 			return false
 		}
-		st.path[v] = nil
 		st.class[v] = 0
 		return true
 	}
 	if st.class[v] == bestClass && pathEqualPrepended(st.path[v], v, bestPath) {
 		return false
 	}
-	np := make([]int32, 0, bestLen)
-	np = append(np, v)
-	np = append(np, bestPath...)
-	st.path[v] = np
+	// Reuse v's backing array: bestPath belongs to a different node, so
+	// the two slices never alias.
+	np := append(st.path[v][:0], v)
+	st.path[v] = append(np, bestPath...)
 	st.class[v] = bestClass
 	return true
 }

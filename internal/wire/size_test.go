@@ -1,0 +1,103 @@
+package wire
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"centaur/internal/pgraph"
+	"centaur/internal/routing"
+)
+
+// randPerm builds a canonically (Next, Dest)-sorted permission list,
+// including multi-byte varint IDs so size math covers length boundaries.
+func randPerm(rng *rand.Rand, n int) []pgraph.PermEntry {
+	out := make([]pgraph.PermEntry, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, pgraph.PermEntry{
+			Dest: routing.NodeID(rng.Intn(1 << 20)),
+			Next: routing.NodeID(rng.Intn(6) * 300), // few groups, incl. None
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Next != out[j].Next {
+			return out[i].Next < out[j].Next
+		}
+		return out[i].Dest < out[j].Dest
+	})
+	return out
+}
+
+func randLinks(rng *rand.Rand, n int) []routing.Link {
+	out := make([]routing.Link, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, routing.Link{
+			From: routing.NodeID(rng.Intn(1 << 16)),
+			To:   routing.NodeID(rng.Intn(1 << 16)),
+		})
+	}
+	return out
+}
+
+func TestCentaurUpdateSizeMatchesEncoding(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		var u CentaurUpdate
+		for j := rng.Intn(5); j > 0; j-- {
+			u.Adds = append(u.Adds, pgraph.LinkInfo{
+				Link:     routing.Link{From: routing.NodeID(rng.Intn(1 << 18)), To: routing.NodeID(rng.Intn(1 << 18))},
+				ToIsDest: rng.Intn(2) == 0,
+				Perm:     randPerm(rng, rng.Intn(8)),
+			})
+		}
+		u.Removes = randLinks(rng, rng.Intn(4))
+		u.FailedLinks = randLinks(rng, rng.Intn(3))
+		if got, want := CentaurUpdateSize(u), len(AppendCentaurUpdate(nil, u)); got != want {
+			t.Fatalf("CentaurUpdateSize = %d, encoded %d bytes (%+v)", got, want, u)
+		}
+	}
+}
+
+func TestBGPUpdateSizeMatchesEncoding(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		u := BGPUpdate{Dest: routing.NodeID(rng.Intn(1 << 21))}
+		for j := rng.Intn(7); j > 0; j-- {
+			u.Path = append(u.Path, routing.NodeID(rng.Intn(1<<21)))
+		}
+		u.FailedLinks = randLinks(rng, rng.Intn(3))
+		if got, want := BGPUpdateSize(u), len(AppendBGPUpdate(nil, u)); got != want {
+			t.Fatalf("BGPUpdateSize = %d, encoded %d bytes (%+v)", got, want, u)
+		}
+	}
+}
+
+func TestOSPFLSASizeMatchesEncoding(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		l := OSPFLSA{Origin: routing.NodeID(rng.Intn(1 << 21)), Seq: rng.Uint64() >> uint(rng.Intn(64))}
+		for j := rng.Intn(9); j > 0; j-- {
+			l.Neighbors = append(l.Neighbors, routing.NodeID(rng.Intn(1<<21)))
+		}
+		if got, want := OSPFLSASize(l), len(AppendOSPFLSA(nil, l)); got != want {
+			t.Fatalf("OSPFLSASize = %d, encoded %d bytes (%+v)", got, want, l)
+		}
+	}
+}
+
+func TestUvarintLen(t *testing.T) {
+	for _, v := range []uint64{0, 1, 127, 128, 16383, 16384, 1<<63 - 1, ^uint64(0)} {
+		if got, want := uvarintLen(v), len(appendUvarintRef(nil, v)); got != want {
+			t.Fatalf("uvarintLen(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+// appendUvarintRef is the stdlib reference used to pin uvarintLen.
+func appendUvarintRef(buf []byte, v uint64) []byte {
+	for v >= 0x80 {
+		buf = append(buf, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(buf, byte(v))
+}

@@ -110,6 +110,87 @@ func appendPerm(buf []byte, perm []pgraph.PermEntry) []byte {
 	return buf
 }
 
+// uvarintLen returns the encoded length of v in bytes (1–10).
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// nodeLen returns the encoded length of a node ID.
+func nodeLen(n routing.NodeID) int { return uvarintLen(uint64(n)) }
+
+// linkLen returns the encoded length of a directed link.
+func linkLen(l routing.Link) int { return nodeLen(l.From) + nodeLen(l.To) }
+
+// linksLen returns the encoded length of a length-prefixed link list.
+func linksLen(links []routing.Link) int {
+	n := uvarintLen(uint64(len(links)))
+	for _, l := range links {
+		n += linkLen(l)
+	}
+	return n
+}
+
+// permLen returns the encoded length of a Permission List in the grouped
+// form appendPerm produces. It requires perm in the canonical
+// (Next, Dest) order LinkInfo carries, so each group is a contiguous run.
+func permLen(perm []pgraph.PermEntry) int {
+	n := 0
+	groups := 0
+	for i, e := range perm {
+		if i == 0 || e.Next != perm[i-1].Next {
+			groups++
+			n += nodeLen(e.Next)
+			// Group length prefix: count the run now so we charge the
+			// prefix exactly once per group.
+			run := 1
+			for j := i + 1; j < len(perm) && perm[j].Next == e.Next; j++ {
+				run++
+			}
+			n += uvarintLen(uint64(run))
+		}
+		n += nodeLen(e.Dest)
+	}
+	return n + uvarintLen(uint64(groups))
+}
+
+// CentaurUpdateSize returns len(AppendCentaurUpdate(nil, u)) without
+// allocating. Each LinkInfo's Perm must be in the canonical (Next, Dest)
+// order pgraph produces.
+func CentaurUpdateSize(u CentaurUpdate) int {
+	n := uvarintLen(KindCentaurUpdate) + uvarintLen(uint64(len(u.Adds)))
+	for _, li := range u.Adds {
+		n += linkLen(li.Link) + 1 // flags always encode in one byte
+		if len(li.Perm) > 0 {
+			n += permLen(li.Perm)
+		}
+	}
+	return n + linksLen(u.Removes) + linksLen(u.FailedLinks)
+}
+
+// BGPUpdateSize returns len(AppendBGPUpdate(nil, u)) without allocating.
+func BGPUpdateSize(u BGPUpdate) int {
+	n := uvarintLen(KindBGPUpdate) + nodeLen(u.Dest) + uvarintLen(uint64(len(u.Path)))
+	for _, p := range u.Path {
+		n += nodeLen(p)
+	}
+	return n + linksLen(u.FailedLinks)
+}
+
+// OSPFLSASize returns len(AppendOSPFLSA(nil, l)) without allocating.
+func OSPFLSASize(l OSPFLSA) int {
+	n := uvarintLen(KindOSPFLSA) + nodeLen(l.Origin) +
+		uvarintLen(l.Seq) + uvarintLen(uint64(len(l.Neighbors)))
+	for _, nb := range l.Neighbors {
+		n += nodeLen(nb)
+	}
+	return n
+}
+
 // DecodeCentaurUpdate decodes an update produced by AppendCentaurUpdate.
 func DecodeCentaurUpdate(buf []byte) (CentaurUpdate, error) {
 	d := decoder{buf: buf}
