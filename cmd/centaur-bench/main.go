@@ -21,14 +21,20 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"time"
 
+	"centaur/internal/bgp"
+	"centaur/internal/centaur"
 	"centaur/internal/experiments"
+	"centaur/internal/ospf"
+	"centaur/internal/pgraph"
 	"centaur/internal/policy"
 	"centaur/internal/solver"
+	"centaur/internal/telemetry"
 )
 
 func main() {
@@ -55,6 +61,10 @@ type benchReport struct {
 	GoMaxProcs   int         `json:"gomaxprocs"`
 	Steps        []benchStep `json:"steps"`
 	TotalSeconds float64     `json:"total_seconds"`
+	// Telemetry is the end-of-run registry snapshot: protocol and
+	// simulator counters, the heap high-water gauge, and per-series
+	// message-kind counts and convergence-time distributions.
+	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
 }
 
 func run() error {
@@ -65,6 +75,8 @@ func run() error {
 		reportPath = flag.String("report", "BENCH_report.json", "write the machine-readable report here (empty = skip)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		debugAddr  = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
+		progress   = flag.Duration("progress", 0, "print a progress line to stderr at this interval (0 = off)")
 	)
 	flag.Parse()
 
@@ -73,6 +85,26 @@ func run() error {
 		return err
 	}
 	defer stop()
+
+	// The bench always collects telemetry: its snapshot is part of the
+	// machine-readable report.
+	reg := telemetry.New()
+	bgp.SetTelemetry(reg)
+	ospf.SetTelemetry(reg)
+	centaur.SetTelemetry(reg)
+	pgraph.SetTelemetry(reg)
+	if *debugAddr != "" {
+		addr, stopDebug, err := telemetry.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer stopDebug()
+		fmt.Fprintf(os.Stderr, "centaur-bench: debug endpoint at http://%s/debug/vars\n", addr)
+	}
+	if *progress > 0 {
+		stopProgress := experiments.StartProgress(os.Stderr, *progress, reg)
+		defer stopProgress()
+	}
 
 	sc := experiments.Scale{Nodes: 4000, Seed: *seed}
 	fig6 := experiments.DefaultFigure6Config()
@@ -88,6 +120,7 @@ func run() error {
 	}
 	fig6.Seed, fig7.Seed, fig8.Seed = *seed, *seed, *seed
 	fig6.Workers, fig7.Workers, fig8.Workers = *workers, *workers, *workers
+	fig6.Telemetry, fig7.Telemetry, fig8.Telemetry = reg, reg, reg
 
 	start := time.Now()
 	report := benchReport{
@@ -179,6 +212,10 @@ func run() error {
 	}
 
 	report.TotalSeconds = time.Since(start).Seconds()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	reg.Gauge("heap.max_bytes").SetMax(int64(ms.HeapAlloc))
+	report.Telemetry = reg.Snapshot()
 	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
 	if *reportPath != "" {
 		if err := writeReport(*reportPath, report); err != nil {
@@ -195,21 +232,21 @@ func keyStats(res fmt.Stringer) map[string]any {
 	switch r := res.(type) {
 	case *experiments.Figure6Result:
 		return map[string]any{
-			"centaur_median_ms":           r.Centaur.Median(),
-			"centaur_p90_ms":              r.Centaur.Percentile(90),
-			"bgp_mrai_median_ms":          r.BGP.Median(),
-			"bgp_nomrai_median_ms":        r.BGPNoMRAI.Median(),
+			"centaur_median_ms":           num(r.Centaur.Median()),
+			"centaur_p90_ms":              num(r.Centaur.Percentile(90)),
+			"bgp_mrai_median_ms":          num(r.BGP.Median()),
+			"bgp_nomrai_median_ms":        num(r.BGPNoMRAI.Median()),
 			"fraction_centaur_faster":     r.FractionCentaurFaster,
 			"fraction_centaur_not_slower": r.FractionCentaurNotSlower,
 		}
 	case *experiments.Figure7Result:
 		return map[string]any{
-			"centaur_mean_units":     r.Centaur.Mean(),
-			"ospf_mean_units":        r.OSPF.Mean(),
-			"centaur_mean_msgs":      r.CentaurMsgs.Mean(),
-			"ospf_mean_msgs":         r.OSPFMsgs.Mean(),
-			"centaur_mean_bytes":     r.CentaurBytes.Mean(),
-			"ospf_mean_bytes":        r.OSPFBytes.Mean(),
+			"centaur_mean_units":     num(r.Centaur.Mean()),
+			"ospf_mean_units":        num(r.OSPF.Mean()),
+			"centaur_mean_msgs":      num(r.CentaurMsgs.Mean()),
+			"ospf_mean_msgs":         num(r.OSPFMsgs.Mean()),
+			"centaur_mean_bytes":     num(r.CentaurBytes.Mean()),
+			"ospf_mean_bytes":        num(r.OSPFBytes.Mean()),
 			"fraction_centaur_fewer": r.FractionCentaurFewer,
 		}
 	case *experiments.Figure8Result:
@@ -228,6 +265,16 @@ func keyStats(res fmt.Stringer) map[string]any {
 		return map[string]any{"points": points}
 	}
 	return nil
+}
+
+// num shields the JSON report from the NaN an empty distribution
+// summarizes to (json.Marshal rejects NaN); an absent statistic becomes
+// null.
+func num(v float64) any {
+	if math.IsNaN(v) {
+		return nil
+	}
+	return v
 }
 
 // writeReport marshals the report with stable indentation.

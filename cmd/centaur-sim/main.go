@@ -14,6 +14,12 @@
 // simulations out over a bounded worker pool; results are identical for
 // every worker count (see experiments.FlipConfig). -cpuprofile and
 // -memprofile write pprof profiles of the run.
+//
+// Observability: -trace file.jsonl records every simulator event as a
+// structured JSONL trace (byte-identical across worker counts, so two
+// runs diff cleanly), -debug-addr serves /debug/vars and /debug/pprof
+// while the run is live, and -progress prints periodic chunk/ETA/msgs-s
+// lines to stderr.
 package main
 
 import (
@@ -31,7 +37,9 @@ import (
 	"centaur/internal/centaur"
 	"centaur/internal/experiments"
 	"centaur/internal/ospf"
+	"centaur/internal/pgraph"
 	"centaur/internal/sim"
+	"centaur/internal/telemetry"
 	"centaur/internal/topogen"
 	"centaur/internal/topology"
 )
@@ -57,6 +65,9 @@ func run() error {
 		trialsPer  = flag.Int("trials-per-net", 0, "flip trials per fresh network; 0 = one shared network per series (historical semantics)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		traceFile  = flag.String("trace", "", "write a structured JSONL event trace to this file")
+		debugAddr  = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
+		progress   = flag.Duration("progress", 0, "print a progress line to stderr at this interval (0 = off)")
 	)
 	flag.Parse()
 
@@ -66,15 +77,58 @@ func run() error {
 	}
 	defer stop()
 
-	if *compare {
-		return runCompare(*nodes, *m, *flips, *seed, *mrai, *workers, *trialsPer)
+	var (
+		reg *telemetry.Registry
+		tc  *telemetry.TraceCollector
+	)
+	if *traceFile != "" || *debugAddr != "" || *progress > 0 {
+		reg = telemetry.New()
+		bgp.SetTelemetry(reg)
+		ospf.SetTelemetry(reg)
+		centaur.SetTelemetry(reg)
+		pgraph.SetTelemetry(reg)
+	}
+	if *traceFile != "" {
+		tc = telemetry.NewTraceCollector()
+	}
+	if *debugAddr != "" {
+		addr, stopDebug, err := telemetry.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer stopDebug()
+		fmt.Fprintf(os.Stderr, "centaur-sim: debug endpoint at http://%s/debug/vars\n", addr)
+	}
+	if *progress > 0 {
+		stopProgress := experiments.StartProgress(os.Stderr, *progress, reg)
+		defer stopProgress()
 	}
 
-	switch *fig {
+	if err := dispatch(*fig, *compare, *nodes, *m, *flips, *seed, *mrai, *sizes, *workers, *trialsPer, reg, tc); err != nil {
+		return err
+	}
+	if *traceFile != "" {
+		if err := writeTrace(*traceFile, tc); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "centaur-sim: event trace: %s\n", *traceFile)
+	}
+	return nil
+}
+
+// dispatch runs the selected experiment mode with the observability
+// hooks threaded through.
+func dispatch(fig string, compare bool, nodes, m, flips int, seed int64, mrai time.Duration, sizes string, workers, trialsPer int, reg *telemetry.Registry, tc *telemetry.TraceCollector) error {
+	if compare {
+		return runCompare(nodes, m, flips, seed, mrai, workers, trialsPer, reg, tc)
+	}
+
+	switch fig {
 	case "6":
 		res, err := experiments.Figure6(experiments.Figure6Config{
-			Nodes: *nodes, LinksPerNode: *m, Flips: *flips, Seed: *seed, MRAI: *mrai,
-			TrialsPerNetwork: *trialsPer, Workers: *workers,
+			Nodes: nodes, LinksPerNode: m, Flips: flips, Seed: seed, MRAI: mrai,
+			TrialsPerNetwork: trialsPer, Workers: workers,
+			Telemetry: reg, Trace: tc,
 		})
 		if err != nil {
 			return err
@@ -83,8 +137,9 @@ func run() error {
 		return nil
 	case "7":
 		res, err := experiments.Figure7(experiments.Figure7Config{
-			Nodes: *nodes, LinksPerNode: *m, Flips: *flips, Seed: *seed,
-			TrialsPerNetwork: *trialsPer, Workers: *workers,
+			Nodes: nodes, LinksPerNode: m, Flips: flips, Seed: seed,
+			TrialsPerNetwork: trialsPer, Workers: workers,
+			Telemetry: reg, Trace: tc,
 		})
 		if err != nil {
 			return err
@@ -92,13 +147,14 @@ func run() error {
 		fmt.Print(res)
 		return nil
 	case "8":
-		sz, err := parseSizes(*sizes)
+		sz, err := parseSizes(sizes)
 		if err != nil {
 			return err
 		}
 		res, err := experiments.Figure8(experiments.Figure8Config{
-			Sizes: sz, LinksPerNode: *m, FlipsPerSize: *flips, Seed: *seed,
-			TrialsPerNetwork: *trialsPer, Workers: *workers,
+			Sizes: sz, LinksPerNode: m, FlipsPerSize: flips, Seed: seed,
+			TrialsPerNetwork: trialsPer, Workers: workers,
+			Telemetry: reg, Trace: tc,
 		})
 		if err != nil {
 			return err
@@ -109,6 +165,19 @@ func run() error {
 		flag.Usage()
 		return fmt.Errorf("-fig {6,7,8} is required")
 	}
+}
+
+// writeTrace dumps the collected trace to path.
+func writeTrace(path string, tc *telemetry.TraceCollector) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("-trace: %w", err)
+	}
+	if _, err := tc.WriteTo(f); err != nil {
+		f.Close()
+		return fmt.Errorf("-trace: %w", err)
+	}
+	return f.Close()
 }
 
 // startProfiles starts CPU profiling and arranges a heap snapshot; the
@@ -150,8 +219,12 @@ func startProfiles(cpu, mem string) (func(), error) {
 // cost and per-flip-phase means of convergence time, update units, wire
 // messages, and wire bytes on an identical workload. The five protocol
 // runs are independent, so they fan out across the worker budget; each
-// row's remaining share of workers flows into its RunFlips call.
-func runCompare(nodes, m, flips int, seed int64, mrai time.Duration, workers, trialsPer int) error {
+// row's remaining share of workers flows into its RunFlips call. When a
+// trace is collected the ladder runs serially instead: trace chunks are
+// numbered in creation order, and only a serial ladder creates them in
+// the deterministic ladder order (each row's inner fan-out stays
+// deterministic on its own, so the full worker budget shifts inward).
+func runCompare(nodes, m, flips int, seed int64, mrai time.Duration, workers, trialsPer int, reg *telemetry.Registry, tc *telemetry.TraceCollector) error {
 	g, err := topogen.BRITE(nodes, m, seed)
 	if err != nil {
 		return err
@@ -176,24 +249,35 @@ func runCompare(nodes, m, flips int, seed int64, mrai time.Duration, workers, tr
 	if outer > len(ladder) {
 		outer = len(ladder)
 	}
+	if tc != nil {
+		outer = 1 // chunk creation order must follow the ladder
+	}
 	inner := workers / outer
 	if inner < 1 {
 		inner = 1
 	}
 	rows := make([]string, len(ladder))
 	errs := make([]error, len(ladder))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, outer)
-	for i, proto := range ladder {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			rows[i], errs[i] = compareRow(g, proto.name, proto.build, flips, seed, inner, trialsPer)
-		}()
+	if outer == 1 {
+		// A plain loop, not a one-slot semaphore: goroutines would race
+		// for the slot and scramble the ladder (and trace chunk) order.
+		for i, proto := range ladder {
+			rows[i], errs[i] = compareRow(g, proto.name, proto.build, flips, seed, inner, trialsPer, reg, tc)
+		}
+	} else {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, outer)
+		for i, proto := range ladder {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				rows[i], errs[i] = compareRow(g, proto.name, proto.build, flips, seed, inner, trialsPer, reg, tc)
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
 			return err
@@ -205,7 +289,7 @@ func runCompare(nodes, m, flips int, seed int64, mrai time.Duration, workers, tr
 
 // compareRow measures one ladder protocol and renders its table row
 // (empty when the workload produced no samples).
-func compareRow(g *topology.Graph, name string, build sim.Builder, flips int, seed int64, workers, trialsPer int) (string, error) {
+func compareRow(g *topology.Graph, name string, build sim.Builder, flips int, seed int64, workers, trialsPer int, reg *telemetry.Registry, tc *telemetry.TraceCollector) (string, error) {
 	net, err := sim.NewNetwork(sim.Config{Topology: g, Build: build, DelaySeed: seed})
 	if err != nil {
 		return "", err
@@ -217,6 +301,7 @@ func compareRow(g *topology.Graph, name string, build sim.Builder, flips int, se
 	samples, err := experiments.RunFlips(experiments.FlipConfig{
 		Topology: g, Build: build, Flips: flips, Seed: seed,
 		TrialsPerNetwork: trialsPer, Workers: workers,
+		Series: "compare." + name, Telemetry: reg, Trace: tc,
 	})
 	if err != nil {
 		return "", fmt.Errorf("%s flips: %w", name, err)

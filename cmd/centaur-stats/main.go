@@ -8,16 +8,19 @@
 //	centaur-stats -table 45 -nodes 4000
 //	centaur-stats -fig 5 -nodes 4000 -sample 500
 //	centaur-stats -fig 5 -topo caida.rel     # real snapshot
+//	centaur-stats -check-trace trace.jsonl   # validate a -trace file
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"centaur/internal/experiments"
 	"centaur/internal/policy"
 	"centaur/internal/solver"
+	"centaur/internal/telemetry"
 	"centaur/internal/topology"
 )
 
@@ -39,8 +42,12 @@ func run() error {
 		sample   = flag.Int("sample", 500, "links sampled for figure 5 (0 = all)")
 		topoFile = flag.String("topo", "", "CAIDA serial-1 relationship file to analyze instead of a generated topology")
 		tiebreak = flag.String("tiebreak", "override", "within-class preference model: lowest-via | hashed | hashed-preferred | override")
+		checkTr  = flag.String("check-trace", "", "validate a centaur-sim -trace JSONL file and print its summary")
 	)
 	flag.Parse()
+	if *checkTr != "" {
+		return checkTrace(*checkTr)
+	}
 	sc := experiments.Scale{Nodes: *nodes, Seed: *seed}
 	tb, err := parseTieBreak(*tiebreak)
 	if err != nil {
@@ -94,8 +101,33 @@ func run() error {
 		return nil
 	default:
 		flag.Usage()
-		return fmt.Errorf("one of -table {3,45}, -fig 5, or -ext multipath is required")
+		return fmt.Errorf("one of -table {3,45}, -fig 5, -ext multipath, or -check-trace is required")
 	}
+}
+
+// checkTrace validates a JSONL event trace against the schema
+// telemetry.ValidateTrace documents and prints what it contains; a
+// malformed trace surfaces as a non-zero exit naming the bad line.
+func checkTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sum, err := telemetry.ValidateTrace(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Printf("%s: valid trace, %d chunks, %d events\n", path, sum.Chunks, sum.Events)
+	kinds := make([]string, 0, len(sum.ByKind))
+	for k := range sum.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Printf("  %-10s %d\n", k, sum.ByKind[k])
+	}
+	return nil
 }
 
 func loadOrGenerate(topoFile string, sc experiments.Scale) (*topology.Graph, string, error) {

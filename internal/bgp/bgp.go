@@ -160,6 +160,7 @@ func (n *Node) Start(env sim.Env) {
 		Class: policy.ClassOwn,
 		Via:   routing.None,
 	}
+	env.RouteChanged(n.self)
 	for _, nb := range n.nbrs {
 		n.scheduleAdvert(nb, n.self)
 	}
@@ -217,6 +218,7 @@ func (n *Node) queueRCN(l routing.Link) {
 	if ttl <= 0 {
 		ttl = time.Second
 	}
+	tele.rcnNotices.Inc()
 	deadline := n.env.Now() + ttl
 	for _, nb := range n.nbrs {
 		n.pendingRCN[nb] = append(n.pendingRCN[nb], rcnNotice{link: l, deadline: deadline})
@@ -226,6 +228,7 @@ func (n *Node) queueRCN(l routing.Link) {
 // runDecision re-selects the best route for dest and, on change,
 // schedules advertisements to every neighbor.
 func (n *Node) runDecision(dest routing.NodeID) {
+	tele.decisions.Inc()
 	cands := n.candBuf[:0]
 	if dest == n.self {
 		cands = append(cands, policy.Candidate{
@@ -262,6 +265,7 @@ func (n *Node) runDecision(dest routing.NodeID) {
 	} else {
 		n.best[dest] = newBest
 	}
+	n.env.RouteChanged(dest)
 	for _, nb := range n.nbrs {
 		n.scheduleAdvert(nb, dest)
 	}
@@ -300,6 +304,7 @@ func (n *Node) armMRAI(nb routing.NodeID) {
 
 // flushPending advertises every held destination to nb.
 func (n *Node) flushPending(nb routing.NodeID) {
+	tele.mraiFlushes.Inc()
 	dests := n.destBuf[:0]
 	for d := range n.pending[nb] {
 		dests = append(dests, d)

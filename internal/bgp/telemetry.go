@@ -1,0 +1,22 @@
+package bgp
+
+import "centaur/internal/telemetry"
+
+// tele holds the package's cached metric handles. The zero-value
+// handles no-op, so an uninstrumented process pays one nil check per
+// event. Handles are package-level because counters are atomic and
+// nodes of every concurrent simulation share the process-wide registry.
+var tele struct {
+	decisions   telemetry.Counter // bgp.decisions: decision-process runs
+	mraiFlushes telemetry.Counter // bgp.mrai_flushes: MRAI batch flushes
+	rcnNotices  telemetry.Counter // bgp.rcn_notices: root causes queued
+}
+
+// SetTelemetry points the package's counters at r (nil disables them
+// again). Call it before any simulation starts; it is not synchronized
+// against concurrently running nodes.
+func SetTelemetry(r *telemetry.Registry) {
+	tele.decisions = r.Counter("bgp.decisions")
+	tele.mraiFlushes = r.Counter("bgp.mrai_flushes")
+	tele.rcnNotices = r.Counter("bgp.rcn_notices")
+}

@@ -429,6 +429,7 @@ func (n *Node) LinkUp(b routing.NodeID) {
 // nodes whose paths were unaffected never announced it and have nothing
 // to propagate.
 func (n *Node) recompute() {
+	tele.recomputes.Inc()
 	// The destination universe is everything any neighbor advertises
 	// plus everything we currently route to — a destination that just
 	// vanished from every graph must still be visited so its stale route
@@ -454,6 +455,7 @@ func (n *Node) recompute() {
 // destinations are re-solved, and only the export views of neighbors an
 // export-relevant route changed for are updated.
 func (n *Node) recomputeDests(affected map[routing.NodeID]struct{}) {
+	tele.recomputes.Inc()
 	dests := n.destBuf[:0]
 	for d := range affected {
 		dests = append(dests, d)
@@ -593,6 +595,7 @@ func (n *Node) solveSome(dests []routing.NodeID, dirty map[routing.NodeID]bool) 
 			n.vias[d] = best.Via
 		}
 		changed = append(changed, d)
+		n.env.RouteChanged(d)
 		if dirty != nil {
 			n.markDirty(dirty, d, oldClass, best)
 		}
@@ -622,6 +625,7 @@ func (n *Node) markDirty(dirty map[routing.NodeID]bool, d routing.NodeID, oldCla
 // invalidation.
 func (n *Node) derive(b routing.NodeID, g *pgraph.Graph, d routing.NodeID) (routing.Path, bool) {
 	if !n.cfg.Incremental {
+		tele.derivations.Inc()
 		return g.DerivePathWith(d, n.isFailed)
 	}
 	m := n.derived[b]
@@ -633,8 +637,10 @@ func (n *Node) derive(b routing.NodeID, g *pgraph.Graph, d routing.NodeID) (rout
 		n.derived[b] = m
 	}
 	if e, ok := m[d]; ok {
+		tele.cacheHits.Inc()
 		return e.path, e.ok
 	}
+	tele.derivations.Inc()
 	p, ok := g.DerivePathWith(d, n.isFailed)
 	m[d] = derivedEntry{path: p, ok: ok}
 	return p, ok

@@ -12,7 +12,9 @@ import (
 	"centaur/internal/centaur"
 	"centaur/internal/metrics"
 	"centaur/internal/ospf"
+	"centaur/internal/routing"
 	"centaur/internal/sim"
+	"centaur/internal/telemetry"
 	"centaur/internal/topogen"
 	"centaur/internal/topology"
 )
@@ -71,6 +73,19 @@ type FlipConfig struct {
 	// identical for every worker count: chunking is fixed by
 	// TrialsPerNetwork and each chunk writes its own result slots.
 	Workers int
+	// Series names this run in telemetry metrics and trace chunk labels
+	// (e.g. "fig6.centaur"); empty means "flips".
+	Series string
+	// Telemetry, when enabled, receives per-series message/unit/byte
+	// counters broken down by message kind and per-phase convergence
+	// distributions. Counter folding is atomic, so results are identical
+	// for every worker count.
+	Telemetry *telemetry.Registry
+	// Trace, when non-nil, collects a structured JSONL event trace. One
+	// chunk per simulation is created at job-construction time (a serial
+	// step), so the concatenated trace is byte-identical for every
+	// worker count.
+	Trace *telemetry.TraceCollector
 }
 
 // flipJob is one independent unit of simulation work: a fresh network
@@ -78,11 +93,14 @@ type FlipConfig struct {
 // for each edge, in order.
 type flipJob struct {
 	label     string
+	series    string
 	topo      *topology.Graph
 	build     sim.Builder
 	edges     []topology.Edge
 	delaySeed int64
 	out       []FlipSample
+	tele      *telemetry.Registry
+	chunk     *telemetry.TraceChunk
 }
 
 // flipEdges returns the flip schedule for cfg: all edges, or a
@@ -98,12 +116,18 @@ func flipEdges(cfg FlipConfig) []topology.Edge {
 }
 
 // flipJobs splits cfg's flip schedule into independent jobs writing into
-// out (which must have one slot per scheduled flip).
+// out (which must have one slot per scheduled flip). Trace chunks are
+// created here, in serial job-construction order, which is what pins
+// the chunk order — and hence the whole trace — across worker counts.
 func flipJobs(cfg FlipConfig, label string, out []FlipSample) []flipJob {
 	edges := flipEdges(cfg)
 	chunk := cfg.TrialsPerNetwork
 	if chunk <= 0 {
 		chunk = len(edges) // single shared network, historical semantics
+	}
+	series := cfg.Series
+	if series == "" {
+		series = "flips"
 	}
 	var jobs []flipJob
 	for start := 0; start < len(edges); start += chunk {
@@ -111,13 +135,17 @@ func flipJobs(cfg FlipConfig, label string, out []FlipSample) []flipJob {
 		if end > len(edges) {
 			end = len(edges)
 		}
+		delaySeed := cfg.Seed + int64(start)
 		jobs = append(jobs, flipJob{
 			label:     label,
+			series:    series,
 			topo:      cfg.Topology,
 			build:     cfg.Build,
 			edges:     edges[start:end],
-			delaySeed: cfg.Seed + int64(start),
+			delaySeed: delaySeed,
 			out:       out[start:end],
+			tele:      cfg.Telemetry,
+			chunk:     cfg.Trace.Chunk(series, delaySeed),
 		})
 	}
 	return jobs
@@ -125,11 +153,15 @@ func flipJobs(cfg FlipConfig, label string, out []FlipSample) []flipJob {
 
 // run cold-starts the job's network and measures its flip schedule.
 func (j flipJob) run() error {
-	net, err := sim.NewNetwork(sim.Config{
+	cfg := sim.Config{
 		Topology:  j.topo,
 		Build:     j.build,
 		DelaySeed: j.delaySeed,
-	})
+	}
+	if j.chunk != nil {
+		cfg.Trace = j.chunk.Observe
+	}
+	net, err := sim.NewNetwork(cfg)
 	if err != nil {
 		return j.wrap(err)
 	}
@@ -153,6 +185,7 @@ func (j flipJob) run() error {
 		if st.Messages > 0 {
 			s.DownTime = st.LastSend - start
 		}
+		j.recordPhase("down", st, s.DownTime, net, start)
 		net.ResetStats()
 		start = net.Now()
 		if !net.RestoreLink(e.A, e.B) {
@@ -168,9 +201,38 @@ func (j flipJob) run() error {
 		if st.Messages > 0 {
 			s.UpTime = st.LastSend - start
 		}
+		j.recordPhase("up", st, s.UpTime, net, start)
 		j.out[i] = s
 	}
 	return nil
+}
+
+// recordPhase folds one reconvergence phase's accounting into the job's
+// telemetry registry: process-wide simulator totals, per-series
+// counters broken down by message kind, the phase convergence time, and
+// the per-destination route-settle times (relative to the flip instant)
+// from the simulator's RouteChanged timestamps.
+func (j flipJob) recordPhase(phase string, st sim.Stats, conv time.Duration, net *sim.Network, start time.Duration) {
+	r := j.tele
+	if !r.Enabled() {
+		return
+	}
+	r.Counter("sim.msgs").Add(st.Messages)
+	r.Counter("sim.units").Add(st.Units)
+	r.Counter("sim.bytes").Add(st.Bytes)
+	r.Counter("sim.dropped").Add(st.Dropped)
+	r.Counter("sim.undeliverable").Add(st.Undeliverable)
+	r.Counter("sim.route_changes").Add(st.RouteChanges)
+	for kind, msgs := range st.MsgsByKind {
+		r.Counter(j.series + ".msgs." + kind).Add(msgs)
+		r.Counter(j.series + ".units." + kind).Add(st.UnitsByKind[kind])
+		r.Counter(j.series + ".bytes." + kind).Add(st.BytesByKind[kind])
+	}
+	r.Distribution(j.series + ".conv_" + phase + "_ms").Observe(float64(conv) / float64(time.Millisecond))
+	dest := r.Distribution(j.series + ".dest_conv_ms")
+	net.LastRouteChanges(func(_ routing.NodeID, at time.Duration) {
+		dest.Observe(float64(at-start) / float64(time.Millisecond))
+	})
 }
 
 // wrap prefixes job errors with the job's figure/protocol label.
@@ -181,9 +243,15 @@ func (j flipJob) wrap(err error) error {
 	return fmt.Errorf("%s: %w", j.label, err)
 }
 
-// runJobs executes a flattened job list on the shared bounded pool.
+// runJobs executes a flattened job list on the shared bounded pool,
+// feeding the process-wide progress monitor.
 func runJobs(jobs []flipJob, workers int) error {
-	return parallelEach(len(jobs), workers, func(i int) error { return jobs[i].run() })
+	poolProgress.total.Add(int64(len(jobs)))
+	return parallelEach(len(jobs), workers, func(i int) error {
+		err := jobs[i].run()
+		poolProgress.done.Add(1)
+		return err
+	})
 }
 
 // RunFlips cold-starts the protocol, then flips sampled links: fail,
@@ -230,6 +298,11 @@ type Figure6Config struct {
 	// TrialsPerNetwork=0 runs the protocols concurrently.
 	TrialsPerNetwork int
 	Workers          int
+	// Telemetry and Trace are the observability hooks, shared by all
+	// series; see FlipConfig. Series names are "fig6.centaur",
+	// "fig6.bgp_mrai", and "fig6.bgp".
+	Telemetry *telemetry.Registry
+	Trace     *telemetry.TraceCollector
 }
 
 // DefaultFigure6Config is the paper's setup with a link sample large
@@ -263,20 +336,21 @@ func Figure6(cfg Figure6Config) (*Figure6Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	flip := func(b sim.Builder) FlipConfig {
+	flip := func(b sim.Builder, series string) FlipConfig {
 		return FlipConfig{Topology: g, Build: b, Flips: cfg.Flips, Seed: cfg.Seed,
-			TrialsPerNetwork: cfg.TrialsPerNetwork}
+			TrialsPerNetwork: cfg.TrialsPerNetwork,
+			Series:           series, Telemetry: cfg.Telemetry, Trace: cfg.Trace}
 	}
-	nFlips := len(flipEdges(flip(nil)))
+	nFlips := len(flipEdges(flip(nil, "")))
 	cent := make([]FlipSample, nFlips)
 	bgpr := make([]FlipSample, nFlips)
 	bgpFast := make([]FlipSample, nFlips)
 	// One flat job list across all three protocol series: the pool is
 	// never nested and stays busy even when chunk runtimes are skewed.
 	var jobs []flipJob
-	jobs = append(jobs, flipJobs(flip(centaur.New(centaur.Config{Policy: hashedPolicy, Incremental: true})), "experiments: figure 6 centaur", cent)...)
-	jobs = append(jobs, flipJobs(flip(bgp.New(bgp.Config{MRAI: cfg.MRAI, Policy: hashedPolicy})), "experiments: figure 6 bgp", bgpr)...)
-	jobs = append(jobs, flipJobs(flip(bgp.New(bgp.Config{Policy: hashedPolicy})), "experiments: figure 6 bgp (no mrai)", bgpFast)...)
+	jobs = append(jobs, flipJobs(flip(centaur.New(centaur.Config{Policy: hashedPolicy, Incremental: true}), "fig6.centaur"), "experiments: figure 6 centaur", cent)...)
+	jobs = append(jobs, flipJobs(flip(bgp.New(bgp.Config{MRAI: cfg.MRAI, Policy: hashedPolicy}), "fig6.bgp_mrai"), "experiments: figure 6 bgp", bgpr)...)
+	jobs = append(jobs, flipJobs(flip(bgp.New(bgp.Config{Policy: hashedPolicy}), "fig6.bgp"), "experiments: figure 6 bgp (no mrai)", bgpFast)...)
 	if err := runJobs(jobs, cfg.Workers); err != nil {
 		return nil, err
 	}
@@ -339,6 +413,10 @@ type Figure7Config struct {
 	// FlipConfig and Figure6Config.
 	TrialsPerNetwork int
 	Workers          int
+	// Telemetry and Trace are the observability hooks; series names are
+	// "fig7.centaur" and "fig7.ospf".
+	Telemetry *telemetry.Registry
+	Trace     *telemetry.TraceCollector
 }
 
 // DefaultFigure7Config mirrors the paper's 500-node setup.
@@ -373,16 +451,17 @@ func Figure7(cfg Figure7Config) (*Figure7Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	flip := func(b sim.Builder) FlipConfig {
+	flip := func(b sim.Builder, series string) FlipConfig {
 		return FlipConfig{Topology: g, Build: b, Flips: cfg.Flips, Seed: cfg.Seed,
-			TrialsPerNetwork: cfg.TrialsPerNetwork}
+			TrialsPerNetwork: cfg.TrialsPerNetwork,
+			Series:           series, Telemetry: cfg.Telemetry, Trace: cfg.Trace}
 	}
-	nFlips := len(flipEdges(flip(nil)))
+	nFlips := len(flipEdges(flip(nil, "")))
 	cent := make([]FlipSample, nFlips)
 	osp := make([]FlipSample, nFlips)
 	var jobs []flipJob
-	jobs = append(jobs, flipJobs(flip(centaur.New(centaur.Config{Policy: hashedPolicy, Incremental: true})), "experiments: figure 7 centaur", cent)...)
-	jobs = append(jobs, flipJobs(flip(ospf.New()), "experiments: figure 7 ospf", osp)...)
+	jobs = append(jobs, flipJobs(flip(centaur.New(centaur.Config{Policy: hashedPolicy, Incremental: true}), "fig7.centaur"), "experiments: figure 7 centaur", cent)...)
+	jobs = append(jobs, flipJobs(flip(ospf.New(), "fig7.ospf"), "experiments: figure 7 ospf", osp)...)
 	if err := runJobs(jobs, cfg.Workers); err != nil {
 		return nil, err
 	}
@@ -458,6 +537,10 @@ type Figure8Config struct {
 	// spans size × protocol × trial chunk.
 	TrialsPerNetwork int
 	Workers          int
+	// Telemetry and Trace are the observability hooks; series names are
+	// "fig8.centaur" and "fig8.bgp" (all sizes fold together).
+	Telemetry *telemetry.Registry
+	Trace     *telemetry.TraceCollector
 }
 
 // DefaultFigure8Config sweeps 100–1000 nodes like the paper's Figure 8.
@@ -506,15 +589,16 @@ func Figure8(cfg Figure8Config) (*Figure8Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		flip := func(b sim.Builder) FlipConfig {
+		flip := func(b sim.Builder, series string) FlipConfig {
 			return FlipConfig{Topology: g, Build: b, Flips: cfg.FlipsPerSize, Seed: cfg.Seed,
-				TrialsPerNetwork: cfg.TrialsPerNetwork}
+				TrialsPerNetwork: cfg.TrialsPerNetwork,
+				Series:           series, Telemetry: cfg.Telemetry, Trace: cfg.Trace}
 		}
-		nFlips := len(flipEdges(flip(nil)))
+		nFlips := len(flipEdges(flip(nil, "")))
 		centBySize[i] = make([]FlipSample, nFlips)
 		bgpBySize[i] = make([]FlipSample, nFlips)
-		jobs = append(jobs, flipJobs(flip(centaur.New(centaur.Config{Policy: hashedPolicy, Incremental: true})), fmt.Sprintf("experiments: figure 8 centaur n=%d", n), centBySize[i])...)
-		jobs = append(jobs, flipJobs(flip(bgp.New(bgp.Config{Policy: hashedPolicy})), fmt.Sprintf("experiments: figure 8 bgp n=%d", n), bgpBySize[i])...)
+		jobs = append(jobs, flipJobs(flip(centaur.New(centaur.Config{Policy: hashedPolicy, Incremental: true}), "fig8.centaur"), fmt.Sprintf("experiments: figure 8 centaur n=%d", n), centBySize[i])...)
+		jobs = append(jobs, flipJobs(flip(bgp.New(bgp.Config{Policy: hashedPolicy}), "fig8.bgp"), fmt.Sprintf("experiments: figure 8 bgp n=%d", n), bgpBySize[i])...)
 	}
 	if err := runJobs(jobs, cfg.Workers); err != nil {
 		return nil, err

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"reflect"
@@ -10,6 +12,7 @@ import (
 	"time"
 
 	"centaur/internal/bgp"
+	"centaur/internal/telemetry"
 	"centaur/internal/topogen"
 )
 
@@ -158,5 +161,61 @@ func TestRunFlipsChunkedSeedRule(t *testing.T) {
 		if !reflect.DeepEqual(out, chunked[start:end]) {
 			t.Errorf("chunk starting at %d differs from RunFlips result", start)
 		}
+	}
+}
+
+// TestTraceWorkerCountInvariance pins the trace determinism guarantee
+// the -trace flag relies on: with a fixed seed and chunking, same-seed
+// runs at different worker counts emit byte-identical JSONL traces, and
+// the telemetry snapshots they fold are equal.
+func TestTraceWorkerCountInvariance(t *testing.T) {
+	g, err := topogen.BRITE(60, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) (*telemetry.TraceCollector, *telemetry.Registry) {
+		tc := telemetry.NewTraceCollector()
+		reg := telemetry.New()
+		_, err := RunFlips(FlipConfig{
+			Topology: g, Build: bgp.New(bgp.Config{}), Flips: 8, Seed: 5,
+			TrialsPerNetwork: 2, Workers: workers,
+			Series: "test.bgp", Telemetry: reg, Trace: tc,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return tc, reg
+	}
+	tc1, reg1 := run(1)
+	tc8, reg8 := run(8)
+
+	b1, b8 := tc1.Bytes(), tc8.Bytes()
+	if len(b1) == 0 {
+		t.Fatal("trace is empty")
+	}
+	if !bytes.Equal(b1, b8) {
+		t.Fatal("traces differ between workers=1 and workers=8")
+	}
+	if _, err := telemetry.ValidateTrace(bytes.NewReader(b1)); err != nil {
+		t.Fatalf("trace does not validate: %v", err)
+	}
+
+	s1, err := json.Marshal(reg1.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s8, err := json.Marshal(reg8.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(s1, s8) {
+		t.Fatalf("telemetry snapshots differ:\n%s\n%s", s1, s8)
+	}
+	if reg1.Counter("test.bgp.msgs.bgp.update").Value() == 0 {
+		t.Fatal("per-series per-kind message counter never incremented")
+	}
+	if reg1.Distribution("test.bgp.conv_down_ms").N() == 0 ||
+		reg1.Distribution("test.bgp.dest_conv_ms").N() == 0 {
+		t.Fatal("convergence distributions never observed")
 	}
 }

@@ -19,6 +19,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"strings"
 
@@ -519,9 +520,10 @@ func (r *Figure5Result) String() string {
 	return b.String()
 }
 
-// safeRatio returns a/b, or 0 when b is zero.
+// safeRatio returns a/b, or 0 when b is zero or either operand is NaN
+// (empty metrics.Dist summaries answer NaN).
 func safeRatio(a, b float64) float64 {
-	if b == 0 {
+	if b == 0 || math.IsNaN(a) || math.IsNaN(b) {
 		return 0
 	}
 	return a / b

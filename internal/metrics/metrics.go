@@ -31,10 +31,12 @@ func (d *Dist) Add(v float64) {
 // N returns the number of samples.
 func (d *Dist) N() int { return len(d.samples) }
 
-// Mean returns the arithmetic mean, or 0 for an empty distribution.
+// Mean returns the arithmetic mean, or NaN for an empty distribution —
+// an explicit "no data" marker rather than a silent 0 that reads like a
+// real sample (use N to distinguish beforehand).
 func (d *Dist) Mean() float64 {
 	if len(d.samples) == 0 {
-		return 0
+		return math.NaN()
 	}
 	sum := 0.0
 	for _, v := range d.samples {
@@ -43,22 +45,29 @@ func (d *Dist) Mean() float64 {
 	return sum / float64(len(d.samples))
 }
 
-// Min returns the smallest sample, or 0 when empty.
+// Min returns the smallest sample, or NaN when empty (see Mean).
 func (d *Dist) Min() float64 {
 	d.ensureSorted()
 	if len(d.samples) == 0 {
-		return 0
+		return math.NaN()
 	}
 	return d.samples[0]
 }
 
-// Max returns the largest sample, or 0 when empty.
+// Max returns the largest sample, or NaN when empty (see Mean).
 func (d *Dist) Max() float64 {
 	d.ensureSorted()
 	if len(d.samples) == 0 {
-		return 0
+		return math.NaN()
 	}
 	return d.samples[len(d.samples)-1]
+}
+
+// Samples returns the samples in ascending order. The slice is owned by
+// the distribution and must not be modified.
+func (d *Dist) Samples() []float64 {
+	d.ensureSorted()
+	return d.samples
 }
 
 // Sum returns the total of all samples.
@@ -74,12 +83,12 @@ func (d *Dist) Sum() float64 {
 func (d *Dist) Median() float64 { return d.Percentile(50) }
 
 // Percentile returns the p-th percentile (0–100) by nearest-rank
-// interpolation, or 0 when empty.
+// interpolation, or NaN when empty (see Mean).
 func (d *Dist) Percentile(p float64) float64 {
 	d.ensureSorted()
 	n := len(d.samples)
 	if n == 0 {
-		return 0
+		return math.NaN()
 	}
 	if p <= 0 {
 		return d.samples[0]

@@ -10,8 +10,18 @@ import (
 
 func TestDistEmpty(t *testing.T) {
 	var d Dist
-	if d.N() != 0 || d.Mean() != 0 || d.Median() != 0 || d.Min() != 0 || d.Max() != 0 {
-		t.Fatal("empty distribution must answer zeros")
+	if d.N() != 0 {
+		t.Fatal("empty distribution must have n=0")
+	}
+	// Empty summaries answer NaN — an explicit "no data" marker — rather
+	// than a silent 0 that reads like a real sample.
+	for name, v := range map[string]float64{
+		"mean": d.Mean(), "median": d.Median(), "min": d.Min(),
+		"max": d.Max(), "p90": d.Percentile(90),
+	} {
+		if !math.IsNaN(v) {
+			t.Fatalf("empty %s = %g, want NaN", name, v)
+		}
 	}
 	if d.CDF(5) != nil {
 		t.Fatal("empty CDF must be nil")

@@ -112,6 +112,8 @@ func (n *Node) originate() {
 	lsa := LSA{Origin: n.self, Seq: n.seq, Neighbors: nbrs}
 	n.lsdb[n.self] = lsa
 	n.spf = nil
+	tele.originates.Inc()
+	n.env.RouteChanged(n.self)
 	n.flood(lsa, routing.None)
 }
 
@@ -136,10 +138,14 @@ func (n *Node) Handle(from routing.NodeID, msg sim.Message) {
 	}
 	cur, have := n.lsdb[f.LSA.Origin]
 	if have && f.LSA.Seq <= cur.Seq {
+		tele.staleLSAs.Inc()
 		return // stale or duplicate — flooding stops here
 	}
 	n.lsdb[f.LSA.Origin] = f.LSA
 	n.spf = nil
+	// An installed LSA invalidates SPF: routes toward (at least) the
+	// origin may differ once recomputed.
+	n.env.RouteChanged(f.LSA.Origin)
 	n.flood(f.LSA, from)
 }
 
@@ -167,6 +173,7 @@ func (n *Node) NextHop(dest routing.NodeID) routing.NodeID {
 // runSPF runs hop-count Dijkstra (BFS, since all links weigh 1) over the
 // LSDB and fills the next-hop cache.
 func (n *Node) runSPF() {
+	tele.spfRuns.Inc()
 	n.spf = make(map[routing.NodeID]routing.NodeID, len(n.lsdb))
 	// twoWay reports whether the directed LSDB edge a->b is confirmed by
 	// b's LSA listing a.

@@ -1,0 +1,21 @@
+package ospf
+
+import "centaur/internal/telemetry"
+
+// tele holds the package's cached metric handles; the zero values
+// no-op. Package-level because counters are atomic and nodes of every
+// concurrent simulation share the process-wide registry.
+var tele struct {
+	originates telemetry.Counter // ospf.originates: LSA (re-)originations
+	staleLSAs  telemetry.Counter // ospf.stale_lsas: floods stopped as stale/duplicate
+	spfRuns    telemetry.Counter // ospf.spf_runs: on-demand SPF computations
+}
+
+// SetTelemetry points the package's counters at r (nil disables them
+// again). Call it before any simulation starts; it is not synchronized
+// against concurrently running nodes.
+func SetTelemetry(r *telemetry.Registry) {
+	tele.originates = r.Counter("ospf.originates")
+	tele.staleLSAs = r.Counter("ospf.stale_lsas")
+	tele.spfRuns = r.Counter("ospf.spf_runs")
+}

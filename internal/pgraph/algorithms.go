@@ -27,6 +27,7 @@ func (g *Graph) DerivePath(dest routing.NodeID) (routing.Path, bool) {
 // mutating the neighbor's announced graph — the announcement contract
 // stays intact and derivation simply avoids the dead links.
 func (g *Graph) DerivePathWith(dest routing.NodeID, skip func(routing.Link) bool) (routing.Path, bool) {
+	tele.deriveCalls.Inc()
 	if dest == g.root {
 		return routing.Path{g.root}, true
 	}
@@ -127,6 +128,7 @@ func (g *Graph) DeriveAll() map[routing.NodeID]routing.Path {
 // attaches one per-dest-next entry for every selected path segment that
 // crosses a multi-homed node.
 func Build(root routing.NodeID, paths map[routing.NodeID]routing.Path) (*Graph, error) {
+	tele.builds.Inc()
 	g := New(root)
 	g.MarkDest(root)
 	// Pass one: links, destination marks, counters.

@@ -1,0 +1,19 @@
+package pgraph
+
+import "centaur/internal/telemetry"
+
+// tele holds the package's cached metric handles; the zero values
+// no-op. Package-level because counters are atomic and the graphs of
+// every concurrent simulation share the process-wide registry.
+var tele struct {
+	builds      telemetry.Counter // pgraph.builds: P-graphs built from path sets
+	deriveCalls telemetry.Counter // pgraph.derive_calls: path derivations (backtraces)
+}
+
+// SetTelemetry points the package's counters at r (nil disables them
+// again). Call it before any simulation starts; it is not synchronized
+// against concurrently running graph operations.
+func SetTelemetry(r *telemetry.Registry) {
+	tele.builds = r.Counter("pgraph.builds")
+	tele.deriveCalls = r.Counter("pgraph.derive_calls")
+}

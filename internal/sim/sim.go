@@ -69,6 +69,12 @@ type Env interface {
 	Neighbors() []topology.Neighbor
 	// LinkIsUp reports whether the adjacency to neighbor n is currently up.
 	LinkIsUp(n routing.NodeID) bool
+	// RouteChanged reports that this node's best route toward dest
+	// changed (adopted, replaced, or withdrawn). The simulator records
+	// the per-destination timestamp of the latest change — the raw data
+	// behind per-destination convergence metrics — and counts it in
+	// Stats.RouteChanges.
+	RouteChanged(dest routing.NodeID)
 }
 
 // Protocol is one routing protocol instance running at one node.
@@ -199,21 +205,38 @@ type linkState struct {
 
 // Stats accumulates the simulator's accounting.
 type Stats struct {
-	// Messages is the number of point-to-point messages delivered.
+	// Messages is the number of point-to-point messages sent (each is
+	// later delivered or dropped).
 	Messages int64
-	// Units is the total number of elementary update units delivered
+	// Units is the total number of elementary update units sent
 	// (the paper's "message count" metric).
 	Units int64
 	// UnitsByKind breaks Units down by Message.Kind.
 	UnitsByKind map[string]int64
+	// MsgsByKind breaks Messages down by Message.Kind.
+	MsgsByKind map[string]int64
+	// BytesByKind breaks Bytes down by Message.Kind.
+	BytesByKind map[string]int64
 	// Bytes is the total encoded wire size of all sent messages whose
 	// type implements ByteSizer (all three built-in protocols do).
 	Bytes int64
 	// LastSend is the simulated time of the last message transmission;
 	// the network has re-stabilized when no send follows it.
 	LastSend time.Duration
-	// Dropped counts messages lost to link failures.
+	// Dropped counts all messages lost to link failures: those refused
+	// at send time plus those lost in flight when their link failed.
 	Dropped int64
+	// Undeliverable is the subset of Dropped refused at send time
+	// because the link was down (or the neighbor did not exist).
+	Undeliverable int64
+	// RouteChanges counts Env.RouteChanged notifications — best-route
+	// updates protocols reported.
+	RouteChanges int64
+	// Events is the lifetime number of simulator events processed by
+	// Run. Unlike the message counters it is NOT zeroed by ResetStats,
+	// so callers can tell "quiesced" from "hit maxEvents" even after a
+	// mid-run reset.
+	Events int64
 }
 
 // Config parameterizes a Network.
@@ -249,6 +272,10 @@ const (
 	// TraceLinkDown and TraceLinkUp are injected link transitions.
 	TraceLinkDown
 	TraceLinkUp
+	// TraceRouteChange is a protocol reporting a best-route update for a
+	// destination via Env.RouteChanged (From is the reporting node, To
+	// the destination).
+	TraceRouteChange
 )
 
 // String names the trace kind.
@@ -264,6 +291,8 @@ func (k TraceKind) String() string {
 		return "link-down"
 	case TraceLinkUp:
 		return "link-up"
+	case TraceRouteChange:
+		return "route"
 	default:
 		return fmt.Sprintf("trace(%d)", uint8(k))
 	}
@@ -301,18 +330,26 @@ type Network struct {
 	now    time.Duration
 	seq    uint64
 	stats  Stats
-	// kindUnits accumulates Stats.UnitsByKind as a tiny linear list (a
-	// handful of constant kinds), avoiding a string-hash map op per send;
-	// Stats() materializes the map.
+	// kindUnits accumulates the per-kind Stats breakdowns as a tiny
+	// linear list (a handful of constant kinds), avoiding a string-hash
+	// map op per send; Stats() materializes the maps.
 	kindUnits []kindCount
-	events    int64
-	trace     func(TraceEvent)
+	// routeChangedAt[i] is the simulated time of the latest RouteChanged
+	// report for destination idx.ID(i); routeChangedSet[i] says whether
+	// one occurred since the last ResetStats.
+	routeChangedAt  []time.Duration
+	routeChangedSet []bool
+	events          int64
+	trace           func(TraceEvent)
 }
 
-// kindCount is one per-kind accumulator of delivered units.
+// kindCount is one per-kind accumulator of sent messages, units, and
+// wire bytes.
 type kindCount struct {
 	kind  string
 	units int64
+	msgs  int64
+	bytes int64
 }
 
 // emit reports a trace event to the configured observer, if any.
@@ -350,6 +387,9 @@ func NewNetwork(cfg Config) (*Network, error) {
 		linkAt: make(map[linkKey]int32, len(edges)),
 		pq:     make(eventQueue, 0, numNodes),
 		trace:  cfg.Trace,
+
+		routeChangedAt:  make([]time.Duration, numNodes),
+		routeChangedSet: make([]bool, numNodes),
 	}
 	rng := rand.New(rand.NewSource(cfg.DelaySeed))
 	for _, e := range edges {
@@ -428,6 +468,7 @@ func (e *nodeEnv) Send(to routing.NodeID, msg Message) {
 	ar, ok := e.ref(to)
 	if !ok || !net.links[ar.link].up {
 		net.stats.Dropped++
+		net.stats.Undeliverable++
 		net.emit(TraceDrop, e.self, to, msg)
 		return
 	}
@@ -435,10 +476,12 @@ func (e *nodeEnv) Send(to routing.NodeID, msg Message) {
 	net.stats.Messages++
 	units := int64(msg.Units())
 	net.stats.Units += units
-	net.addUnits(msg.Kind(), units)
+	var wire int64
 	if bs, ok := msg.(ByteSizer); ok {
-		net.stats.Bytes += int64(bs.WireBytes())
+		wire = int64(bs.WireBytes())
+		net.stats.Bytes += wire
 	}
+	net.account(msg.Kind(), units, wire)
 	net.stats.LastSend = net.now
 	net.emit(TraceSend, e.self, to, msg)
 	net.seq++
@@ -458,6 +501,16 @@ func (e *nodeEnv) After(d time.Duration, fn func()) {
 	e.net.schedule(d, fn)
 }
 
+func (e *nodeEnv) RouteChanged(dest routing.NodeID) {
+	net := e.net
+	net.stats.RouteChanges++
+	if p := net.idx.Pos(dest); p >= 0 {
+		net.routeChangedAt[p] = net.now
+		net.routeChangedSet[p] = true
+	}
+	net.emit(TraceRouteChange, e.self, dest, nil)
+}
+
 // schedule enqueues a closure event after the given delay. Protocol
 // timers (Env.After) and tests use it; the steady-state message cycle
 // goes through the allocation-free tagged kinds instead.
@@ -475,16 +528,19 @@ func (n *Network) push(ev event) {
 	n.pq.push(ev)
 }
 
-// addUnits accumulates units under the message kind. Kinds are constant
-// strings, so the linear scan compares pointers in the common case.
-func (n *Network) addUnits(kind string, units int64) {
+// account accumulates one sent message under its kind. Kinds are
+// constant strings, so the linear scan compares pointers in the common
+// case.
+func (n *Network) account(kind string, units, bytes int64) {
 	for i := range n.kindUnits {
 		if n.kindUnits[i].kind == kind {
 			n.kindUnits[i].units += units
+			n.kindUnits[i].msgs++
+			n.kindUnits[i].bytes += bytes
 			return
 		}
 	}
-	n.kindUnits = append(n.kindUnits, kindCount{kind: kind, units: units})
+	n.kindUnits = append(n.kindUnits, kindCount{kind: kind, units: units, msgs: 1, bytes: bytes})
 }
 
 // Now returns the current simulated time.
@@ -493,18 +549,42 @@ func (n *Network) Now() time.Duration { return n.now }
 // Stats returns a snapshot of the accounting so far.
 func (n *Network) Stats() Stats {
 	out := n.stats
+	out.Events = n.events
 	out.UnitsByKind = make(map[string]int64, len(n.kindUnits))
+	out.MsgsByKind = make(map[string]int64, len(n.kindUnits))
+	out.BytesByKind = make(map[string]int64, len(n.kindUnits))
 	for _, kc := range n.kindUnits {
 		out.UnitsByKind[kc.kind] = kc.units
+		out.MsgsByKind[kc.kind] = kc.msgs
+		out.BytesByKind[kc.kind] = kc.bytes
 	}
 	return out
 }
 
-// ResetStats zeroes the message accounting (typically called after the
-// initial cold-start convergence, before injecting an event to measure).
+// ResetStats zeroes the message accounting and the per-destination
+// route-change timestamps (typically called after the initial cold-start
+// convergence, before injecting an event to measure). The lifetime event
+// count (Stats.Events) is deliberately preserved.
 func (n *Network) ResetStats() {
 	n.stats = Stats{}
 	n.kindUnits = n.kindUnits[:0]
+	for i := range n.routeChangedSet {
+		n.routeChangedSet[i] = false
+		n.routeChangedAt[i] = 0
+	}
+}
+
+// LastRouteChanges calls f once per destination that had a RouteChanged
+// report since the last ResetStats, in ascending dense-index order (a
+// deterministic order), with the time of its latest change. The spread
+// of these times is the per-destination convergence profile of the
+// run's last measured phase.
+func (n *Network) LastRouteChanges(f func(dest routing.NodeID, at time.Duration)) {
+	for i, set := range n.routeChangedSet {
+		if set {
+			f(n.idx.ID(i), n.routeChangedAt[i])
+		}
+	}
 }
 
 // Node returns the protocol instance at id (nil if absent), so tests and

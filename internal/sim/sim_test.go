@@ -29,8 +29,11 @@ func (e *echoNode) Start(env Env) {
 }
 
 func (e *echoNode) Handle(_ routing.NodeID, msg Message) {
-	p := msg.(pingMsg)
 	e.received++
+	p, ok := msg.(pingMsg)
+	if !ok {
+		return
+	}
 	if p.hops <= 0 {
 		return
 	}
@@ -378,4 +381,150 @@ func TestTraceHook(t *testing.T) {
 	if TraceKind(99).String() != "trace(99)" {
 		t.Fatal("unknown kind rendering broken")
 	}
+}
+
+func TestEventsAndUndeliverableStats(t *testing.T) {
+	g, err := topogen.Chain(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, nodes := buildEcho(t, g)
+	net.Run(0)
+	ev0 := net.Stats().Events
+	if ev0 == 0 {
+		t.Fatal("startup must process events")
+	}
+	net.ResetStats()
+	if got := net.Stats().Events; got != ev0 {
+		t.Fatalf("ResetStats must preserve the lifetime event count: %d vs %d", got, ev0)
+	}
+	net.FailLink(1, 2)
+	net.Run(0)
+	net.schedule(0, func() { nodes[1].env.Send(2, pingMsg{}) })
+	net.Run(0)
+	st := net.Stats()
+	if st.Undeliverable != 1 || st.Dropped != 1 {
+		t.Fatalf("send on a down link: undeliverable=%d dropped=%d, want 1/1", st.Undeliverable, st.Dropped)
+	}
+	if st.Events <= ev0 {
+		t.Fatal("event count must keep growing")
+	}
+}
+
+func TestInFlightDropIsNotUndeliverable(t *testing.T) {
+	g, err := topogen.Chain(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make(map[routing.NodeID]*echoNode)
+	net, err := NewNetwork(Config{
+		Topology: g,
+		Build: func(env Env) Protocol {
+			n := &echoNode{}
+			nodes[env.Self()] = n
+			return n
+		},
+		MinDelay: time.Millisecond,
+		MaxDelay: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run(0)
+	net.ResetStats()
+	net.schedule(0, func() {
+		nodes[1].env.Send(2, pingMsg{})
+		net.FailLink(1, 2)
+	})
+	net.Run(0)
+	st := net.Stats()
+	if st.Dropped != 1 || st.Undeliverable != 0 {
+		t.Fatalf("in-flight loss: dropped=%d undeliverable=%d, want 1/0", st.Dropped, st.Undeliverable)
+	}
+}
+
+// byteMsg is a sized test message.
+type byteMsg struct{}
+
+func (byteMsg) Kind() string   { return "test.sized" }
+func (byteMsg) Units() int     { return 3 }
+func (byteMsg) WireBytes() int { return 40 }
+
+func TestPerKindMessageAndByteAccounting(t *testing.T) {
+	g, err := topogen.Chain(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, nodes := buildEcho(t, g)
+	net.Run(0)
+	net.ResetStats()
+	net.schedule(0, func() {
+		nodes[1].env.Send(2, byteMsg{})
+		nodes[1].env.Send(2, byteMsg{})
+	})
+	net.Run(0)
+	st := net.Stats()
+	if st.MsgsByKind["test.sized"] != 2 {
+		t.Fatalf("MsgsByKind = %v", st.MsgsByKind)
+	}
+	if st.UnitsByKind["test.sized"] != 6 {
+		t.Fatalf("UnitsByKind = %v", st.UnitsByKind)
+	}
+	if st.BytesByKind["test.sized"] != 80 || st.Bytes != 80 {
+		t.Fatalf("BytesByKind = %v, Bytes = %d", st.BytesByKind, st.Bytes)
+	}
+}
+
+func TestRouteChangedAccounting(t *testing.T) {
+	g, err := topogen.Chain(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, nodes := buildEcho(t, g)
+	var traced []TraceEvent
+	net.trace = func(ev TraceEvent) { traced = append(traced, ev) }
+	net.Run(0)
+	net.schedule(2*time.Millisecond, func() { nodes[1].env.RouteChanged(3) })
+	net.schedule(5*time.Millisecond, func() { nodes[2].env.RouteChanged(3) })
+	net.schedule(7*time.Millisecond, func() { nodes[1].env.RouteChanged(2) })
+	net.Run(0)
+
+	st := net.Stats()
+	if st.RouteChanges != 3 {
+		t.Fatalf("RouteChanges = %d, want 3", st.RouteChanges)
+	}
+	got := map[routing.NodeID]time.Duration{}
+	var order []routing.NodeID
+	net.LastRouteChanges(func(dest routing.NodeID, at time.Duration) {
+		got[dest] = at
+		order = append(order, dest)
+	})
+	// Destination 3 keeps its LATEST change time; destination 2 has one.
+	if got[3] != 5*time.Millisecond || got[2] != 7*time.Millisecond {
+		t.Fatalf("route-change times = %v", got)
+	}
+	if len(order) != 2 || order[0] > order[1] {
+		t.Fatalf("iteration order not deterministic ascending: %v", order)
+	}
+	var routes int
+	for _, ev := range traced {
+		if ev.Kind == TraceRouteChange {
+			routes++
+			if ev.Kind.String() != "route" {
+				t.Fatalf("kind renders %q", ev.Kind.String())
+			}
+		}
+	}
+	if routes != 3 {
+		t.Fatalf("traced %d route events, want 3", routes)
+	}
+
+	net.ResetStats()
+	st = net.Stats()
+	if st.RouteChanges != 0 {
+		t.Fatal("ResetStats must clear RouteChanges")
+	}
+	net.LastRouteChanges(func(routing.NodeID, time.Duration) {
+		t.Fatal("ResetStats must clear route-change timestamps")
+	})
 }

@@ -1,0 +1,65 @@
+// Live introspection endpoint: expvar metrics plus net/http/pprof
+// profiling for long harness runs.
+
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// debugReg is the registry the published expvar reads; ServeDebug
+// installs it. expvar.Publish is once-only per process (republishing a
+// name panics), so the var indirects through this pointer instead.
+var (
+	publishOnce sync.Once
+	debugReg    atomic.Pointer[Registry]
+)
+
+// publishExpvar exposes r under the expvar name "telemetry"; subsequent
+// calls retarget the existing var at the new registry.
+func publishExpvar(r *Registry) {
+	if r != nil {
+		debugReg.Store(r)
+	}
+	publishOnce.Do(func() {
+		expvar.Publish("telemetry", expvar.Func(func() any {
+			return debugReg.Load().Snapshot()
+		}))
+	})
+}
+
+// ServeDebug starts an HTTP debug server on addr (e.g. "localhost:6060"
+// or ":0" for an ephemeral port) exposing:
+//
+//   - /debug/vars — expvar JSON: the registry snapshot under
+//     "telemetry", plus the expvar package's standard "memstats" and
+//     "cmdline"
+//   - /debug/pprof/... — the standard pprof profiles (heap, profile,
+//     goroutine, trace, ...)
+//
+// It returns the bound address (useful with ":0") and a stop function
+// that closes the listener. The registry may be nil, in which case the
+// "telemetry" var renders null.
+func ServeDebug(addr string, r *Registry) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("telemetry: debug listener: %w", err)
+	}
+	publishExpvar(r)
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed after stop
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}

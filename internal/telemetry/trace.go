@@ -1,0 +1,243 @@
+// Structured JSONL event tracing. A trace is an ordered sequence of
+// chunks, one per independent simulation (an experiment harness job);
+// each chunk is a header line followed by its simulator events in
+// virtual-time order. Chunks are buffered independently and concatenated
+// in creation order, so a trace written by a parallel run is
+// byte-identical to the serial run's — the property the determinism
+// guard in internal/experiments pins.
+//
+// Line formats (one JSON object per line):
+//
+//	{"chunk":3,"label":"fig6.centaur","seed":12}
+//	{"t":1234567,"k":"send","f":3,"o":9,"m":"bgp.update","u":1,"b":34}
+//	{"t":1300000,"k":"link-down","f":3,"o":9}
+//	{"t":1410000,"k":"route","f":7,"o":9}
+//
+// t is the virtual timestamp in nanoseconds (monotone nondecreasing
+// within a chunk), k the event kind, f/o the from/to node IDs, and for
+// message events m/u/b the message kind, unit count, and wire bytes.
+// ValidateTrace checks exactly this schema.
+
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+
+	"centaur/internal/sim"
+)
+
+// TraceCollector accumulates the ordered chunk list of one trace. Create
+// chunks with Chunk in the deterministic order jobs are constructed;
+// each chunk may then be written to concurrently with the others (but a
+// single chunk has one writer: the job's goroutine). A nil collector
+// hands out nil chunks, whose Observe is a no-op.
+type TraceCollector struct {
+	mu     sync.Mutex
+	chunks []*TraceChunk
+}
+
+// NewTraceCollector returns an empty collector.
+func NewTraceCollector() *TraceCollector { return &TraceCollector{} }
+
+// Chunk appends a new chunk labeled with the job's series name and seed
+// and returns it. The header line is emitted immediately. Returns nil on
+// a nil collector.
+func (tc *TraceCollector) Chunk(label string, seed int64) *TraceChunk {
+	if tc == nil {
+		return nil
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	c := &TraceChunk{}
+	c.buf = append(c.buf, `{"chunk":`...)
+	c.buf = strconv.AppendInt(c.buf, int64(len(tc.chunks)), 10)
+	c.buf = append(c.buf, `,"label":`...)
+	c.buf = strconv.AppendQuote(c.buf, label)
+	c.buf = append(c.buf, `,"seed":`...)
+	c.buf = strconv.AppendInt(c.buf, seed, 10)
+	c.buf = append(c.buf, "}\n"...)
+	tc.chunks = append(tc.chunks, c)
+	return c
+}
+
+// WriteTo writes the whole trace — every chunk in creation order — to w.
+func (tc *TraceCollector) WriteTo(w io.Writer) (int64, error) {
+	if tc == nil {
+		return 0, nil
+	}
+	tc.mu.Lock()
+	chunks := tc.chunks
+	tc.mu.Unlock()
+	var n int64
+	for _, c := range chunks {
+		m, err := w.Write(c.buf)
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// Bytes returns the concatenated trace (for tests and diffing).
+func (tc *TraceCollector) Bytes() []byte {
+	if tc == nil {
+		return nil
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	var out []byte
+	for _, c := range tc.chunks {
+		out = append(out, c.buf...)
+	}
+	return out
+}
+
+// TraceChunk is one simulation's event stream. Observe is the
+// sim.Config.Trace observer; it must be called from a single goroutine
+// (the simulator is single-threaded, so wiring it via sim.Config.Trace
+// satisfies this). A nil chunk no-ops.
+type TraceChunk struct {
+	buf []byte
+}
+
+// Observe appends one simulator event as a JSONL line.
+func (c *TraceChunk) Observe(ev sim.TraceEvent) {
+	if c == nil {
+		return
+	}
+	b := c.buf
+	b = append(b, `{"t":`...)
+	b = strconv.AppendInt(b, int64(ev.At), 10)
+	b = append(b, `,"k":"`...)
+	b = append(b, ev.Kind.String()...) // fixed strings, no escaping needed
+	b = append(b, `","f":`...)
+	b = strconv.AppendInt(b, int64(ev.From), 10)
+	b = append(b, `,"o":`...)
+	b = strconv.AppendInt(b, int64(ev.To), 10)
+	if ev.Msg != nil {
+		b = append(b, `,"m":`...)
+		b = strconv.AppendQuote(b, ev.Msg.Kind())
+		b = append(b, `,"u":`...)
+		b = strconv.AppendInt(b, int64(ev.Msg.Units()), 10)
+		b = append(b, `,"b":`...)
+		wireBytes := 0
+		if bs, ok := ev.Msg.(sim.ByteSizer); ok {
+			wireBytes = bs.WireBytes()
+		}
+		b = strconv.AppendInt(b, int64(wireBytes), 10)
+	}
+	b = append(b, "}\n"...)
+	c.buf = b
+}
+
+// TraceSummary reports what a validated trace contains.
+type TraceSummary struct {
+	Chunks int
+	Events int
+	// ByKind counts events per kind ("send", "deliver", ...).
+	ByKind map[string]int
+}
+
+// traceLine is the decoded superset of both line shapes; pointer fields
+// distinguish absent from zero.
+type traceLine struct {
+	Chunk *int64  `json:"chunk"`
+	Label *string `json:"label"`
+	Seed  *int64  `json:"seed"`
+	T     *int64  `json:"t"`
+	K     *string `json:"k"`
+	F     *int64  `json:"f"`
+	O     *int64  `json:"o"`
+	M     *string `json:"m"`
+	U     *int64  `json:"u"`
+	B     *int64  `json:"b"`
+}
+
+// traceKinds is the closed set of event kinds and whether each carries a
+// message payload (m/u/b fields).
+var traceKinds = map[string]bool{
+	"send":      true,
+	"deliver":   true,
+	"drop":      true,
+	"link-down": false,
+	"link-up":   false,
+	"route":     false,
+}
+
+// ValidateTrace checks a JSONL trace against the golden schema: every
+// line parses, chunk headers carry chunk/label/seed with sequential
+// chunk ids, events carry t/k/f/o (plus m/u/b for message kinds) with a
+// known kind and nonnegative, per-chunk monotone nondecreasing
+// timestamps, and no event precedes the first chunk header. It returns
+// a summary of the valid trace or an error naming the offending line.
+func ValidateTrace(r io.Reader) (TraceSummary, error) {
+	sum := TraceSummary{ByKind: make(map[string]int)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	lastT := int64(-1)
+	inChunk := false
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var tl traceLine
+		if err := json.Unmarshal(line, &tl); err != nil {
+			return sum, fmt.Errorf("trace line %d: %w", lineNo, err)
+		}
+		if tl.Chunk != nil {
+			if tl.T != nil || tl.K != nil {
+				return sum, fmt.Errorf("trace line %d: both chunk header and event fields", lineNo)
+			}
+			if tl.Label == nil || tl.Seed == nil {
+				return sum, fmt.Errorf("trace line %d: chunk header missing label/seed", lineNo)
+			}
+			if *tl.Chunk != int64(sum.Chunks) {
+				return sum, fmt.Errorf("trace line %d: chunk id %d, want %d", lineNo, *tl.Chunk, sum.Chunks)
+			}
+			sum.Chunks++
+			lastT = -1
+			inChunk = true
+			continue
+		}
+		if tl.T == nil || tl.K == nil || tl.F == nil || tl.O == nil {
+			return sum, fmt.Errorf("trace line %d: event missing t/k/f/o", lineNo)
+		}
+		if !inChunk {
+			return sum, fmt.Errorf("trace line %d: event before first chunk header", lineNo)
+		}
+		hasMsg, known := traceKinds[*tl.K]
+		if !known {
+			return sum, fmt.Errorf("trace line %d: unknown kind %q", lineNo, *tl.K)
+		}
+		if *tl.T < 0 {
+			return sum, fmt.Errorf("trace line %d: negative timestamp %d", lineNo, *tl.T)
+		}
+		if *tl.T < lastT {
+			return sum, fmt.Errorf("trace line %d: timestamp %d before %d — not monotone", lineNo, *tl.T, lastT)
+		}
+		lastT = *tl.T
+		if hasMsg {
+			if tl.M == nil || tl.U == nil || tl.B == nil {
+				return sum, fmt.Errorf("trace line %d: %s event missing m/u/b", lineNo, *tl.K)
+			}
+			if *tl.U < 0 || *tl.B < 0 {
+				return sum, fmt.Errorf("trace line %d: negative units/bytes", lineNo)
+			}
+		}
+		sum.Events++
+		sum.ByKind[*tl.K]++
+	}
+	if err := sc.Err(); err != nil {
+		return sum, fmt.Errorf("trace: %w", err)
+	}
+	return sum, nil
+}

@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"centaur/internal/sim"
+)
+
+// fakeMsg is a sized message for trace round-trip tests.
+type fakeMsg struct {
+	kind  string
+	units int
+	bytes int
+}
+
+func (m fakeMsg) Kind() string   { return m.kind }
+func (m fakeMsg) Units() int     { return m.units }
+func (m fakeMsg) WireBytes() int { return m.bytes }
+
+// bareMsg has no ByteSizer: wire bytes render as 0.
+type bareMsg struct{}
+
+func (bareMsg) Kind() string { return "bare" }
+func (bareMsg) Units() int   { return 2 }
+
+func TestTraceRoundTrip(t *testing.T) {
+	tc := NewTraceCollector()
+	c := tc.Chunk("fig6.centaur", 42)
+	c.Observe(sim.TraceEvent{Kind: sim.TraceSend, At: 10 * time.Millisecond, From: 1, To: 2,
+		Msg: fakeMsg{kind: "centaur.update", units: 3, bytes: 120}})
+	c.Observe(sim.TraceEvent{Kind: sim.TraceLinkDown, At: 15 * time.Millisecond, From: 1, To: 2})
+	c.Observe(sim.TraceEvent{Kind: sim.TraceDeliver, At: 20 * time.Millisecond, From: 1, To: 2,
+		Msg: bareMsg{}})
+	c2 := tc.Chunk("fig6.bgp", 43)
+	c2.Observe(sim.TraceEvent{Kind: sim.TraceDrop, At: 5 * time.Millisecond, From: 3, To: 4,
+		Msg: fakeMsg{kind: "bgp.update", units: 1, bytes: 34}})
+
+	sum, err := ValidateTrace(bytes.NewReader(tc.Bytes()))
+	if err != nil {
+		t.Fatalf("trace does not validate: %v\n%s", err, tc.Bytes())
+	}
+	if sum.Chunks != 2 || sum.Events != 4 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.ByKind["send"] != 1 || sum.ByKind["deliver"] != 1 ||
+		sum.ByKind["drop"] != 1 || sum.ByKind["link-down"] != 1 {
+		t.Fatalf("by-kind = %v", sum.ByKind)
+	}
+
+	out := string(tc.Bytes())
+	if !strings.Contains(out, `"m":"centaur.update","u":3,"b":120`) {
+		t.Fatalf("sized message not rendered:\n%s", out)
+	}
+	if !strings.Contains(out, `"m":"bare","u":2,"b":0`) {
+		t.Fatalf("unsized message must render b:0:\n%s", out)
+	}
+
+	// WriteTo emits the same bytes.
+	var buf bytes.Buffer
+	n, err := tc.WriteTo(&buf)
+	if err != nil || n != int64(len(tc.Bytes())) || !bytes.Equal(buf.Bytes(), tc.Bytes()) {
+		t.Fatalf("WriteTo mismatch: n=%d err=%v", n, err)
+	}
+}
+
+func TestNilTraceCollector(t *testing.T) {
+	var tc *TraceCollector
+	c := tc.Chunk("x", 1)
+	if c != nil {
+		t.Fatal("nil collector must hand out nil chunks")
+	}
+	c.Observe(sim.TraceEvent{Kind: sim.TraceSend}) // must not panic
+	if tc.Bytes() != nil {
+		t.Fatal("nil collector bytes must be nil")
+	}
+	if n, err := tc.WriteTo(&bytes.Buffer{}); n != 0 || err != nil {
+		t.Fatalf("nil WriteTo: n=%d err=%v", n, err)
+	}
+}
+
+func TestValidateTraceRejects(t *testing.T) {
+	header := `{"chunk":0,"label":"x","seed":1}` + "\n"
+	cases := map[string]string{
+		"bad json":             header + `{"t":1,"k":` + "\n",
+		"event before header":  `{"t":1,"k":"send","f":0,"o":1,"m":"a","u":1,"b":1}` + "\n",
+		"missing fields":       header + `{"t":1,"k":"send"}` + "\n",
+		"unknown kind":         header + `{"t":1,"k":"warp","f":0,"o":1}` + "\n",
+		"negative timestamp":   header + `{"t":-1,"k":"route","f":0,"o":1}` + "\n",
+		"msg kind missing m":   header + `{"t":1,"k":"send","f":0,"o":1}` + "\n",
+		"negative units":       header + `{"t":1,"k":"send","f":0,"o":1,"m":"a","u":-1,"b":1}` + "\n",
+		"header missing label": `{"chunk":0,"seed":1}` + "\n",
+		"chunk id gap":         header + `{"chunk":2,"label":"y","seed":1}` + "\n",
+		"non-monotone t": header +
+			`{"t":5,"k":"route","f":0,"o":1}` + "\n" +
+			`{"t":4,"k":"route","f":0,"o":1}` + "\n",
+	}
+	for name, in := range cases {
+		if _, err := ValidateTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: validated but should fail:\n%s", name, in)
+		}
+	}
+
+	// Timestamps reset across chunk boundaries: a later chunk may start
+	// earlier than the previous chunk ended.
+	ok := header +
+		`{"t":9,"k":"route","f":0,"o":1}` + "\n" +
+		`{"chunk":1,"label":"y","seed":2}` + "\n" +
+		`{"t":1,"k":"route","f":0,"o":1}` + "\n"
+	if _, err := ValidateTrace(strings.NewReader(ok)); err != nil {
+		t.Fatalf("cross-chunk timestamp reset rejected: %v", err)
+	}
+}

@@ -3,6 +3,7 @@ package topogen
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"centaur/internal/routing"
 	"centaur/internal/topology"
@@ -112,7 +113,15 @@ func Hierarchical(cfg HierConfig) (*topology.Graph, error) {
 			// Guarantee connectivity: fall back to a random Tier-1 provider.
 			chosen[1+rng.Intn(cfg.Tier1)] = struct{}{}
 		}
+		// Sorted, not map order: the append order below shapes the
+		// attachment pool and hence every later draw, so iterating the
+		// map directly would make same-seed graphs differ run to run.
+		provs := make([]int, 0, len(chosen))
 		for u := range chosen {
+			provs = append(provs, u)
+		}
+		sort.Ints(provs)
+		for _, u := range provs {
 			// v is the customer of u.
 			if err := g.AddEdge(routing.NodeID(v), routing.NodeID(u), topology.RelProvider); err != nil {
 				return nil, err

@@ -301,3 +301,33 @@ func TestAttachLeaves(t *testing.T) {
 	}
 	assertProviderDAG(t, g)
 }
+
+// TestHierarchicalDeterministic pins same-seed reproducibility of the
+// measured-like generator, including relationship annotations. (A map
+// iteration in the provider-attachment loop once made same-seed graphs
+// differ run to run, which in turn made every Table/Figure built on
+// CAIDALike nondeterministic.)
+func TestHierarchicalDeterministic(t *testing.T) {
+	a, err := CAIDALike(300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CAIDALike(300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatalf("edge counts differ: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, ea[i], eb[i])
+		}
+		ra, _ := a.Rel(ea[i].A, ea[i].B)
+		rb, _ := b.Rel(eb[i].A, eb[i].B)
+		if ra != rb {
+			t.Fatalf("edge %d relationship differs: %v vs %v", i, ra, rb)
+		}
+	}
+}
