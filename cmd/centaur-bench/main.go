@@ -12,9 +12,13 @@
 //	centaur-bench -quick       # smoke scale (tens of seconds)
 //
 // Alongside the text report, a machine-readable summary (per-step wall
-// clock plus each figure's key statistics) is written to the -report
-// path, BENCH_report.json by default. -workers bounds the simulator
-// fan-out; -cpuprofile/-memprofile write pprof profiles.
+// clock, each figure's key statistics, and per-stage simulator times —
+// cold starts vs checkpoint forks vs flip measurement) is written to
+// the -report path, BENCH_report.json by default. -workers bounds the
+// simulator fan-out; -trials-per-net chunks each figure series over
+// fresh networks, which the converged-state checkpoint layer then
+// serves from forks of one cold start (-no-checkpoint opts out);
+// -cpuprofile/-memprofile write pprof profiles.
 package main
 
 import (
@@ -61,6 +65,10 @@ type benchReport struct {
 	GoMaxProcs   int         `json:"gomaxprocs"`
 	Steps        []benchStep `json:"steps"`
 	TotalSeconds float64     `json:"total_seconds"`
+	// ColdStartsAvoided counts trial chunks served by forking a shared
+	// converged checkpoint instead of cold-starting a fresh network
+	// (the run-wide sim.forks counter).
+	ColdStartsAvoided int64 `json:"cold_starts_avoided"`
 	// Telemetry is the end-of-run registry snapshot: protocol and
 	// simulator counters, the heap high-water gauge, and per-series
 	// message-kind counts and convergence-time distributions.
@@ -72,6 +80,8 @@ func run() error {
 		quick      = flag.Bool("quick", false, "run at smoke scale")
 		seed       = flag.Int64("seed", 1, "master seed")
 		workers    = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+		trialsPer  = flag.Int("trials-per-net", 0, "flip trials per fresh network; 0 = one shared network per series (historical semantics)")
+		noCheckpt  = flag.Bool("no-checkpoint", false, "disable converged-state checkpointing; cold-start every trial chunk")
 		reportPath = flag.String("report", "BENCH_report.json", "write the machine-readable report here (empty = skip)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -120,6 +130,8 @@ func run() error {
 	}
 	fig6.Seed, fig7.Seed, fig8.Seed = *seed, *seed, *seed
 	fig6.Workers, fig7.Workers, fig8.Workers = *workers, *workers, *workers
+	fig6.TrialsPerNetwork, fig7.TrialsPerNetwork, fig8.TrialsPerNetwork = *trialsPer, *trialsPer, *trialsPer
+	fig6.NoCheckpoint, fig7.NoCheckpoint, fig8.NoCheckpoint = *noCheckpt, *noCheckpt, *noCheckpt
 	fig6.Telemetry, fig7.Telemetry, fig8.Telemetry = reg, reg, reg
 
 	start := time.Now()
@@ -135,6 +147,7 @@ func run() error {
 	fmt.Printf("generated: %s\n\n", report.Generated)
 
 	step := func(name string, f func() (fmt.Stringer, error)) error {
+		cold0, fork0, flips0 := experiments.StageTimings()
 		t0 := time.Now()
 		res, err := f()
 		if err != nil {
@@ -143,8 +156,16 @@ func run() error {
 		took := time.Since(t0)
 		fmt.Print(res)
 		fmt.Printf("[%s took %v]\n\n", name, took.Round(time.Millisecond))
+		cold1, fork1, flips1 := experiments.StageTimings()
+		stats := keyStats(res)
+		if stages := stageStats(cold1-cold0, fork1-fork0, flips1-flips0); stages != nil {
+			if stats == nil {
+				stats = map[string]any{}
+			}
+			stats["stage_seconds"] = stages
+		}
 		report.Steps = append(report.Steps, benchStep{
-			Name: name, Seconds: took.Seconds(), Stats: keyStats(res),
+			Name: name, Seconds: took.Seconds(), Stats: stats,
 		})
 		return nil
 	}
@@ -212,6 +233,7 @@ func run() error {
 	}
 
 	report.TotalSeconds = time.Since(start).Seconds()
+	report.ColdStartsAvoided = reg.Counter("sim.forks").Value()
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	reg.Gauge("heap.max_bytes").SetMax(int64(ms.HeapAlloc))
@@ -265,6 +287,20 @@ func keyStats(res fmt.Stringer) map[string]any {
 		return map[string]any{"points": points}
 	}
 	return nil
+}
+
+// stageStats renders a step's simulator-stage wall-time deltas
+// (cumulative across workers, so the stages can sum past the step's
+// elapsed time). Steps that never enter the simulator report none.
+func stageStats(cold, fork, flips time.Duration) map[string]any {
+	if cold == 0 && fork == 0 && flips == 0 {
+		return nil
+	}
+	return map[string]any{
+		"cold_start": cold.Seconds(),
+		"fork":       fork.Seconds(),
+		"flips":      flips.Seconds(),
+	}
 }
 
 // num shields the JSON report from the NaN an empty distribution

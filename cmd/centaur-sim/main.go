@@ -12,8 +12,11 @@
 //
 // All modes accept -workers and -trials-per-net to fan independent
 // simulations out over a bounded worker pool; results are identical for
-// every worker count (see experiments.FlipConfig). -cpuprofile and
-// -memprofile write pprof profiles of the run.
+// every worker count (see experiments.FlipConfig). With -trials-per-net
+// set, each series cold-starts once and forks its converged state per
+// trial chunk (see sim.Checkpoint); -no-checkpoint restores the
+// per-chunk cold starts. -cpuprofile and -memprofile write pprof
+// profiles of the run.
 //
 // Observability: -trace file.jsonl records every simulator event as a
 // structured JSONL trace (byte-identical across worker counts, so two
@@ -65,6 +68,7 @@ func run() error {
 		trialsPer  = flag.Int("trials-per-net", 0, "flip trials per fresh network; 0 = one shared network per series (historical semantics)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		noCheckpt  = flag.Bool("no-checkpoint", false, "disable converged-state checkpointing; cold-start every trial chunk")
 		traceFile  = flag.String("trace", "", "write a structured JSONL event trace to this file")
 		debugAddr  = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
 		progress   = flag.Duration("progress", 0, "print a progress line to stderr at this interval (0 = off)")
@@ -104,7 +108,7 @@ func run() error {
 		defer stopProgress()
 	}
 
-	if err := dispatch(*fig, *compare, *nodes, *m, *flips, *seed, *mrai, *sizes, *workers, *trialsPer, reg, tc); err != nil {
+	if err := dispatch(*fig, *compare, *nodes, *m, *flips, *seed, *mrai, *sizes, *workers, *trialsPer, *noCheckpt, reg, tc); err != nil {
 		return err
 	}
 	if *traceFile != "" {
@@ -118,16 +122,16 @@ func run() error {
 
 // dispatch runs the selected experiment mode with the observability
 // hooks threaded through.
-func dispatch(fig string, compare bool, nodes, m, flips int, seed int64, mrai time.Duration, sizes string, workers, trialsPer int, reg *telemetry.Registry, tc *telemetry.TraceCollector) error {
+func dispatch(fig string, compare bool, nodes, m, flips int, seed int64, mrai time.Duration, sizes string, workers, trialsPer int, noCheckpt bool, reg *telemetry.Registry, tc *telemetry.TraceCollector) error {
 	if compare {
-		return runCompare(nodes, m, flips, seed, mrai, workers, trialsPer, reg, tc)
+		return runCompare(nodes, m, flips, seed, mrai, workers, trialsPer, noCheckpt, reg, tc)
 	}
 
 	switch fig {
 	case "6":
 		res, err := experiments.Figure6(experiments.Figure6Config{
 			Nodes: nodes, LinksPerNode: m, Flips: flips, Seed: seed, MRAI: mrai,
-			TrialsPerNetwork: trialsPer, Workers: workers,
+			TrialsPerNetwork: trialsPer, Workers: workers, NoCheckpoint: noCheckpt,
 			Telemetry: reg, Trace: tc,
 		})
 		if err != nil {
@@ -138,7 +142,7 @@ func dispatch(fig string, compare bool, nodes, m, flips int, seed int64, mrai ti
 	case "7":
 		res, err := experiments.Figure7(experiments.Figure7Config{
 			Nodes: nodes, LinksPerNode: m, Flips: flips, Seed: seed,
-			TrialsPerNetwork: trialsPer, Workers: workers,
+			TrialsPerNetwork: trialsPer, Workers: workers, NoCheckpoint: noCheckpt,
 			Telemetry: reg, Trace: tc,
 		})
 		if err != nil {
@@ -153,7 +157,7 @@ func dispatch(fig string, compare bool, nodes, m, flips int, seed int64, mrai ti
 		}
 		res, err := experiments.Figure8(experiments.Figure8Config{
 			Sizes: sz, LinksPerNode: m, FlipsPerSize: flips, Seed: seed,
-			TrialsPerNetwork: trialsPer, Workers: workers,
+			TrialsPerNetwork: trialsPer, Workers: workers, NoCheckpoint: noCheckpt,
 			Telemetry: reg, Trace: tc,
 		})
 		if err != nil {
@@ -224,7 +228,7 @@ func startProfiles(cpu, mem string) (func(), error) {
 // numbered in creation order, and only a serial ladder creates them in
 // the deterministic ladder order (each row's inner fan-out stays
 // deterministic on its own, so the full worker budget shifts inward).
-func runCompare(nodes, m, flips int, seed int64, mrai time.Duration, workers, trialsPer int, reg *telemetry.Registry, tc *telemetry.TraceCollector) error {
+func runCompare(nodes, m, flips int, seed int64, mrai time.Duration, workers, trialsPer int, noCheckpt bool, reg *telemetry.Registry, tc *telemetry.TraceCollector) error {
 	g, err := topogen.BRITE(nodes, m, seed)
 	if err != nil {
 		return err
@@ -262,7 +266,7 @@ func runCompare(nodes, m, flips int, seed int64, mrai time.Duration, workers, tr
 		// A plain loop, not a one-slot semaphore: goroutines would race
 		// for the slot and scramble the ladder (and trace chunk) order.
 		for i, proto := range ladder {
-			rows[i], errs[i] = compareRow(g, proto.name, proto.build, flips, seed, inner, trialsPer, reg, tc)
+			rows[i], errs[i] = compareRow(g, proto.name, proto.build, flips, seed, inner, trialsPer, noCheckpt, reg, tc)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -273,7 +277,7 @@ func runCompare(nodes, m, flips int, seed int64, mrai time.Duration, workers, tr
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				rows[i], errs[i] = compareRow(g, proto.name, proto.build, flips, seed, inner, trialsPer, reg, tc)
+				rows[i], errs[i] = compareRow(g, proto.name, proto.build, flips, seed, inner, trialsPer, noCheckpt, reg, tc)
 			}()
 		}
 		wg.Wait()
@@ -289,7 +293,7 @@ func runCompare(nodes, m, flips int, seed int64, mrai time.Duration, workers, tr
 
 // compareRow measures one ladder protocol and renders its table row
 // (empty when the workload produced no samples).
-func compareRow(g *topology.Graph, name string, build sim.Builder, flips int, seed int64, workers, trialsPer int, reg *telemetry.Registry, tc *telemetry.TraceCollector) (string, error) {
+func compareRow(g *topology.Graph, name string, build sim.Builder, flips int, seed int64, workers, trialsPer int, noCheckpt bool, reg *telemetry.Registry, tc *telemetry.TraceCollector) (string, error) {
 	net, err := sim.NewNetwork(sim.Config{Topology: g, Build: build, DelaySeed: seed})
 	if err != nil {
 		return "", err
@@ -300,7 +304,7 @@ func compareRow(g *topology.Graph, name string, build sim.Builder, flips int, se
 	cold := net.Stats().Units
 	samples, err := experiments.RunFlips(experiments.FlipConfig{
 		Topology: g, Build: build, Flips: flips, Seed: seed,
-		TrialsPerNetwork: trialsPer, Workers: workers,
+		TrialsPerNetwork: trialsPer, Workers: workers, NoCheckpoint: noCheckpt,
 		Series: "compare." + name, Telemetry: reg, Trace: tc,
 	})
 	if err != nil {

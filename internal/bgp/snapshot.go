@@ -1,0 +1,95 @@
+package bgp
+
+import (
+	"maps"
+	"slices"
+
+	"centaur/internal/routing"
+	"centaur/internal/sim"
+)
+
+var _ sim.Snapshotter = (*Node)(nil)
+
+// ForkProtocol implements sim.Snapshotter: an independent deep copy of
+// the node's converged state, bound to the fork's env. The receiver is
+// only read — many forks are taken concurrently from one checkpointed
+// template, and the race detector gates this in CI.
+//
+// What is shared vs. copied follows the package's mutation contract:
+// cfg, pol, rel, and nbrs never change after construction, and
+// routing.Path values are immutable once installed (Prepend copies), so
+// those are shared; every map that Handle/LinkDown/LinkUp mutates is
+// copied. The scratch buffers start empty — they are rebuilt per call.
+// MRAI and RCN mask timers need no transfer: a quiesced network has no
+// pending timer events, and each firing disarms its flag (mraiArmed)
+// or expires its mask entry before quiescence can be reached.
+func (n *Node) ForkProtocol(env sim.Env) sim.Protocol {
+	out := &Node{
+		cfg:        n.cfg,
+		pol:        n.pol,
+		env:        env,
+		self:       n.self,
+		rel:        n.rel,
+		nbrs:       n.nbrs,
+		adjIn:      forkRIB(n.adjIn),
+		best:       maps.Clone(n.best),
+		advertised: forkRIB(n.advertised),
+		pending:    make(map[routing.NodeID]map[routing.NodeID]struct{}, len(n.pending)),
+		mraiArmed:  maps.Clone(n.mraiArmed),
+		failedGen:  n.failedGen,
+	}
+	for nb, set := range n.pending {
+		out.pending[nb] = maps.Clone(set)
+	}
+	if n.failed != nil {
+		out.failed = maps.Clone(n.failed)
+	}
+	if n.pendingRCN != nil {
+		out.pendingRCN = make(map[routing.NodeID][]rcnNotice, len(n.pendingRCN))
+		for nb, q := range n.pendingRCN {
+			out.pendingRCN[nb] = slices.Clone(q)
+		}
+	}
+	return out
+}
+
+// forkRIB deep-copies a per-neighbor RIB; the path values stay shared
+// (immutable once installed).
+func forkRIB(rib map[routing.NodeID]map[routing.NodeID]routing.Path) map[routing.NodeID]map[routing.NodeID]routing.Path {
+	out := make(map[routing.NodeID]map[routing.NodeID]routing.Path, len(rib))
+	for nb, m := range rib {
+		out[nb] = maps.Clone(m)
+	}
+	return out
+}
+
+// SnapshotBytes implements sim.Snapshotter: a rough heap estimate of
+// what ForkProtocol copies (map entries; the shared path bodies are
+// counted once per referencing entry, which overestimates — fine for a
+// high-water gauge).
+func (n *Node) SnapshotBytes() int {
+	const entry = 48 // amortized per-map-entry share of buckets and keys
+	b := 0
+	for _, m := range n.adjIn {
+		b += entry
+		for _, p := range m {
+			b += entry + len(p)*8
+		}
+	}
+	for _, m := range n.advertised {
+		b += entry
+		for _, p := range m {
+			b += entry + len(p)*8
+		}
+	}
+	b += len(n.best) * (entry + 32)
+	for _, s := range n.pending {
+		b += entry + len(s)*entry
+	}
+	b += len(n.mraiArmed) * entry
+	b += len(n.failed) * entry
+	for _, q := range n.pendingRCN {
+		b += entry + len(q)*24
+	}
+	return b
+}

@@ -1,0 +1,89 @@
+package centaur
+
+import (
+	"maps"
+	"slices"
+
+	"centaur/internal/pgraph"
+	"centaur/internal/routing"
+	"centaur/internal/sim"
+)
+
+var _ sim.Snapshotter = (*Node)(nil)
+
+// ForkProtocol implements sim.Snapshotter: an independent deep copy of
+// the node's converged state, bound to the fork's env. The receiver is
+// only read — many forks are taken concurrently from one checkpointed
+// template, and the race detector gates this in CI.
+//
+// Copy depth follows the package's mutation contract: cfg, pol, rel,
+// and nbrList are construction-only and shared; routing.Path values are
+// immutable once installed, so the Loc-RIB maps are copied but their
+// path slices are not; the neighbor P-graphs and the local/announced
+// views are live mutable structures and are deep-cloned (pgraph's
+// Graph.Clone / View.Clone, including the in-place-mutating Permission
+// Lists). The derived cache is copied as well — not for correctness
+// (each entry is a pure function of the neighbor's P-graph) but so a
+// fork's cache hit pattern is deterministic rather than dependent on
+// which template the scheduler checkpointed. Mask TTL timers need no
+// transfer: a quiesced network has no pending timer events and each
+// firing removes its own mask generation before quiescence is possible.
+func (n *Node) ForkProtocol(env sim.Env) sim.Protocol {
+	out := &Node{
+		cfg:       n.cfg,
+		pol:       n.pol,
+		env:       env,
+		self:      n.self,
+		rel:       n.rel,
+		nbrList:   n.nbrList,
+		nbGraph:   make(map[routing.NodeID]*pgraph.Graph, len(n.nbGraph)),
+		paths:     maps.Clone(n.paths),
+		classes:   maps.Clone(n.classes),
+		vias:      maps.Clone(n.vias),
+		localView: n.localView.Clone(),
+		views:     make(map[routing.NodeID]*pgraph.View, len(n.views)),
+		failedGen: n.failedGen,
+	}
+	for b, g := range n.nbGraph {
+		out.nbGraph[b] = g.Clone()
+	}
+	for b, v := range n.views {
+		out.views[b] = v.Clone()
+	}
+	if n.pendingFailed != nil {
+		out.pendingFailed = slices.Clone(n.pendingFailed)
+	}
+	if n.failed != nil {
+		out.failed = maps.Clone(n.failed)
+	}
+	if n.derived != nil {
+		out.derived = make(map[routing.NodeID]map[routing.NodeID]derivedEntry, len(n.derived))
+		for b, m := range n.derived {
+			out.derived[b] = maps.Clone(m)
+		}
+	}
+	return out
+}
+
+// SnapshotBytes implements sim.Snapshotter: a rough heap estimate of
+// what ForkProtocol copies, dominated by the per-neighbor P-graphs and
+// announced views.
+func (n *Node) SnapshotBytes() int {
+	const entry = 48 // amortized per-map-entry share of buckets and keys
+	b := 0
+	for _, g := range n.nbGraph {
+		b += g.ApproxMemBytes()
+	}
+	b += n.localView.ApproxMemBytes()
+	for _, v := range n.views {
+		b += v.ApproxMemBytes()
+	}
+	for _, p := range n.paths {
+		b += entry + len(p)*8
+	}
+	b += len(n.classes)*entry + len(n.vias)*entry + len(n.failed)*entry
+	for _, m := range n.derived {
+		b += entry + len(m)*(entry+8)
+	}
+	return b
+}

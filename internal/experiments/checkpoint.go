@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"centaur/internal/sim"
+	"centaur/internal/telemetry"
+)
+
+// forkSource is the one-cold-start-per-series machinery behind
+// converged-state checkpointing: the first job that needs a network
+// cold-starts one under the series' base delay seed, checkpoints it at
+// quiescence, and every job (including that first one) then forks the
+// checkpoint under its own chunk delay seed. Forking is sound because
+// the converged state under the experiments' Gao–Rexford policies is
+// the unique stable solution, independent of message timing — see
+// sim/checkpoint.go for the full argument and the equivalence tests.
+//
+// One forkSource is shared by all jobs of one flipJobs call (one
+// topology × protocol series); checkpoint() is safe for concurrent use.
+type forkSource struct {
+	cfg  sim.Config
+	tele *telemetry.Registry
+
+	once sync.Once
+	cp   *sim.Checkpoint
+	err  error
+}
+
+// checkpoint returns the series' shared checkpoint, cold-starting the
+// template network on first call. A template whose protocol does not
+// implement sim.Snapshotter reports sim.ErrNotSnapshottable; callers
+// fall back to per-job cold starts.
+func (s *forkSource) checkpoint() (*sim.Checkpoint, error) {
+	s.once.Do(func() {
+		t0 := time.Now()
+		net, err := sim.NewNetwork(s.cfg)
+		if err != nil {
+			s.err = err
+			return
+		}
+		if _, _, err := net.RunToConvergence(maxEvents); err != nil {
+			s.err = fmt.Errorf("experiments: checkpoint cold start: %w", err)
+			return
+		}
+		stageClock.coldStart.Add(int64(time.Since(t0)))
+		s.tele.Counter("sim.coldstarts").Inc()
+		cp, err := net.Checkpoint()
+		if err != nil {
+			s.err = err
+			return
+		}
+		s.tele.Counter("sim.checkpoints").Inc()
+		s.tele.Gauge("sim.checkpoint_bytes").SetMax(cp.StateBytes())
+		s.cp = cp
+	})
+	return s.cp, s.err
+}
+
+// stageClock accumulates wall-clock nanoseconds per harness stage,
+// process-wide like poolProgress. Stages overlap across workers, so the
+// sums are cumulative (CPU-style) times, not elapsed time. Wall-clock
+// is inherently nondeterministic, so these live outside the telemetry
+// registry — registry snapshots stay byte-identical across runs.
+var stageClock struct {
+	coldStart atomic.Int64
+	fork      atomic.Int64
+	flips     atomic.Int64
+}
+
+// StageTimings reports the cumulative wall-clock this process has spent
+// cold-starting networks, forking checkpoints, and measuring flip
+// phases, across all experiment jobs so far. Callers (centaur-bench)
+// difference successive readings to attribute time per figure.
+func StageTimings() (coldStart, fork, flips time.Duration) {
+	return time.Duration(stageClock.coldStart.Load()),
+		time.Duration(stageClock.fork.Load()),
+		time.Duration(stageClock.flips.Load())
+}

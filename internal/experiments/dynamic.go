@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"slices"
 	"strings"
 	"time"
 
@@ -73,6 +75,16 @@ type FlipConfig struct {
 	// identical for every worker count: chunking is fixed by
 	// TrialsPerNetwork and each chunk writes its own result slots.
 	Workers int
+	// NoCheckpoint disables converged-state checkpointing, making every
+	// chunk cold-start its own network as before PR 3. By default, when a
+	// run has more than one chunk and no trace attached, one network per
+	// series is cold-started and checkpointed at convergence, and each
+	// chunk forks that checkpoint under its own delay seed
+	// (sim.Checkpoint.Fork) — same per-flip results, one cold start
+	// instead of one per chunk. Tracing implies NoCheckpoint because each
+	// chunk's trace must contain its own cold-start events to stay
+	// byte-identical to the uncheckpointed output.
+	NoCheckpoint bool
 	// Series names this run in telemetry metrics and trace chunk labels
 	// (e.g. "fig6.centaur"); empty means "flips".
 	Series string
@@ -101,12 +113,19 @@ type flipJob struct {
 	out       []FlipSample
 	tele      *telemetry.Registry
 	chunk     *telemetry.TraceChunk
+	// fork, when non-nil, is the series' shared checkpoint source: the
+	// job forks its network from it instead of cold-starting one.
+	fork *forkSource
 }
 
 // flipEdges returns the flip schedule for cfg: all edges, or a
-// Seed-shuffled sample of Flips of them.
+// Seed-shuffled sample of Flips of them. The slice is always a private
+// copy: topology.Graph.Edges does return a fresh slice today, but the
+// shuffle below must never be able to reorder state shared with other
+// series of the same FlipConfig.Topology, so we don't lean on that
+// (regression-tested by TestFlipEdgesDoesNotPerturbTopology).
 func flipEdges(cfg FlipConfig) []topology.Edge {
-	edges := cfg.Topology.Edges()
+	edges := slices.Clone(cfg.Topology.Edges())
 	if cfg.Flips > 0 && cfg.Flips < len(edges) {
 		rng := rand.New(rand.NewSource(cfg.Seed))
 		rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
@@ -129,6 +148,17 @@ func flipJobs(cfg FlipConfig, label string, out []FlipSample) []flipJob {
 	if series == "" {
 		series = "flips"
 	}
+	// Checkpointing pays off only when several chunks would each repeat
+	// the cold start; tracing needs every chunk's own cold-start events
+	// in its trace, so it keeps the historical path (see
+	// FlipConfig.NoCheckpoint).
+	var fork *forkSource
+	if !cfg.NoCheckpoint && cfg.Trace == nil && len(edges) > chunk {
+		fork = &forkSource{
+			cfg:  sim.Config{Topology: cfg.Topology, Build: cfg.Build, DelaySeed: cfg.Seed},
+			tele: cfg.Telemetry,
+		}
+	}
 	var jobs []flipJob
 	for start := 0; start < len(edges); start += chunk {
 		end := start + chunk
@@ -146,28 +176,21 @@ func flipJobs(cfg FlipConfig, label string, out []FlipSample) []flipJob {
 			out:       out[start:end],
 			tele:      cfg.Telemetry,
 			chunk:     cfg.Trace.Chunk(series, delaySeed),
+			fork:      fork,
 		})
 	}
 	return jobs
 }
 
-// run cold-starts the job's network and measures its flip schedule.
+// run acquires the job's converged network (a checkpoint fork or its
+// own cold start) and measures its flip schedule.
 func (j flipJob) run() error {
-	cfg := sim.Config{
-		Topology:  j.topo,
-		Build:     j.build,
-		DelaySeed: j.delaySeed,
-	}
-	if j.chunk != nil {
-		cfg.Trace = j.chunk.Observe
-	}
-	net, err := sim.NewNetwork(cfg)
+	net, err := j.network()
 	if err != nil {
-		return j.wrap(err)
+		return err
 	}
-	if _, _, err := net.RunToConvergence(maxEvents); err != nil {
-		return j.wrap(fmt.Errorf("experiments: cold start: %w", err))
-	}
+	t0 := time.Now()
+	defer func() { stageClock.flips.Add(int64(time.Since(t0))) }()
 	for i, e := range j.edges {
 		s := FlipSample{Link: e}
 		net.ResetStats()
@@ -205,6 +228,50 @@ func (j flipJob) run() error {
 		j.out[i] = s
 	}
 	return nil
+}
+
+// network returns a converged network for the job: a fork of the
+// series' shared checkpoint when one is configured (falling back to a
+// cold start if the protocol is not snapshottable), otherwise its own
+// cold-started network. Either way the returned network is quiesced
+// and every link is up, so the flip loop starts from identical state.
+func (j flipJob) network() (*sim.Network, error) {
+	if j.fork != nil {
+		cp, err := j.fork.checkpoint()
+		switch {
+		case err == nil:
+			t0 := time.Now()
+			net, err := cp.Fork(j.delaySeed)
+			if err != nil {
+				return nil, j.wrap(err)
+			}
+			stageClock.fork.Add(int64(time.Since(t0)))
+			j.tele.Counter("sim.forks").Inc()
+			return net, nil
+		case !errors.Is(err, sim.ErrNotSnapshottable):
+			return nil, j.wrap(err)
+		}
+		// Not snapshottable: every job cold-starts its own network.
+	}
+	cfg := sim.Config{
+		Topology:  j.topo,
+		Build:     j.build,
+		DelaySeed: j.delaySeed,
+	}
+	if j.chunk != nil {
+		cfg.Trace = j.chunk.Observe
+	}
+	t0 := time.Now()
+	net, err := sim.NewNetwork(cfg)
+	if err != nil {
+		return nil, j.wrap(err)
+	}
+	if _, _, err := net.RunToConvergence(maxEvents); err != nil {
+		return nil, j.wrap(fmt.Errorf("experiments: cold start: %w", err))
+	}
+	stageClock.coldStart.Add(int64(time.Since(t0)))
+	j.tele.Counter("sim.coldstarts").Inc()
+	return net, nil
 }
 
 // recordPhase folds one reconvergence phase's accounting into the job's
@@ -298,6 +365,8 @@ type Figure6Config struct {
 	// TrialsPerNetwork=0 runs the protocols concurrently.
 	TrialsPerNetwork int
 	Workers          int
+	// NoCheckpoint disables converged-state checkpointing; see FlipConfig.
+	NoCheckpoint bool
 	// Telemetry and Trace are the observability hooks, shared by all
 	// series; see FlipConfig. Series names are "fig6.centaur",
 	// "fig6.bgp_mrai", and "fig6.bgp".
@@ -338,8 +407,8 @@ func Figure6(cfg Figure6Config) (*Figure6Result, error) {
 	}
 	flip := func(b sim.Builder, series string) FlipConfig {
 		return FlipConfig{Topology: g, Build: b, Flips: cfg.Flips, Seed: cfg.Seed,
-			TrialsPerNetwork: cfg.TrialsPerNetwork,
-			Series:           series, Telemetry: cfg.Telemetry, Trace: cfg.Trace}
+			TrialsPerNetwork: cfg.TrialsPerNetwork, NoCheckpoint: cfg.NoCheckpoint,
+			Series: series, Telemetry: cfg.Telemetry, Trace: cfg.Trace}
 	}
 	nFlips := len(flipEdges(flip(nil, "")))
 	cent := make([]FlipSample, nFlips)
@@ -413,6 +482,8 @@ type Figure7Config struct {
 	// FlipConfig and Figure6Config.
 	TrialsPerNetwork int
 	Workers          int
+	// NoCheckpoint disables converged-state checkpointing; see FlipConfig.
+	NoCheckpoint bool
 	// Telemetry and Trace are the observability hooks; series names are
 	// "fig7.centaur" and "fig7.ospf".
 	Telemetry *telemetry.Registry
@@ -453,8 +524,8 @@ func Figure7(cfg Figure7Config) (*Figure7Result, error) {
 	}
 	flip := func(b sim.Builder, series string) FlipConfig {
 		return FlipConfig{Topology: g, Build: b, Flips: cfg.Flips, Seed: cfg.Seed,
-			TrialsPerNetwork: cfg.TrialsPerNetwork,
-			Series:           series, Telemetry: cfg.Telemetry, Trace: cfg.Trace}
+			TrialsPerNetwork: cfg.TrialsPerNetwork, NoCheckpoint: cfg.NoCheckpoint,
+			Series: series, Telemetry: cfg.Telemetry, Trace: cfg.Trace}
 	}
 	nFlips := len(flipEdges(flip(nil, "")))
 	cent := make([]FlipSample, nFlips)
@@ -537,6 +608,8 @@ type Figure8Config struct {
 	// spans size × protocol × trial chunk.
 	TrialsPerNetwork int
 	Workers          int
+	// NoCheckpoint disables converged-state checkpointing; see FlipConfig.
+	NoCheckpoint bool
 	// Telemetry and Trace are the observability hooks; series names are
 	// "fig8.centaur" and "fig8.bgp" (all sizes fold together).
 	Telemetry *telemetry.Registry
@@ -591,8 +664,8 @@ func Figure8(cfg Figure8Config) (*Figure8Result, error) {
 		}
 		flip := func(b sim.Builder, series string) FlipConfig {
 			return FlipConfig{Topology: g, Build: b, Flips: cfg.FlipsPerSize, Seed: cfg.Seed,
-				TrialsPerNetwork: cfg.TrialsPerNetwork,
-				Series:           series, Telemetry: cfg.Telemetry, Trace: cfg.Trace}
+				TrialsPerNetwork: cfg.TrialsPerNetwork, NoCheckpoint: cfg.NoCheckpoint,
+				Series: series, Telemetry: cfg.Telemetry, Trace: cfg.Trace}
 		}
 		nFlips := len(flipEdges(flip(nil, "")))
 		centBySize[i] = make([]FlipSample, nFlips)

@@ -1,0 +1,41 @@
+package ospf
+
+import (
+	"maps"
+
+	"centaur/internal/sim"
+)
+
+var _ sim.Snapshotter = (*Node)(nil)
+
+// ForkProtocol implements sim.Snapshotter: an independent copy of the
+// node's converged link-state database, bound to the fork's env. The
+// receiver is only read — forks are taken concurrently from one
+// template. Installed LSAs are immutable (originate builds a fresh
+// Neighbors slice and nothing writes to an installed one), so cloning
+// the lsdb map while sharing the LSA values is a deep copy in effect.
+// The SPF cache is shared too: runSPF always replaces n.spf with a
+// fresh map rather than mutating the old one, so a fork invalidating
+// its cache (spf = nil, then rebuild) never touches the template's.
+func (n *Node) ForkProtocol(env sim.Env) sim.Protocol {
+	return &Node{
+		env:  env,
+		self: n.self,
+		seq:  n.seq,
+		lsdb: maps.Clone(n.lsdb),
+		spf:  n.spf,
+	}
+}
+
+// SnapshotBytes implements sim.Snapshotter: a rough heap estimate of
+// the forked state (LSDB entries with their neighbor lists, plus the
+// shared SPF table counted once per fork).
+func (n *Node) SnapshotBytes() int {
+	const entry = 48 // amortized per-map-entry share of buckets and keys
+	b := 0
+	for _, lsa := range n.lsdb {
+		b += entry + len(lsa.Neighbors)*8
+	}
+	b += len(n.spf) * entry
+	return b
+}

@@ -249,6 +249,35 @@ func (g *Graph) DestsBelow(n routing.NodeID) []routing.NodeID {
 }
 
 // Clone returns a deep copy of the graph.
+// Rough per-element heap costs used by the ApproxMemBytes estimates:
+// one machine word and one map entry's amortized share of buckets,
+// headers, and keys. Estimates feed a telemetry gauge, not an
+// allocator, so being within a small factor is enough.
+const (
+	wordBytes     = 8
+	mapEntryBytes = 48
+)
+
+// ApproxMemBytes estimates the graph's heap footprint: adjacency lists
+// in both directions, destination marks, per-link counters, and
+// Permission List pairs. Feeds the checkpoint layer's snapshot-bytes
+// accounting (sim.checkpoint_bytes).
+func (g *Graph) ApproxMemBytes() int {
+	b := 0
+	for _, list := range g.parents {
+		b += mapEntryBytes + len(list)*wordBytes
+	}
+	for _, list := range g.children {
+		b += mapEntryBytes + len(list)*wordBytes
+	}
+	b += len(g.dests) * mapEntryBytes
+	b += len(g.counters) * mapEntryBytes
+	for _, pl := range g.perms {
+		b += 2*mapEntryBytes + pl.NumPairs()*mapEntryBytes
+	}
+	return b
+}
+
 func (g *Graph) Clone() *Graph {
 	out := New(g.root)
 	out.nLinks = g.nLinks

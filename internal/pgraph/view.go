@@ -67,6 +67,44 @@ func NewView(root routing.NodeID) *View {
 // Graph exposes the maintained P-graph (shared; callers must not mutate).
 func (v *View) Graph() *Graph { return v.g }
 
+// Clone returns an independent deep copy of the view: Set/Flush on
+// either copy never affects the other. The path slices are shared (they
+// are immutable by the View contract), as are the Perm slices inside
+// pending round snapshots (linkInfo materializes them fresh and nothing
+// writes into them). The receiver is only read, so concurrent Clones of
+// one view are safe — the checkpoint layer (sim.Checkpoint.Fork) relies
+// on that.
+func (v *View) Clone() *View {
+	out := &View{
+		g:     v.g.Clone(),
+		paths: make(map[routing.NodeID]routing.Path, len(v.paths)),
+		state: make(map[routing.NodeID]nodeState, len(v.state)),
+		round: make(map[routing.Link]snapshot, len(v.round)),
+	}
+	for d, p := range v.paths {
+		out.paths[d] = p
+	}
+	for n, st := range v.state {
+		out.state[n] = st
+	}
+	for l, s := range v.round {
+		out.round[l] = s
+	}
+	return out
+}
+
+// ApproxMemBytes estimates the view's heap footprint: the maintained
+// graph plus the per-destination path table and per-node layout cache.
+// Feeds the checkpoint layer's snapshot-bytes accounting.
+func (v *View) ApproxMemBytes() int {
+	b := v.g.ApproxMemBytes()
+	for _, p := range v.paths {
+		b += mapEntryBytes + len(p)*wordBytes
+	}
+	b += len(v.state) * (mapEntryBytes + 2*wordBytes)
+	return b
+}
+
 // Path returns the currently announced path for dest (nil if none).
 func (v *View) Path(dest routing.NodeID) routing.Path { return v.paths[dest] }
 

@@ -185,3 +185,48 @@ func TestViewPrimaryFlip(t *testing.T) {
 		t.Fatalf("primary flip not announced: %+v", d)
 	}
 }
+
+// TestViewCloneIndependence pins the contract Clone documents for the
+// simulator's checkpoint forks: the clone shares no mutable state with
+// the original, so flips replayed on one never show through the other.
+func TestViewCloneIndependence(t *testing.T) {
+	const root routing.NodeID = 1
+	v := NewView(root)
+	v.Set(3, routing.Path{1, 2, 3})
+	v.Set(5, routing.Path{1, 4, 5})
+	v.Flush()
+
+	cp := v.Clone()
+	if !cp.Graph().Equal(v.Graph()) {
+		t.Fatal("clone graph differs before any mutation")
+	}
+	if cp.ApproxMemBytes() <= 0 {
+		t.Fatal("clone must report a positive memory estimate")
+	}
+	frozen := v.Graph().Clone()
+
+	// Mutate the original: reroute one destination, withdraw another.
+	v.Set(3, routing.Path{1, 4, 3})
+	v.Set(5, nil)
+	v.Flush()
+	if !cp.Graph().Equal(frozen) {
+		t.Fatal("mutating the original leaked into the clone's graph")
+	}
+	if got := cp.Path(5); len(got) != 3 {
+		t.Fatalf("clone path to 5 = %v, want the pre-mutation path", got)
+	}
+
+	// Mutate the clone: the original must keep its rerouted state, and
+	// the clone's own delta must describe only its local edit.
+	beforeOrig := v.Graph().Clone()
+	cp.Set(3, nil)
+	if d := cp.Flush(); d.Empty() {
+		t.Fatal("clone withdraw produced no delta")
+	}
+	if !v.Graph().Equal(beforeOrig) {
+		t.Fatal("mutating the clone leaked into the original's graph")
+	}
+	if got := v.Path(3); len(got) != 3 {
+		t.Fatalf("original path to 3 = %v, want the rerouted path", got)
+	}
+}

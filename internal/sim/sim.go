@@ -341,6 +341,10 @@ type Network struct {
 	routeChangedSet []bool
 	events          int64
 	trace           func(TraceEvent)
+	// minDelay/maxDelay are the effective delay bounds (after defaulting),
+	// retained so Checkpoint.Fork can re-derive per-link delays from a new
+	// seed exactly the way NewNetwork did.
+	minDelay, maxDelay time.Duration
 }
 
 // kindCount is one per-kind accumulator of sent messages, units, and
@@ -362,11 +366,33 @@ func (n *Network) emit(kind TraceKind, from, to routing.NodeID, msg Message) {
 // NewNetwork builds the simulation: assigns per-link delays, constructs
 // every protocol node, and schedules their Start calls at time zero.
 func NewNetwork(cfg Config) (*Network, error) {
-	if cfg.Topology == nil {
-		return nil, fmt.Errorf("sim: Config.Topology is required")
-	}
 	if cfg.Build == nil {
 		return nil, fmt.Errorf("sim: Config.Build is required")
+	}
+	n, err := newShell(cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	numNodes := len(n.nodes)
+	for i := 0; i < numNodes; i++ {
+		n.nodes[i] = cfg.Build(&n.envs[i])
+	}
+	// Schedule every node's Start at t=0 in deterministic ID order.
+	for i := 0; i < numNodes; i++ {
+		n.push(event{kind: evStart, to: int32(i)})
+	}
+	return n, nil
+}
+
+// newShell builds the simulation skeleton shared by NewNetwork and
+// Checkpoint.Fork: dense node/link tables with per-link delays drawn
+// from cfg.DelaySeed over the topology's deterministic edge order, empty
+// queue, zero accounting. Protocol construction and event scheduling
+// stay with the caller. A non-nil idx reuses a previously built index of
+// the same topology (Fork passes the template's, avoiding a rebuild).
+func newShell(cfg Config, idx *topology.Index) (*Network, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("sim: Config.Topology is required")
 	}
 	minD, maxD := cfg.MinDelay, cfg.MaxDelay
 	if minD == 0 && maxD == 0 {
@@ -375,7 +401,9 @@ func NewNetwork(cfg Config) (*Network, error) {
 	if maxD < minD {
 		return nil, fmt.Errorf("sim: MaxDelay %v < MinDelay %v", maxD, minD)
 	}
-	idx := topology.NewIndex(cfg.Topology)
+	if idx == nil {
+		idx = topology.NewIndex(cfg.Topology)
+	}
 	numNodes := idx.Len()
 	edges := cfg.Topology.Edges()
 	n := &Network{
@@ -390,6 +418,8 @@ func NewNetwork(cfg Config) (*Network, error) {
 
 		routeChangedAt:  make([]time.Duration, numNodes),
 		routeChangedSet: make([]bool, numNodes),
+		minDelay:        minD,
+		maxDelay:        maxD,
 	}
 	rng := rand.New(rand.NewSource(cfg.DelaySeed))
 	for _, e := range edges {
@@ -412,13 +442,6 @@ func NewNetwork(cfg Config) (*Network, error) {
 			}
 		}
 		n.envs[i] = nodeEnv{net: n, self: id, pos: int32(i), adj: adj}
-	}
-	for i := 0; i < numNodes; i++ {
-		n.nodes[i] = cfg.Build(&n.envs[i])
-	}
-	// Schedule every node's Start at t=0 in deterministic ID order.
-	for i := 0; i < numNodes; i++ {
-		n.push(event{kind: evStart, to: int32(i)})
 	}
 	return n, nil
 }

@@ -209,7 +209,10 @@ func (g *Graph) NumNodes() int { return len(g.adj) }
 func (g *Graph) NumEdges() int { return g.edges }
 
 // Edges returns every undirected edge once, as (low, high, rel-of-high-
-// from-low's-view), sorted for determinism.
+// from-low's-view), sorted for determinism. The slice is built fresh on
+// every call: callers may reorder or truncate it freely (the experiment
+// harness shuffles flip schedules out of it) without perturbing the
+// graph or other callers.
 func (g *Graph) Edges() []Edge {
 	out := make([]Edge, 0, g.edges)
 	for a, list := range g.adj {

@@ -270,3 +270,33 @@ func mustAdd(t *testing.T, g *Graph, a, b routing.NodeID, rel Relationship) {
 		t.Fatal(err)
 	}
 }
+
+// TestEdgesReturnsFreshSlice pins the aliasing contract documented on
+// Edges: the returned slice is a fresh copy, so callers (the experiment
+// harness shuffles flip schedules in place) cannot perturb the graph or
+// later callers.
+func TestEdgesReturnsFreshSlice(t *testing.T) {
+	g := NewGraph(4)
+	mustAdd(t, g, 1, 2, RelCustomer)
+	mustAdd(t, g, 2, 3, RelPeer)
+	mustAdd(t, g, 3, 4, RelProvider)
+	first := g.Edges()
+	// Clobber the caller's copy in place.
+	for i, j := 0, len(first)-1; i < j; i, j = i+1, j-1 {
+		first[i], first[j] = first[j], first[i]
+	}
+	first[0] = Edge{A: 99, B: 100}
+	second := g.Edges()
+	if len(second) != 3 {
+		t.Fatalf("Edges = %v", second)
+	}
+	for i := 1; i < len(second); i++ {
+		prev, cur := second[i-1], second[i]
+		if prev.A > cur.A || (prev.A == cur.A && prev.B >= cur.B) {
+			t.Fatalf("Edges no longer sorted after caller mutation: %v", second)
+		}
+	}
+	if second[0].A == 99 {
+		t.Fatal("Edges aliased the previously returned slice")
+	}
+}
