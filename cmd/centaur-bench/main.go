@@ -29,6 +29,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"centaur/internal/bgp"
@@ -87,6 +89,13 @@ func run() error {
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		debugAddr  = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
 		progress   = flag.Duration("progress", 0, "print a progress line to stderr at this interval (0 = off)")
+
+		loss      = flag.String("loss", "0,0.1,0.2", "reliability step: comma-separated per-message loss rates")
+		dup       = flag.Float64("dup", 0, "reliability step: per-message duplication probability")
+		jitter    = flag.Duration("jitter", 0, "reliability step: max extra per-message delivery delay")
+		churn     = flag.String("churn", "0,10", "reliability step: comma-separated link-flap rates (flaps per simulated second)")
+		crashes   = flag.Int("crashes", 1, "reliability step: node crash/restart cycles per trial")
+		faultSeed = flag.Int64("fault-seed", 10_000, "reliability step: fault-plan seed (same seed ⇒ same faults)")
 	)
 	flag.Parse()
 
@@ -211,6 +220,28 @@ func run() error {
 		return err
 	}
 
+	relCfg := experiments.DefaultReliabilityConfig()
+	if *quick {
+		relCfg.Nodes = 60
+	}
+	lossRates, err := parseRates(*loss)
+	if err != nil {
+		return fmt.Errorf("-loss: %w", err)
+	}
+	churnRates, err := parseRates(*churn)
+	if err != nil {
+		return fmt.Errorf("-churn: %w", err)
+	}
+	relCfg.LossRates, relCfg.ChurnRates = lossRates, churnRates
+	relCfg.Dup, relCfg.Jitter, relCfg.Crashes = *dup, *jitter, *crashes
+	relCfg.Seed, relCfg.FaultSeed = *seed, *faultSeed
+	relCfg.Workers, relCfg.Telemetry = *workers, reg
+	if err := step("reliability", func() (fmt.Stringer, error) {
+		return experiments.RunReliability(relCfg)
+	}); err != nil {
+		return err
+	}
+
 	// Extensions beyond the paper's evaluation (DESIGN.md §6).
 	if err := step("multipath extension", func() (fmt.Stringer, error) {
 		sol, err := solver.SolveOpts(t3.Rows[0].Graph, solver.Options{TieBreak: policy.TieOverride})
@@ -285,8 +316,42 @@ func keyStats(res fmt.Stringer) map[string]any {
 			})
 		}
 		return map[string]any{"points": points}
+	case *experiments.ReliabilityResult:
+		okTrials := 0
+		var delivery float64
+		var rexmit int64
+		for _, s := range r.Samples {
+			if s.OK() {
+				okTrials++
+			}
+			delivery += s.DeliverySuccess
+			rexmit += s.Retransmits
+		}
+		if len(r.Samples) == 0 {
+			return nil
+		}
+		return map[string]any{
+			"trials_ok":             okTrials,
+			"trials":                len(r.Samples),
+			"mean_delivery_success": delivery / float64(len(r.Samples)),
+			"retransmits":           rexmit,
+		}
 	}
 	return nil
+}
+
+// parseRates parses a comma-separated list of nonnegative rates.
+func parseRates(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad rate %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // stageStats renders a step's simulator-stage wall-time deltas

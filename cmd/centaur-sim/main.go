@@ -9,6 +9,15 @@
 //	centaur-sim -fig 7 -nodes 500 -flips 120
 //	centaur-sim -fig 8 -sizes 100,200,300,400,500 -flips 30
 //	centaur-sim -compare -nodes 200 -flips 40   # protocol ladder
+//	centaur-sim -rel -nodes 150 -loss 0.2,0.05 -churn 0,10 -fault-seed 42
+//
+// The -rel mode runs the reliability experiment: cold-start convergence
+// under injected faults (-loss, -dup, -jitter per message; -churn link
+// flaps per simulated second; -crashes node crash/restart cycles),
+// every protocol wrapped in the reliable-transport adapter (disable
+// with -no-transport to watch them fail diagnostically). The fault
+// sequence is a pure function of -fault-seed: same seed, same faults,
+// same results, for every -workers value.
 //
 // All modes accept -workers and -trials-per-net to fan independent
 // simulations out over a bounded worker pool; results are identical for
@@ -72,6 +81,16 @@ func run() error {
 		traceFile  = flag.String("trace", "", "write a structured JSONL event trace to this file")
 		debugAddr  = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
 		progress   = flag.Duration("progress", 0, "print a progress line to stderr at this interval (0 = off)")
+
+		rel         = flag.Bool("rel", false, "run the reliability experiment (convergence under injected faults)")
+		loss        = flag.String("loss", "0,0.05,0.1,0.2", "reliability: comma-separated per-message loss rates")
+		dup         = flag.Float64("dup", 0, "reliability: per-message duplication probability")
+		jitter      = flag.Duration("jitter", 0, "reliability: max extra per-message delivery delay")
+		churn       = flag.String("churn", "0,10", "reliability: comma-separated link-flap rates (flaps per simulated second)")
+		crashes     = flag.Int("crashes", 0, "reliability: node crash/restart cycles per trial")
+		faultSeed   = flag.Int64("fault-seed", 10_000, "reliability: fault-plan seed (same seed ⇒ same faults)")
+		trials      = flag.Int("trials", 1, "reliability: trials per (protocol, loss, churn) grid point")
+		noTransport = flag.Bool("no-transport", false, "reliability: run protocols raw, without the reliable-transport adapter")
 	)
 	flag.Parse()
 
@@ -108,8 +127,19 @@ func run() error {
 		defer stopProgress()
 	}
 
-	if err := dispatch(*fig, *compare, *nodes, *m, *flips, *seed, *mrai, *sizes, *workers, *trialsPer, *noCheckpt, reg, tc); err != nil {
-		return err
+	var dispatchErr error
+	if *rel {
+		dispatchErr = runReliability(relFlags{
+			nodes: *nodes, m: *m, seed: *seed, workers: *workers,
+			loss: *loss, dup: *dup, jitter: *jitter, churn: *churn,
+			crashes: *crashes, faultSeed: *faultSeed, trials: *trials,
+			noTransport: *noTransport,
+		}, reg, tc)
+	} else {
+		dispatchErr = dispatch(*fig, *compare, *nodes, *m, *flips, *seed, *mrai, *sizes, *workers, *trialsPer, *noCheckpt, reg, tc)
+	}
+	if dispatchErr != nil {
+		return dispatchErr
 	}
 	if *traceFile != "" {
 		if err := writeTrace(*traceFile, tc); err != nil {
@@ -169,6 +199,79 @@ func dispatch(fig string, compare bool, nodes, m, flips int, seed int64, mrai ti
 		flag.Usage()
 		return fmt.Errorf("-fig {6,7,8} is required")
 	}
+}
+
+// relFlags bundles the reliability-mode flag values.
+type relFlags struct {
+	nodes, m    int
+	seed        int64
+	workers     int
+	loss, churn string
+	dup         float64
+	jitter      time.Duration
+	crashes     int
+	faultSeed   int64
+	trials      int
+	noTransport bool
+}
+
+// runReliability runs the fault-injection sweep and prints the
+// per-grid-point table. Trials that fail (no quiescence, or a wrongly
+// quiesced state) are listed after the table rather than aborting the
+// sweep — with -no-transport they are the expected result.
+func runReliability(f relFlags, reg *telemetry.Registry, tc *telemetry.TraceCollector) error {
+	lossRates, err := parseRates(f.loss)
+	if err != nil {
+		return fmt.Errorf("-loss: %w", err)
+	}
+	churnRates, err := parseRates(f.churn)
+	if err != nil {
+		return fmt.Errorf("-churn: %w", err)
+	}
+	cfg := experiments.ReliabilityConfig{
+		Nodes: f.nodes, LinksPerNode: f.m,
+		LossRates: lossRates, ChurnRates: churnRates,
+		Dup: f.dup, Jitter: f.jitter, Crashes: f.crashes,
+		Trials: f.trials, Seed: f.seed, FaultSeed: f.faultSeed,
+		NoTransport: f.noTransport, Workers: f.workers,
+		Telemetry: reg, Trace: tc,
+	}
+	if f.noTransport {
+		// Raw protocols under faults usually quiesce into a wrong state
+		// quickly; when one genuinely diverges, fail fast with the
+		// watchdog's diagnostics instead of burning the full event budget.
+		cfg.MaxEvents = 20_000_000
+	}
+	res, err := experiments.RunReliability(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res)
+	for _, s := range res.Samples {
+		if s.OK() {
+			continue
+		}
+		why := s.Diagnostic
+		if s.Converged {
+			why = fmt.Sprintf("%d invariant violations, e.g. %s", s.Violations, s.FirstViolation)
+		}
+		fmt.Printf("  FAILED %s loss=%.2f churn=%.1f trial=%d: %s\n", s.Protocol, s.Loss, s.Churn, s.Trial, why)
+	}
+	return nil
+}
+
+// parseRates parses a comma-separated list of nonnegative rates.
+func parseRates(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad rate %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // writeTrace dumps the collected trace to path.

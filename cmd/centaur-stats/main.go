@@ -125,7 +125,7 @@ func checkTrace(path string) error {
 	}
 	sort.Strings(kinds)
 	for _, k := range kinds {
-		fmt.Printf("  %-10s %d\n", k, sum.ByKind[k])
+		fmt.Printf("  %-12s %d\n", k, sum.ByKind[k])
 	}
 	return nil
 }

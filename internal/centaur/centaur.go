@@ -138,6 +138,16 @@ type Node struct {
 	// failedGen sequences mask entries so an expiry timer never clears a
 	// newer mask for the same link.
 	failedGen uint64
+	// noted tracks which links this node already attached a root-cause
+	// note for within the current MaskTTL window. Third-party notes
+	// (Handle) are propagated at most once per window: on a topology with
+	// cycles and slow links (e.g. transport retransmission delays under
+	// message loss) an undeduplicated note can outlive every mask and
+	// circulate forever, re-masking healed links in a self-sustaining
+	// withdraw/re-add oscillation. A link's own endpoints (LinkDown) are
+	// authoritative and always propagate, refreshing the window.
+	noted    map[routing.Link]uint64
+	notedGen uint64
 	// derived caches per-neighbor path derivations in incremental mode:
 	// derived[b][d] is the memoized DerivePath result from G_{b->self}.
 	// Entries are invalidated by the affected-set analysis.
@@ -267,7 +277,11 @@ func (n *Node) Handle(from routing.NodeID, msg sim.Message) {
 	// what lets Centaur skip BGP's path exploration (§3.1).
 	if !n.cfg.DisableRootCause {
 		for _, l := range u.FailedLinks {
-			n.noteFailedLink(l)
+			// Always mask (the derivation benefit is local), but propagate
+			// each link's note at most once per MaskTTL window — see noted.
+			if n.markNoted(l) {
+				n.noteFailedLink(l)
+			}
 			n.mask(l)
 			n.maskAffect(l, affected)
 		}
@@ -353,6 +367,29 @@ func (n *Node) isFailed(l routing.Link) bool {
 	return ok
 }
 
+// markNoted opens (or refreshes) l's note-dedup window and reports
+// whether the note is new — false means a note for l already went out
+// within the last MaskTTL and must not be re-propagated.
+func (n *Node) markNoted(l routing.Link) bool {
+	if n.noted == nil {
+		n.noted = make(map[routing.Link]uint64)
+	}
+	_, seen := n.noted[l]
+	n.notedGen++
+	gen := n.notedGen
+	n.noted[l] = gen
+	ttl := n.cfg.MaskTTL
+	if ttl <= 0 {
+		ttl = time.Second
+	}
+	n.env.After(ttl, func() {
+		if n.noted[l] == gen {
+			delete(n.noted, l)
+		}
+	})
+	return !seen
+}
+
 // noteFailedLink records l for propagation with this round's updates.
 func (n *Node) noteFailedLink(l routing.Link) {
 	for _, f := range n.pendingFailed {
@@ -380,6 +417,9 @@ func (n *Node) LinkDown(b routing.NodeID) {
 	delete(n.derived, b)
 	if !n.cfg.DisableRootCause {
 		for _, l := range []routing.Link{{From: n.self, To: b}, {From: b, To: n.self}} {
+			// This node is the link's endpoint: its note is authoritative,
+			// so it propagates unconditionally and refreshes the window.
+			n.markNoted(l)
 			n.noteFailedLink(l)
 			n.mask(l)
 			n.maskAffect(l, affected)

@@ -43,6 +43,7 @@ func (n *Node) ForkProtocol(env sim.Env) sim.Protocol {
 		localView: n.localView.Clone(),
 		views:     make(map[routing.NodeID]*pgraph.View, len(n.views)),
 		failedGen: n.failedGen,
+		notedGen:  n.notedGen,
 	}
 	for b, g := range n.nbGraph {
 		out.nbGraph[b] = g.Clone()
@@ -55,6 +56,9 @@ func (n *Node) ForkProtocol(env sim.Env) sim.Protocol {
 	}
 	if n.failed != nil {
 		out.failed = maps.Clone(n.failed)
+	}
+	if n.noted != nil {
+		out.noted = maps.Clone(n.noted)
 	}
 	if n.derived != nil {
 		out.derived = make(map[routing.NodeID]map[routing.NodeID]derivedEntry, len(n.derived))

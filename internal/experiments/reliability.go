@@ -1,0 +1,370 @@
+// The reliability experiment: cold-start convergence under injected
+// faults. Where Figures 6–8 measure protocol cost on a reliable
+// message substrate (the paper's DistComm platform), this experiment
+// removes that assumption: messages are lost, duplicated, and jittered,
+// links flap, and nodes crash mid-convergence — and each protocol runs
+// either raw or wrapped in the reliable-transport adapter
+// (sim.Reliable). After quiescence the converged state is checked
+// against the solver ground truth (internal/invariant), because a
+// protocol without transport reliability typically fails by quiescing
+// into a *wrong* stable state rather than by never quiescing.
+//
+// Determinism contract: trial j of the flattened job list uses delay
+// seed Seed+j and fault seed FaultSeed+j, jobs write into their own
+// result slots, telemetry folds are atomic, and trace chunks are
+// created serially at job-construction time — so samples, counters, and
+// the concatenated trace are byte-identical for every Workers value.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"centaur/internal/bgp"
+	"centaur/internal/centaur"
+	"centaur/internal/faults"
+	"centaur/internal/invariant"
+	"centaur/internal/metrics"
+	"centaur/internal/ospf"
+	"centaur/internal/sim"
+	"centaur/internal/solver"
+	"centaur/internal/telemetry"
+	"centaur/internal/topogen"
+	"centaur/internal/topology"
+)
+
+// ReliabilityConfig parameterizes a reliability sweep: every protocol
+// series runs Trials trials at each (loss, churn) grid point.
+type ReliabilityConfig struct {
+	// Nodes/LinksPerNode generate the BRITE topology; Topology, when
+	// non-nil, overrides them with an explicit graph.
+	Nodes        int
+	LinksPerNode int
+	Topology     *topology.Graph
+	// LossRates and ChurnRates span the measurement grid. Loss is the
+	// per-message drop probability; churn is in link flaps per simulated
+	// second. Empty slices mean a single 0 point.
+	LossRates  []float64
+	ChurnRates []float64
+	// Dup and Jitter apply at every grid point (they stress ordering, not
+	// the headline axes).
+	Dup    float64
+	Jitter time.Duration
+	// Crashes is the number of node crash/restart cycles injected per
+	// trial; CrashWindow and the flap schedule share faults.Plan.Window
+	// semantics (default 1s).
+	Crashes int
+	Window  time.Duration
+	// Trials per (protocol, loss, churn) grid point. Default 1.
+	Trials int
+	// Seed drives per-trial link delays; FaultSeed drives per-trial fault
+	// plans. Trial j of the flattened job list uses Seed+j and
+	// FaultSeed+j.
+	Seed      int64
+	FaultSeed int64
+	// NoTransport runs the protocols raw instead of wrapped in
+	// sim.Reliable — the diagnostic mode that demonstrates why the
+	// adapter exists.
+	NoTransport bool
+	// Transport tunes the adapter (zero value = defaults).
+	Transport sim.ReliableConfig
+	// MaxEvents caps each trial's event count; 0 means the package-wide
+	// default. Diagnostic no-transport runs set it low so a genuinely
+	// diverging trial fails fast with watchdog diagnostics.
+	MaxEvents int64
+	// Workers, Telemetry, Trace as in FlipConfig. Series names are
+	// "rel.centaur", "rel.bgp", "rel.ospf".
+	Workers   int
+	Telemetry *telemetry.Registry
+	Trace     *telemetry.TraceCollector
+}
+
+// DefaultReliabilityConfig is the acceptance-scale setup: a 150-node
+// topology swept over loss and churn.
+func DefaultReliabilityConfig() ReliabilityConfig {
+	return ReliabilityConfig{
+		Nodes:        150,
+		LinksPerNode: 2,
+		LossRates:    []float64{0, 0.05, 0.1, 0.2},
+		ChurnRates:   []float64{0, 10},
+		Trials:       1,
+		Seed:         1,
+		FaultSeed:    10_000,
+	}
+}
+
+// ReliabilitySample is one trial's outcome.
+type ReliabilitySample struct {
+	Protocol string
+	Loss     float64
+	Churn    float64
+	Trial    int
+	// Converged reports quiescence within the event budget; when false,
+	// Diagnostic carries the convergence watchdog's report (pending
+	// messages per node) and the remaining fields are partial.
+	Converged  bool
+	Diagnostic string
+	// ConvergenceTime is the instant of the last message send — with
+	// faults injected from t=0, the time to reach the final stable state.
+	ConvergenceTime time.Duration
+	// Message accounting: Delivered = Messages − Dropped − Undeliverable;
+	// DeliverySuccess = Delivered/Messages (1 when no messages).
+	Messages        int64
+	Delivered       int64
+	FaultDrops      int64
+	DeliverySuccess float64
+	// Transport effort (zero in NoTransport runs).
+	Retransmits   int64
+	DupSuppressed int64
+	Abandoned     int64
+	// Violations counts invariant breaches in the quiesced state
+	// (loop-free, valley-free, RIB-equals-solver); FirstViolation samples
+	// one for diagnostics. A converged trial with violations quiesced
+	// into a wrong stable state.
+	Violations     int
+	FirstViolation string
+}
+
+// OK reports a fully successful trial: quiesced and solver-verified.
+func (s ReliabilitySample) OK() bool { return s.Converged && s.Violations == 0 }
+
+// ReliabilityResult holds every trial of the sweep, in deterministic
+// (protocol, loss, churn, trial) order.
+type ReliabilityResult struct {
+	Samples []ReliabilitySample
+}
+
+// relJob is one trial.
+type relJob struct {
+	index     int // flattened job index: seeds and result slot
+	protocol  string
+	build     sim.Builder
+	topo      *topology.Graph
+	sol       *solver.Solution
+	plan      faults.Plan
+	delaySeed int64
+	maxEvents int64
+	out       *ReliabilitySample
+	tele      *telemetry.Registry
+	chunk     *telemetry.TraceChunk
+}
+
+func (j relJob) run() error {
+	simCfg := sim.Config{
+		Topology:  j.topo,
+		Build:     j.build,
+		DelaySeed: j.delaySeed,
+	}
+	if j.chunk != nil {
+		simCfg.Trace = j.chunk.Observe
+	}
+	net, err := sim.NewNetwork(simCfg)
+	if err != nil {
+		return fmt.Errorf("experiments: reliability %s: %w", j.protocol, err)
+	}
+	if j.plan.Active() {
+		faults.Attach(net, j.plan, j.tele)
+	}
+	s := j.out
+	conv, st, err := net.RunToConvergence(j.maxEvents)
+	if err != nil {
+		s.Diagnostic = err.Error()
+		st = net.Stats()
+	} else {
+		s.Converged = true
+		s.ConvergenceTime = conv
+	}
+	s.Messages = st.Messages
+	s.Delivered = st.Messages - st.Dropped - st.Undeliverable
+	s.FaultDrops = st.FaultDrops
+	s.DeliverySuccess = 1
+	if st.Messages > 0 {
+		s.DeliverySuccess = float64(s.Delivered) / float64(st.Messages)
+	}
+	s.Retransmits = st.Retransmits
+	s.DupSuppressed = st.DupSuppressed
+	s.Abandoned = st.TransportAbandoned
+	if s.Converged {
+		if vs := invariant.Check(net, j.sol); len(vs) > 0 {
+			s.Violations = len(vs)
+			s.FirstViolation = vs[0].String()
+		}
+	}
+	j.record(st, conv)
+	return nil
+}
+
+// record folds the trial's accounting into telemetry: process-wide
+// simulator totals, per-series per-kind counters, transport counters,
+// and the convergence-time distribution. (The faults.* counters are
+// incremented by the injector itself.)
+func (j relJob) record(st sim.Stats, conv time.Duration) {
+	r := j.tele
+	if !r.Enabled() {
+		return
+	}
+	series := "rel." + j.protocol
+	r.Counter("sim.msgs").Add(st.Messages)
+	r.Counter("sim.units").Add(st.Units)
+	r.Counter("sim.bytes").Add(st.Bytes)
+	r.Counter("sim.dropped").Add(st.Dropped)
+	r.Counter("sim.undeliverable").Add(st.Undeliverable)
+	r.Counter("sim.route_changes").Add(st.RouteChanges)
+	r.Counter("transport.retransmits").Add(st.Retransmits)
+	r.Counter("transport.dup_suppressed").Add(st.DupSuppressed)
+	r.Counter("transport.abandoned").Add(st.TransportAbandoned)
+	for kind, msgs := range st.MsgsByKind {
+		r.Counter(series + ".msgs." + kind).Add(msgs)
+		r.Counter(series + ".units." + kind).Add(st.UnitsByKind[kind])
+		r.Counter(series + ".bytes." + kind).Add(st.BytesByKind[kind])
+	}
+	r.Distribution(series + ".conv_ms").Observe(float64(conv) / float64(time.Millisecond))
+}
+
+// reliabilityProtocols is the fixed series list, matching the Figure 6
+// policy setup (hashed tie-breaks) so one solver solution verifies both
+// path-vector protocols. OSPF runs with DatabaseExchange: without it a
+// crashed router cannot rejoin, and the fault workload crashes routers.
+func reliabilityProtocols() []struct {
+	name  string
+	build sim.Builder
+} {
+	return []struct {
+		name  string
+		build sim.Builder
+	}{
+		{"centaur", centaur.New(centaur.Config{Policy: hashedPolicy, Incremental: true})},
+		{"bgp", bgp.New(bgp.Config{Policy: hashedPolicy})},
+		{"ospf", ospf.NewWithConfig(ospf.Config{DatabaseExchange: true})},
+	}
+}
+
+// RunReliability sweeps the (protocol × loss × churn × trial) grid.
+// Trials that fail to quiesce or quiesce into a wrong state are
+// reported in their samples, not as errors — they are measurements.
+func RunReliability(cfg ReliabilityConfig) (*ReliabilityResult, error) {
+	g := cfg.Topology
+	if g == nil {
+		var err error
+		if g, err = topogen.BRITE(cfg.Nodes, cfg.LinksPerNode, cfg.Seed); err != nil {
+			return nil, err
+		}
+	}
+	sol, err := solver.SolveOpts(g, solver.Options{TieBreak: hashedPolicy.TieBreak})
+	if err != nil {
+		return nil, err
+	}
+	lossRates := cfg.LossRates
+	if len(lossRates) == 0 {
+		lossRates = []float64{0}
+	}
+	churnRates := cfg.ChurnRates
+	if len(churnRates) == 0 {
+		churnRates = []float64{0}
+	}
+	trials := cfg.Trials
+	if trials <= 0 {
+		trials = 1
+	}
+	budget := cfg.MaxEvents
+	if budget <= 0 {
+		budget = maxEvents
+	}
+
+	protos := reliabilityProtocols()
+	res := &ReliabilityResult{
+		Samples: make([]ReliabilitySample, len(protos)*len(lossRates)*len(churnRates)*trials),
+	}
+	var jobs []relJob
+	for _, p := range protos {
+		build := p.build
+		if !cfg.NoTransport {
+			build = sim.Reliable(build, cfg.Transport)
+		}
+		for _, loss := range lossRates {
+			for _, churn := range churnRates {
+				for trial := 0; trial < trials; trial++ {
+					i := len(jobs)
+					res.Samples[i] = ReliabilitySample{
+						Protocol: p.name, Loss: loss, Churn: churn, Trial: trial,
+					}
+					jobs = append(jobs, relJob{
+						index:    i,
+						protocol: p.name,
+						build:    build,
+						topo:     g,
+						sol:      sol,
+						plan: faults.Plan{
+							Seed:    cfg.FaultSeed + int64(i),
+							Loss:    loss,
+							Dup:     cfg.Dup,
+							Jitter:  cfg.Jitter,
+							Churn:   churn,
+							Crashes: cfg.Crashes,
+							Window:  cfg.Window,
+						},
+						delaySeed: cfg.Seed + int64(i),
+						maxEvents: budget,
+						out:       &res.Samples[i],
+						tele:      cfg.Telemetry,
+						chunk:     cfg.Trace.Chunk("rel."+p.name, cfg.Seed+int64(i)),
+					})
+				}
+			}
+		}
+	}
+	poolProgress.total.Add(int64(len(jobs)))
+	err = parallelEach(len(jobs), cfg.Workers, func(i int) error {
+		err := jobs[i].run()
+		poolProgress.done.Add(1)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// String renders per-grid-point aggregates: convergence time, delivery
+// success, transport effort, and verification outcome.
+func (r *ReliabilityResult) String() string {
+	type key struct {
+		proto string
+		loss  float64
+		churn float64
+	}
+	type agg struct {
+		conv    *metrics.Dist
+		success float64
+		rexmit  int64
+		trials  int
+		ok      int
+	}
+	order := make([]key, 0)
+	points := make(map[key]*agg)
+	for _, s := range r.Samples {
+		k := key{s.Protocol, s.Loss, s.Churn}
+		a := points[k]
+		if a == nil {
+			a = &agg{conv: metrics.NewDist(8)}
+			points[k] = a
+			order = append(order, k)
+		}
+		a.trials++
+		a.success += s.DeliverySuccess
+		a.rexmit += s.Retransmits
+		if s.OK() {
+			a.ok++
+			a.conv.Add(float64(s.ConvergenceTime) / float64(time.Millisecond))
+		}
+	}
+	var b []byte
+	b = append(b, "Reliability. Convergence under loss/churn (per grid point).\n"...)
+	for _, k := range order {
+		a := points[k]
+		line := fmt.Sprintf("  %-8s loss=%.2f churn=%5.1f  ok %d/%d  conv %s  delivery %.3f  rexmit %d\n",
+			k.proto, k.loss, k.churn, a.ok, a.trials, a.conv.Summary(), a.success/float64(a.trials), a.rexmit)
+		b = append(b, line...)
+	}
+	return string(b)
+}

@@ -1,0 +1,264 @@
+// Package invariant checks a quiesced network's routing state against
+// the properties the paper's protocols must re-establish after any
+// fault sequence: every RIB equals the solver's ground truth, every
+// selected path is loop-free, and every selected path is valley-free
+// under the Gao–Rexford export rules. It is the oracle the reliability
+// experiments consult after fault-injected runs — a network can quiesce
+// into a *wrong* stable state (e.g. a protocol run without the reliable
+// transport under message loss), and only a state check catches that.
+//
+// The checker is protocol-agnostic: nodes expose their RIBs through
+// structural interfaces. Path-vector protocols (bgp, centaur) implement
+// PathRIB and are checked path-by-path against the solver solution;
+// shortest-path protocols (ospf) implement NextHopRIB and are checked
+// by walking next hops — each walk must reach the destination without
+// revisiting a node, in exactly the true shortest-path hop count.
+// Reliable-transport adapters are peeled with Unwrap first.
+package invariant
+
+import (
+	"fmt"
+
+	"centaur/internal/routing"
+	"centaur/internal/sim"
+	"centaur/internal/solver"
+	"centaur/internal/topology"
+)
+
+// PathRIB is the per-node view a path-vector protocol exposes: the
+// selected path [self, ..., dest], or nil when it has no route.
+type PathRIB interface {
+	BestPath(dest routing.NodeID) routing.Path
+}
+
+// NextHopRIB is the per-node view a shortest-path protocol exposes: the
+// selected next hop toward dest, or routing.None when unreachable.
+type NextHopRIB interface {
+	NextHop(dest routing.NodeID) routing.NodeID
+}
+
+// Unwrap peels transport adapters (anything exposing Inner) until it
+// reaches the protocol instance itself.
+func Unwrap(p sim.Protocol) sim.Protocol {
+	for {
+		u, ok := p.(interface{ Inner() sim.Protocol })
+		if !ok {
+			return p
+		}
+		p = u.Inner()
+	}
+}
+
+// Violation is one broken invariant at one (node, destination) pair.
+type Violation struct {
+	Node routing.NodeID
+	Dest routing.NodeID
+	// Kind is one of "no-rib", "rib-mismatch", "missing-route",
+	// "phantom-route", "loop", "valley", "detour".
+	Kind   string
+	Detail string
+}
+
+// String renders the violation for diagnostics.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s at node %v dest %v: %s", v.Kind, v.Node, v.Dest, v.Detail)
+}
+
+// Check dispatches on what each node's protocol exposes: PathRIB nodes
+// are checked against the solver ground truth, NextHopRIB nodes by
+// shortest-path next-hop walks. Nodes exposing neither yield a "no-rib"
+// violation. The network must be quiesced with all nodes and links up —
+// the state every completed fault plan restores.
+func Check(net *sim.Network, sol *solver.Solution) []Violation {
+	g := net.Topology()
+	var out []Violation
+	nodes := g.Nodes()
+	usesNextHop := false
+	for _, id := range nodes {
+		switch p := Unwrap(net.Node(id)).(type) {
+		case PathRIB:
+			out = append(out, checkNodePaths(g, sol, id, p, nodes)...)
+		case NextHopRIB:
+			usesNextHop = true
+		default:
+			out = append(out, Violation{Node: id, Kind: "no-rib",
+				Detail: fmt.Sprintf("protocol %T exposes neither BestPath nor NextHop", p)})
+		}
+	}
+	if usesNextHop {
+		out = append(out, CheckNextHops(net)...)
+	}
+	return out
+}
+
+// checkNodePaths verifies one path-vector node: RIB equals solver,
+// loop-free, valley-free, for every destination.
+func checkNodePaths(g *topology.Graph, sol *solver.Solution, id routing.NodeID, rib PathRIB, nodes []routing.NodeID) []Violation {
+	var out []Violation
+	for _, dest := range nodes {
+		if dest == id {
+			continue
+		}
+		got := rib.BestPath(dest)
+		want, reachable := sol.Path(id, dest)
+		switch {
+		case !reachable && got != nil:
+			out = append(out, Violation{Node: id, Dest: dest, Kind: "phantom-route",
+				Detail: fmt.Sprintf("selected %v but no policy-compliant route exists", got)})
+		case reachable && got == nil:
+			out = append(out, Violation{Node: id, Dest: dest, Kind: "missing-route",
+				Detail: fmt.Sprintf("no route selected; solver has %v", want)})
+		case reachable && !got.Equal(want):
+			out = append(out, Violation{Node: id, Dest: dest, Kind: "rib-mismatch",
+				Detail: fmt.Sprintf("selected %v, solver has %v", got, want)})
+		}
+		if got == nil {
+			continue
+		}
+		if v, ok := loopCheck(id, dest, got); !ok {
+			out = append(out, v)
+		} else if v, ok := valleyCheck(g, id, dest, got); !ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// loopCheck verifies p is a well-formed simple path from id to dest.
+func loopCheck(id, dest routing.NodeID, p routing.Path) (Violation, bool) {
+	if p[0] != id || p[len(p)-1] != dest {
+		return Violation{Node: id, Dest: dest, Kind: "loop",
+			Detail: fmt.Sprintf("path %v does not run self→dest", p)}, false
+	}
+	seen := make(map[routing.NodeID]bool, len(p))
+	for _, n := range p {
+		if seen[n] {
+			return Violation{Node: id, Dest: dest, Kind: "loop",
+				Detail: fmt.Sprintf("path %v revisits %v", p, n)}, false
+		}
+		seen[n] = true
+	}
+	return Violation{}, true
+}
+
+// valleyCheck verifies p obeys Gao–Rexford: an uphill (to-provider)
+// prefix, at most one peer edge, then a downhill (to-customer) suffix.
+// Sibling edges are transparent in any phase.
+func valleyCheck(g *topology.Graph, id, dest routing.NodeID, p routing.Path) (Violation, bool) {
+	const (
+		uphill   = 0
+		downhill = 1
+	)
+	phase := uphill
+	for i := 0; i+1 < len(p); i++ {
+		rel, ok := g.Rel(p[i], p[i+1])
+		if !ok {
+			return Violation{Node: id, Dest: dest, Kind: "valley",
+				Detail: fmt.Sprintf("path %v uses non-existent link %v-%v", p, p[i], p[i+1])}, false
+		}
+		switch rel {
+		case topology.RelProvider: // next hop is p[i]'s provider: uphill
+			if phase != uphill {
+				return Violation{Node: id, Dest: dest, Kind: "valley",
+					Detail: fmt.Sprintf("path %v climbs to provider %v after going down", p, p[i+1])}, false
+			}
+		case topology.RelPeer:
+			if phase != uphill {
+				return Violation{Node: id, Dest: dest, Kind: "valley",
+					Detail: fmt.Sprintf("path %v crosses peer link %v-%v after going down", p, p[i], p[i+1])}, false
+			}
+			phase = downhill // at most one peer edge, then strictly down
+		case topology.RelCustomer: // next hop is p[i]'s customer: downhill
+			phase = downhill
+		case topology.RelSibling:
+			// transparent: siblings forward anything in any phase
+		}
+	}
+	return Violation{}, true
+}
+
+// CheckNextHops verifies every NextHopRIB node: each next-hop walk
+// toward each destination reaches it without revisiting a node, in
+// exactly the shortest-path hop count of the full (all-links-up)
+// topology. Nodes not exposing NextHopRIB are skipped — Check handles
+// the mixed reporting.
+func CheckNextHops(net *sim.Network) []Violation {
+	g := net.Topology()
+	nodes := g.Nodes()
+	var out []Violation
+	for _, dest := range nodes {
+		dist := bfsDistances(g, dest)
+		for _, id := range nodes {
+			if id == dest {
+				continue
+			}
+			rib, ok := Unwrap(net.Node(id)).(NextHopRIB)
+			if !ok {
+				continue
+			}
+			want, reachable := dist[id]
+			hops, last, looped := walkNextHops(net, id, dest, len(nodes))
+			switch {
+			case !reachable:
+				if last == dest {
+					out = append(out, Violation{Node: id, Dest: dest, Kind: "phantom-route",
+						Detail: "reached an unreachable destination"})
+				} else if nh := rib.NextHop(dest); nh != routing.None {
+					out = append(out, Violation{Node: id, Dest: dest, Kind: "phantom-route",
+						Detail: fmt.Sprintf("next hop %v toward unreachable destination", nh)})
+				}
+			case looped:
+				out = append(out, Violation{Node: id, Dest: dest, Kind: "loop",
+					Detail: fmt.Sprintf("next-hop walk did not terminate (stuck near %v)", last)})
+			case last != dest:
+				out = append(out, Violation{Node: id, Dest: dest, Kind: "missing-route",
+					Detail: fmt.Sprintf("walk dead-ends at %v after %d hops", last, hops)})
+			case hops != want:
+				out = append(out, Violation{Node: id, Dest: dest, Kind: "detour",
+					Detail: fmt.Sprintf("walk takes %d hops, shortest path is %d", hops, want)})
+			}
+		}
+	}
+	return out
+}
+
+// walkNextHops follows next-hop pointers from id toward dest for at
+// most maxHops steps. It returns the hop count, the final node reached,
+// and whether the walk exceeded the hop budget (a forwarding loop).
+func walkNextHops(net *sim.Network, id, dest routing.NodeID, maxHops int) (int, routing.NodeID, bool) {
+	cur := id
+	for hops := 0; hops <= maxHops; hops++ {
+		if cur == dest {
+			return hops, cur, false
+		}
+		rib, ok := Unwrap(net.Node(cur)).(NextHopRIB)
+		if !ok {
+			return hops, cur, false
+		}
+		nh := rib.NextHop(dest)
+		if nh == routing.None {
+			return hops, cur, false
+		}
+		cur = nh
+	}
+	return maxHops, cur, true
+}
+
+// bfsDistances returns hop-count distances to dest over the undirected
+// topology; absent keys are unreachable.
+func bfsDistances(g *topology.Graph, dest routing.NodeID) map[routing.NodeID]int {
+	dist := map[routing.NodeID]int{dest: 0}
+	queue := []routing.NodeID{dest}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range g.Neighbors(cur) {
+			if _, seen := dist[nb.ID]; seen {
+				continue
+			}
+			dist[nb.ID] = dist[cur] + 1
+			queue = append(queue, nb.ID)
+		}
+	}
+	return dist
+}

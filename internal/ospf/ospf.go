@@ -11,11 +11,21 @@
 //
 // Simplifications relative to RFC 2328, documented for the record: no
 // explicit acknowledgements or retransmissions (the simulator's links
-// are reliable while up), and no database exchange on adjacency
-// formation — the evaluation workload (sequential single-link flips with
-// full reconvergence in between) guarantees the only LSAs that change
-// while a link is down are those of its two endpoints, which are
-// re-originated and flooded on restore.
+// are reliable while up; under injected message loss, wrap the protocol
+// in sim.Reliable). By default there is also no database exchange on
+// adjacency formation — the evaluation workload (sequential single-link
+// flips with full reconvergence in between) guarantees the only LSAs
+// that change while a link is down are those of its two endpoints,
+// which are re-originated and flooded on restore. That guarantee breaks
+// under node crashes: a restarted router has an empty LSDB that nothing
+// refloods, and its own pre-crash LSA survives in the network with a
+// higher sequence number than its restarted incarnation originates.
+// Config.DatabaseExchange enables the RFC's two recovery mechanisms:
+// full LSDB exchange toward a newly up adjacency, and sequence-number
+// adoption when a router hears a self-originated LSA newer than its own
+// (it re-originates one past it). The fault-injection experiments run
+// with both enabled; the Figure 6–8 baselines keep the default so their
+// message counts stay comparable with the paper's setup.
 package ospf
 
 import (
@@ -70,10 +80,24 @@ func (f Flood) WireBytes() int {
 	})
 }
 
-// Node is one OSPF router. Create with New; it implements sim.Protocol.
+// Config parameterizes an OSPF node.
+type Config struct {
+	// DatabaseExchange enables crash recovery: on every LinkUp the node
+	// sends its full LSDB to the newly adjacent neighbor (the RFC 2328
+	// database-exchange approximation), repopulating a restarted
+	// router's empty database — including that router's own pre-crash
+	// LSA, whose sequence number it then adopts and supersedes. The
+	// default (off) preserves the Figure 6–8 baseline message counts,
+	// which the flip workload keeps correct without it.
+	DatabaseExchange bool
+}
+
+// Node is one OSPF router. Create with New or NewWithConfig; it
+// implements sim.Protocol.
 type Node struct {
 	env  sim.Env
 	self routing.NodeID
+	cfg  Config
 	seq  uint64
 	lsdb map[routing.NodeID]LSA
 	// spf caches the next-hop table; nil means stale.
@@ -82,12 +106,16 @@ type Node struct {
 
 var _ sim.Protocol = (*Node)(nil)
 
-// New returns the sim.Builder for OSPF nodes.
-func New() sim.Builder {
+// New returns the sim.Builder for OSPF nodes with the default Config.
+func New() sim.Builder { return NewWithConfig(Config{}) }
+
+// NewWithConfig returns the sim.Builder for OSPF nodes.
+func NewWithConfig(cfg Config) sim.Builder {
 	return func(env sim.Env) sim.Protocol {
 		return &Node{
 			env:  env,
 			self: env.Self(),
+			cfg:  cfg,
 			lsdb: make(map[routing.NodeID]LSA),
 		}
 	}
@@ -136,6 +164,19 @@ func (n *Node) Handle(from routing.NodeID, msg sim.Message) {
 	if !ok {
 		return
 	}
+	if f.LSA.Origin == n.self {
+		// A self-originated LSA strictly newer than the one we installed
+		// is a pre-crash incarnation's, still circulating with a higher
+		// sequence number. Adopt that number and supersede it
+		// (RFC 2328 §13.4), or every post-restart origination would be
+		// discarded as stale. Echoes of our own current LSA (equal Seq)
+		// fall through to the stale check below and stop there.
+		if cur, have := n.lsdb[n.self]; have && f.LSA.Seq > cur.Seq {
+			n.seq = f.LSA.Seq
+			n.originate()
+			return
+		}
+	}
 	cur, have := n.lsdb[f.LSA.Origin]
 	if have && f.LSA.Seq <= cur.Seq {
 		tele.staleLSAs.Inc()
@@ -155,7 +196,33 @@ func (n *Node) Handle(from routing.NodeID, msg sim.Message) {
 func (n *Node) LinkDown(routing.NodeID) { n.originate() }
 
 // LinkUp implements sim.Protocol: re-originate with the adjacency back.
-func (n *Node) LinkUp(routing.NodeID) { n.originate() }
+// With Config.DatabaseExchange the node first unicasts its whole LSDB to
+// the new neighbor (RFC 2328's database exchange, approximated as a
+// one-shot push) so a freshly restarted peer recovers the topology —
+// and, crucially, hears its own pre-crash LSA and supersedes it.
+func (n *Node) LinkUp(nb routing.NodeID) {
+	if n.cfg.DatabaseExchange {
+		origins := make([]routing.NodeID, 0, len(n.lsdb))
+		for origin := range n.lsdb {
+			if origin == n.self {
+				continue // originate() below refloods a fresh self-LSA
+			}
+			origins = append(origins, origin)
+		}
+		sort.Slice(origins, func(i, j int) bool { return origins[i] < origins[j] })
+		for _, origin := range origins {
+			n.env.Send(nb, Flood{LSA: n.lsdb[origin]})
+		}
+	}
+	n.originate()
+}
+
+// LSA returns the stored LSA for origin, if any — an inspection hook for
+// invariant checkers comparing databases across nodes.
+func (n *Node) LSA(origin routing.NodeID) (LSA, bool) {
+	l, ok := n.lsdb[origin]
+	return l, ok
+}
 
 // LSDBSize returns the number of LSAs currently held.
 func (n *Node) LSDBSize() int { return len(n.lsdb) }

@@ -21,6 +21,7 @@ func (n *Node) ForkProtocol(env sim.Env) sim.Protocol {
 	return &Node{
 		env:  env,
 		self: n.self,
+		cfg:  n.cfg,
 		seq:  n.seq,
 		lsdb: maps.Clone(n.lsdb),
 		spf:  n.spf,

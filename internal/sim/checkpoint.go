@@ -43,6 +43,15 @@ type Snapshotter interface {
 // Callers use errors.Is to fall back to per-run cold starts.
 var ErrNotSnapshottable = errors.New("sim: protocol does not implement Snapshotter")
 
+// ErrFaultsActive reports that a network cannot be checkpointed because
+// a fault injector is installed. A fork re-derives deterministic state
+// (per-link delays) from its own seed, but an injector's RNG position
+// and its already-scheduled flap/crash closures cannot be captured, so
+// forked trials would silently diverge from cold-started ones. Detach
+// the injector (SetInjector(nil)) — or don't mix faults with
+// checkpointing, as internal/experiments' reliability harness does.
+var ErrFaultsActive = errors.New("sim: cannot checkpoint with an active fault injector")
+
 // Checkpoint is an immutable snapshot of a quiesced network, taken with
 // Network.Checkpoint. Fork may be called any number of times, from any
 // goroutine, as long as the checkpointed network is no longer run or
@@ -61,8 +70,16 @@ type Checkpoint struct {
 // network must not be run or mutated afterwards: it becomes the shared
 // read-only template every Fork copies from.
 func (n *Network) Checkpoint() (*Checkpoint, error) {
+	if n.injector != nil {
+		return nil, ErrFaultsActive
+	}
 	if len(n.pq) != 0 {
 		return nil, fmt.Errorf("sim: checkpoint requires a quiesced network (%d events pending)", len(n.pq))
+	}
+	for i, down := range n.nodeDown {
+		if down {
+			return nil, fmt.Errorf("sim: checkpoint requires all nodes up (node %v is crashed)", n.idx.ID(i))
+		}
 	}
 	var bytes int64
 	for i, p := range n.nodes {

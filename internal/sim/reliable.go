@@ -1,0 +1,352 @@
+// Reliable transport: a protocol-agnostic adapter that gives any
+// Protocol the session-level (TCP-like) delivery guarantees the paper's
+// DistComm platform provides natively — and which the three routing
+// protocols here assume. Under an injected-fault workload (message
+// loss, duplication, reordering jitter; see Injector and
+// internal/faults) the raw links stop being reliable, so the adapter
+// restores exactly-once, in-order delivery per neighbor session with
+// per-neighbor sequence numbers, cumulative acks, retransmission with
+// exponential backoff, and duplicate suppression.
+//
+// Layering: Reliable wraps a Builder. Each wrapped node intercepts its
+// protocol's Env.Send (framing the payload in a DataFrame) and the
+// incoming Handle (unframing, acking, deduplicating, reordering) while
+// every other Env method passes through. A link-down event resets the
+// session in both directions — the peers renumber from 1 on the next
+// session — which also covers node crashes: CrashNode drops the node's
+// links, and the restarted instance starts fresh sessions.
+//
+// The adapter deliberately does not implement Snapshotter: a session
+// with outstanding frames has retransmission timers in flight, which a
+// checkpoint could not capture. Experiment harnesses that wrap
+// protocols in Reliable fall back to cold starts (and fault runs cannot
+// be checkpointed at all — see ErrFaultsActive).
+package sim
+
+import (
+	"math/bits"
+	"time"
+
+	"centaur/internal/routing"
+)
+
+// ReliableConfig tunes the reliable-transport adapter.
+type ReliableConfig struct {
+	// RTO is the initial retransmission timeout; it doubles after every
+	// retransmission of a frame. It should exceed one round trip — with
+	// the default 0–5 ms link delays, the default of 25 ms is ≥ 2 RTTs
+	// plus ack processing. Default 25 ms.
+	RTO time.Duration
+	// MaxRetries caps retransmissions per frame; a frame still unacked
+	// after that many resends is abandoned (counted in
+	// Stats.TransportAbandoned). Default 16.
+	MaxRetries int
+}
+
+func (c ReliableConfig) rto() time.Duration {
+	if c.RTO > 0 {
+		return c.RTO
+	}
+	return 25 * time.Millisecond
+}
+
+func (c ReliableConfig) maxRetries() int {
+	if c.MaxRetries > 0 {
+		return c.MaxRetries
+	}
+	return 16
+}
+
+// DataFrame is the adapter's sequenced envelope around one protocol
+// message. Its accounting kind is the payload's for first
+// transmissions — so per-kind message counts still attribute to the
+// protocol under test — and "transport.rexmit" for retransmissions, so
+// retransmission overhead is separable in every per-kind metric.
+type DataFrame struct {
+	Seq     uint64
+	Payload Message
+	Rexmit  bool
+}
+
+var _ Message = DataFrame{}
+var _ ByteSizer = DataFrame{}
+
+// Kind implements Message.
+func (f DataFrame) Kind() string {
+	if f.Rexmit {
+		return "transport.rexmit"
+	}
+	return f.Payload.Kind()
+}
+
+// Units implements Message: the payload's update units.
+func (f DataFrame) Units() int { return f.Payload.Units() }
+
+// uvarintLen is the byte length of v's unsigned-varint encoding —
+// duplicated from internal/wire because sim cannot import it (wire
+// reaches sim transitively through pgraph's telemetry counters).
+// TestTransportSizesMatchWire pins the two implementations together.
+func uvarintLen(v uint64) int { return (bits.Len64(v|1) + 6) / 7 }
+
+// Wire kinds of the transport frames, mirroring internal/wire's
+// KindTransportData and KindTransportAck (pinned by the same test).
+const (
+	wireKindTransportData = 4
+	wireKindTransportAck  = 5
+)
+
+// WireBytes implements ByteSizer: the wire.TransportData framing (kind,
+// sequence number, length-prefixed payload) around the payload's own
+// encoding.
+func (f DataFrame) WireBytes() int {
+	pb := 0
+	if bs, ok := f.Payload.(ByteSizer); ok {
+		pb = bs.WireBytes()
+	}
+	return uvarintLen(wireKindTransportData) + uvarintLen(f.Seq) +
+		uvarintLen(uint64(pb)) + pb
+}
+
+// Ack is the adapter's cumulative acknowledgement: every frame of the
+// session with sequence number ≤ Seq arrived in order. It carries no
+// update units — it is pure transport overhead, visible in per-kind
+// metrics as "transport.ack".
+type Ack struct {
+	Seq uint64
+}
+
+var _ Message = Ack{}
+var _ ByteSizer = Ack{}
+
+// Kind implements Message.
+func (Ack) Kind() string { return "transport.ack" }
+
+// Units implements Message: acks carry no routing-update units.
+func (Ack) Units() int { return 0 }
+
+// WireBytes implements ByteSizer with the internal/wire encoding.
+func (a Ack) WireBytes() int {
+	return uvarintLen(wireKindTransportAck) + uvarintLen(a.Seq)
+}
+
+// transportNoter is how the adapter folds its accounting into the
+// owning Network's Stats; the simulator's nodeEnv implements it. Envs
+// that don't (tests driving a relNode directly) just skip the stats.
+type transportNoter interface {
+	noteRetransmit()
+	noteDupSuppressed()
+	noteAbandoned()
+}
+
+// Reliable wraps inner so each node's messages ride reliable per-
+// neighbor sessions. Both endpoints of every link must be wrapped (the
+// experiment harnesses wrap the whole Builder, so they are); an
+// unwrapped peer would receive DataFrames it does not understand.
+func Reliable(inner Builder, cfg ReliableConfig) Builder {
+	return func(env Env) Protocol {
+		n := &relNode{
+			env:  env,
+			cfg:  cfg,
+			sess: make(map[routing.NodeID]*relSession),
+		}
+		n.noter, _ = env.(transportNoter)
+		n.renv = relEnv{Env: env, n: n}
+		n.inner = inner(&n.renv)
+		return n
+	}
+}
+
+// relPending is one unacked outbound frame.
+type relPending struct {
+	frame DataFrame
+}
+
+// relSession is the adapter's per-neighbor state, covering both
+// directions. gen increments on every session reset (link down/up) so
+// retransmission timers of a previous session cannot touch the new one.
+type relSession struct {
+	gen uint64
+	// Sender side: lastSeq is the most recently assigned sequence
+	// number; outstanding holds unacked frames by sequence number.
+	lastSeq     uint64
+	outstanding map[uint64]*relPending
+	// Receiver side: nextExpected is the next in-order sequence number;
+	// buffer holds out-of-order arrivals awaiting the gap fill.
+	nextExpected uint64
+	buffer       map[uint64]Message
+}
+
+func newRelSession(gen uint64) *relSession {
+	return &relSession{
+		gen:          gen,
+		outstanding:  make(map[uint64]*relPending),
+		nextExpected: 1,
+		buffer:       make(map[uint64]Message),
+	}
+}
+
+// relNode is the adapter around one protocol instance.
+type relNode struct {
+	inner Protocol
+	env   Env
+	renv  relEnv
+	cfg   ReliableConfig
+	sess  map[routing.NodeID]*relSession
+	noter transportNoter
+
+	// Local counters, exposed for tests; the Network-wide totals live in
+	// Stats via transportNoter.
+	retransmits   int64
+	dupSuppressed int64
+	abandoned     int64
+}
+
+var _ Protocol = (*relNode)(nil)
+
+// relEnv is the protocol's view of the world: identical to the real Env
+// except that Send frames the message into the node's session.
+type relEnv struct {
+	Env
+	n *relNode
+}
+
+func (e *relEnv) Send(to routing.NodeID, msg Message) { e.n.sendData(to, msg) }
+
+// Inner returns the wrapped protocol instance, so tests and invariant
+// checkers can reach the protocol's RIB accessors through the adapter.
+func (n *relNode) Inner() Protocol { return n.inner }
+
+// Retransmits, DupSuppressed, and Abandoned expose this node's local
+// transport counters.
+func (n *relNode) Retransmits() int64   { return n.retransmits }
+func (n *relNode) DupSuppressed() int64 { return n.dupSuppressed }
+func (n *relNode) Abandoned() int64     { return n.abandoned }
+
+func (n *relNode) session(peer routing.NodeID) *relSession {
+	s := n.sess[peer]
+	if s == nil {
+		s = newRelSession(0)
+		n.sess[peer] = s
+	}
+	return s
+}
+
+// resetSession discards all transport state toward peer and opens the
+// next session generation. Pending retransmission timers check the
+// generation and die silently.
+func (n *relNode) resetSession(peer routing.NodeID) {
+	if s := n.sess[peer]; s != nil {
+		n.sess[peer] = newRelSession(s.gen + 1)
+	}
+}
+
+func (n *relNode) sendData(to routing.NodeID, msg Message) {
+	s := n.session(to)
+	s.lastSeq++
+	f := DataFrame{Seq: s.lastSeq, Payload: msg}
+	s.outstanding[f.Seq] = &relPending{frame: f}
+	n.env.Send(to, f)
+	n.armRetransmit(to, s.gen, f.Seq, n.cfg.rto(), 1)
+}
+
+// armRetransmit schedules the attempt-th retransmission of frame seq on
+// the session generation gen after delay d. The timer no-ops if the
+// session was reset or the frame was acked meanwhile; otherwise it
+// resends (even onto a down link — the send is then counted
+// undeliverable, exactly what a real timer-driven sender does) and
+// re-arms with the delay doubled.
+func (n *relNode) armRetransmit(to routing.NodeID, gen, seq uint64, d time.Duration, attempt int) {
+	n.env.After(d, func() {
+		s := n.sess[to]
+		if s == nil || s.gen != gen {
+			return
+		}
+		p, ok := s.outstanding[seq]
+		if !ok {
+			return
+		}
+		if attempt > n.cfg.maxRetries() {
+			delete(s.outstanding, seq)
+			n.abandoned++
+			if n.noter != nil {
+				n.noter.noteAbandoned()
+			}
+			return
+		}
+		p.frame.Rexmit = true
+		n.retransmits++
+		if n.noter != nil {
+			n.noter.noteRetransmit()
+		}
+		n.env.Send(to, p.frame)
+		n.armRetransmit(to, gen, seq, 2*d, attempt+1)
+	})
+}
+
+// recvData acks, deduplicates, and releases in-order payloads to the
+// wrapped protocol.
+func (n *relNode) recvData(from routing.NodeID, f DataFrame) {
+	s := n.session(from)
+	_, buffered := s.buffer[f.Seq]
+	if f.Seq < s.nextExpected || buffered {
+		n.dupSuppressed++
+		if n.noter != nil {
+			n.noter.noteDupSuppressed()
+		}
+	} else {
+		s.buffer[f.Seq] = f.Payload
+		for {
+			payload, ok := s.buffer[s.nextExpected]
+			if !ok {
+				break
+			}
+			delete(s.buffer, s.nextExpected)
+			s.nextExpected++
+			n.inner.Handle(from, payload)
+		}
+	}
+	// Ack after draining (and even for duplicates — the original ack may
+	// have been lost). Cumulative, so any later ack supersedes lost ones.
+	n.env.Send(from, Ack{Seq: s.nextExpected - 1})
+}
+
+// Start implements Protocol.
+func (n *relNode) Start(env Env) {
+	n.env = env
+	n.renv.Env = env
+	n.inner.Start(&n.renv)
+}
+
+// Handle implements Protocol: transport frames are consumed here; the
+// protocol sees only its own messages, in order, exactly once.
+func (n *relNode) Handle(from routing.NodeID, msg Message) {
+	switch m := msg.(type) {
+	case DataFrame:
+		n.recvData(from, m)
+	case Ack:
+		if s := n.sess[from]; s != nil {
+			for seq := range s.outstanding {
+				if seq <= m.Seq {
+					delete(s.outstanding, seq)
+				}
+			}
+		}
+	default:
+		// Unframed message — peer not wrapped. Pass through.
+		n.inner.Handle(from, msg)
+	}
+}
+
+// LinkDown implements Protocol: the session dies with the link.
+func (n *relNode) LinkDown(peer routing.NodeID) {
+	n.resetSession(peer)
+	n.inner.LinkDown(peer)
+}
+
+// LinkUp implements Protocol: open a fresh session (idempotent with the
+// LinkDown reset; also covers a restarted peer whose numbering restarts
+// from 1).
+func (n *relNode) LinkUp(peer routing.NodeID) {
+	n.resetSession(peer)
+	n.inner.LinkUp(peer)
+}

@@ -25,6 +25,8 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"sort"
+	"strings"
 	"time"
 
 	"centaur/internal/routing"
@@ -95,21 +97,33 @@ type Protocol interface {
 // valid for the lifetime of the simulation.
 type Builder func(env Env) Protocol
 
-// Event kinds of the tagged event union. evFunc is the only kind that
-// carries a closure; the others are dispatched inline by Run so the
-// steady-state send/deliver cycle allocates nothing per event.
+// Event kinds of the tagged event union. evFunc and evNodeTimer are the
+// only kinds that carry a closure; the others are dispatched inline by
+// Run so the steady-state send/deliver cycle allocates nothing per
+// event.
 const (
 	evFunc uint8 = iota
 	evStart
 	evDeliver
 	evLinkDown
 	evLinkUp
+	// evNodeTimer is an Env.After timer belonging to one node. Unlike
+	// evFunc it carries the node's generation (in epoch), so timers of a
+	// protocol instance that crashed are skipped instead of firing into
+	// a replaced instance's captured state.
+	evNodeTimer
 )
+
+// faultDrop marks a delivery the fault injector decided to lose: the
+// message traverses the link (so the trace shows the decision and the
+// loss as separate records) and is discarded at delivery time.
+const faultDrop uint8 = 1
 
 // event is one scheduled occurrence. Which fields are meaningful depends
 // on kind: evFunc uses fn; evStart uses to; evDeliver uses from, to,
-// link, epoch, and msg; evLinkDown/evLinkUp use from (the peer) and to
-// (the dense index of the notified node).
+// link, epoch, fault, and msg; evLinkDown/evLinkUp use from (the peer)
+// and to (the dense index of the notified node); evNodeTimer uses fn,
+// to, and epoch (the node generation).
 type event struct {
 	at    time.Duration
 	seq   uint64 // tie-break so equal-time events run in schedule order
@@ -120,6 +134,7 @@ type event struct {
 	to    int32
 	link  int32
 	kind  uint8
+	fault uint8
 }
 
 // before orders events by (at, seq); seq is unique, so this is a total
@@ -232,6 +247,24 @@ type Stats struct {
 	// RouteChanges counts Env.RouteChanged notifications — best-route
 	// updates protocols reported.
 	RouteChanges int64
+	// FaultDrops is the subset of Dropped lost to injected faults (the
+	// injector decided to lose the message in flight).
+	FaultDrops int64
+	// FaultDups counts extra deliveries injected by the fault injector.
+	FaultDups int64
+	// Retransmits counts frames the reliable-transport adapter resent
+	// after a retransmission timeout.
+	Retransmits int64
+	// DupSuppressed counts frames the reliable-transport adapter
+	// discarded as duplicates (injected duplicates or spurious
+	// retransmissions).
+	DupSuppressed int64
+	// TransportAbandoned counts frames the reliable-transport adapter
+	// gave up on after exhausting its retransmission budget.
+	TransportAbandoned int64
+	// StaleTimers counts Env.After timers skipped because their node
+	// crashed (and was possibly replaced) after they were scheduled.
+	StaleTimers int64
 	// Events is the lifetime number of simulator events processed by
 	// Run. Unlike the message counters it is NOT zeroed by ResetStats,
 	// so callers can tell "quiesced" from "hit maxEvents" even after a
@@ -256,6 +289,39 @@ type Config struct {
 	// deliveries, drops, link transitions). It runs synchronously inside
 	// the event loop, so it sees a consistent view but should stay cheap.
 	Trace func(TraceEvent)
+	// Faults, when non-nil, is consulted once per message entering an up
+	// link and may lose, duplicate, or delay it (see Injector). It can
+	// also be installed after construction with SetInjector.
+	Faults Injector
+}
+
+// FaultDecision is a fault injector's verdict for one message
+// transmission on an up link. The zero value delivers normally.
+type FaultDecision struct {
+	// Drop loses the message in flight: it is discarded at delivery
+	// time with a TraceDropFault record, paired with the TraceFaultLoss
+	// decision record emitted at send time.
+	Drop bool
+	// Duplicate delivers a second copy of the message.
+	Duplicate bool
+	// Jitter adds extra delivery delay to the message, breaking the
+	// link's FIFO ordering (delayed messages can be overtaken).
+	Jitter time.Duration
+	// DupJitter adds extra delivery delay to the duplicate copy.
+	DupJitter time.Duration
+}
+
+// Injector decides per-message fault outcomes in the delivery path. The
+// simulator calls Deliver exactly once per protocol send on an up link,
+// in deterministic event order — the event schedule is totally ordered
+// by (time, sequence) and processed single-threaded — so an
+// implementation drawing from a seeded RNG yields a reproducible fault
+// sequence. Scheduled faults (flap storms, crashes, partitions) are
+// driven separately through Network.Schedule, FailLink/RestoreLink, and
+// CrashNode/RestartNode; internal/faults packages both halves behind a
+// single deterministic plan.
+type Injector interface {
+	Deliver(from, to routing.NodeID, msg Message) FaultDecision
 }
 
 // TraceKind classifies a TraceEvent.
@@ -276,6 +342,23 @@ const (
 	// destination via Env.RouteChanged (From is the reporting node, To
 	// the destination).
 	TraceRouteChange
+	// TraceFaultLoss is the injector's decision record for a message it
+	// chose to lose; the loss itself appears later as TraceDropFault.
+	TraceFaultLoss
+	// TraceFaultDup is the injector's decision record for a duplicated
+	// message (the extra copy arrives as a second TraceDeliver).
+	TraceFaultDup
+	// TraceFaultJitter is the injector's decision record for a message
+	// given extra delivery delay.
+	TraceFaultJitter
+	// TraceDropFault is a message discarded at delivery time because the
+	// injector decided to lose it. Every TraceDropFault has a matching
+	// earlier TraceFaultLoss with the same endpoints and message kind.
+	TraceDropFault
+	// TraceCrash and TraceRestart are injected node crash/restart
+	// transitions (From and To are both the node).
+	TraceCrash
+	TraceRestart
 )
 
 // String names the trace kind.
@@ -293,6 +376,18 @@ func (k TraceKind) String() string {
 		return "link-up"
 	case TraceRouteChange:
 		return "route"
+	case TraceFaultLoss:
+		return "fault-loss"
+	case TraceFaultDup:
+		return "fault-dup"
+	case TraceFaultJitter:
+		return "fault-jitter"
+	case TraceDropFault:
+		return "drop-fault"
+	case TraceCrash:
+		return "crash"
+	case TraceRestart:
+		return "restart"
 	default:
 		return fmt.Sprintf("trace(%d)", uint8(k))
 	}
@@ -341,6 +436,15 @@ type Network struct {
 	routeChangedSet []bool
 	events          int64
 	trace           func(TraceEvent)
+	// injector, when non-nil, is consulted for every message entering an
+	// up link (see Injector). Its presence blocks Checkpoint.
+	injector Injector
+	// build re-creates a node's protocol instance after a crash
+	// (RestartNode); nil in forked networks, which cannot restart nodes.
+	build Builder
+	// nodeDown[i] marks nodes taken down by CrashNode and not yet
+	// restarted.
+	nodeDown []bool
 	// minDelay/maxDelay are the effective delay bounds (after defaulting),
 	// retained so Checkpoint.Fork can re-derive per-link delays from a new
 	// seed exactly the way NewNetwork did.
@@ -373,6 +477,8 @@ func NewNetwork(cfg Config) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
+	n.build = cfg.Build
+	n.injector = cfg.Faults
 	numNodes := len(n.nodes)
 	for i := 0; i < numNodes; i++ {
 		n.nodes[i] = cfg.Build(&n.envs[i])
@@ -418,6 +524,7 @@ func newShell(cfg Config, idx *topology.Index) (*Network, error) {
 
 		routeChangedAt:  make([]time.Duration, numNodes),
 		routeChangedSet: make([]bool, numNodes),
+		nodeDown:        make([]bool, numNodes),
 		minDelay:        minD,
 		maxDelay:        maxD,
 	}
@@ -452,6 +559,9 @@ type nodeEnv struct {
 	self routing.NodeID
 	pos  int32
 	adj  []adjRef // ascending by neighbor ID
+	// gen is the node's protocol-instance generation; CrashNode bumps it
+	// so Env.After timers of the dead instance are skipped.
+	gen uint64
 }
 
 var _ Env = (*nodeEnv)(nil)
@@ -507,9 +617,23 @@ func (e *nodeEnv) Send(to routing.NodeID, msg Message) {
 	net.account(msg.Kind(), units, wire)
 	net.stats.LastSend = net.now
 	net.emit(TraceSend, e.self, to, msg)
+	delay := ls.delay
+	var fault uint8
+	var dec FaultDecision
+	if net.injector != nil {
+		dec = net.injector.Deliver(e.self, to, msg)
+		if dec.Drop {
+			fault = faultDrop
+			net.emit(TraceFaultLoss, e.self, to, msg)
+		}
+		if dec.Jitter > 0 {
+			delay += dec.Jitter
+			net.emit(TraceFaultJitter, e.self, to, msg)
+		}
+	}
 	net.seq++
 	net.pq.push(event{
-		at:    net.now + ls.delay,
+		at:    net.now + delay,
 		seq:   net.seq,
 		epoch: ls.epoch,
 		msg:   msg,
@@ -517,12 +641,38 @@ func (e *nodeEnv) Send(to routing.NodeID, msg Message) {
 		to:    ar.node,
 		link:  ar.link,
 		kind:  evDeliver,
+		fault: fault,
 	})
+	if dec.Duplicate {
+		net.stats.FaultDups++
+		net.emit(TraceFaultDup, e.self, to, msg)
+		net.seq++
+		net.pq.push(event{
+			at:    net.now + ls.delay + dec.DupJitter,
+			seq:   net.seq,
+			epoch: ls.epoch,
+			msg:   msg,
+			from:  e.self,
+			to:    ar.node,
+			link:  ar.link,
+			kind:  evDeliver,
+		})
+	}
 }
 
 func (e *nodeEnv) After(d time.Duration, fn func()) {
-	e.net.schedule(d, fn)
+	net := e.net
+	net.seq++
+	net.pq.push(event{at: net.now + d, seq: net.seq, fn: fn, kind: evNodeTimer,
+		to: e.pos, epoch: e.gen})
 }
+
+// noteRetransmit, noteDupSuppressed, and noteAbandoned fold the
+// reliable-transport adapter's accounting into the network stats; the
+// adapter reaches them by type-asserting its Env (see transportNoter).
+func (e *nodeEnv) noteRetransmit()    { e.net.stats.Retransmits++ }
+func (e *nodeEnv) noteDupSuppressed() { e.net.stats.DupSuppressed++ }
+func (e *nodeEnv) noteAbandoned()     { e.net.stats.TransportAbandoned++ }
 
 func (e *nodeEnv) RouteChanged(dest routing.NodeID) {
 	net := e.net
@@ -568,6 +718,83 @@ func (n *Network) account(kind string, units, bytes int64) {
 
 // Now returns the current simulated time.
 func (n *Network) Now() time.Duration { return n.now }
+
+// Topology returns the simulated graph.
+func (n *Network) Topology() *topology.Graph { return n.topo }
+
+// Schedule enqueues fn to run after d of simulated time, measured from
+// the current instant. External drivers (fault plans, tests) use it;
+// protocol nodes use Env.After, whose timers a node crash invalidates.
+func (n *Network) Schedule(d time.Duration, fn func()) { n.schedule(d, fn) }
+
+// SetInjector installs (or, with nil, removes) a delivery-path fault
+// injector. Install before the first Run; an active injector blocks
+// Checkpoint (ErrFaultsActive), since a fork could not reproduce the
+// injector's RNG state.
+func (n *Network) SetInjector(inj Injector) { n.injector = inj }
+
+// NodeIsUp reports whether id exists and is not currently crashed.
+func (n *Network) NodeIsUp(id routing.NodeID) bool {
+	i := n.idx.Pos(id)
+	return i >= 0 && !n.nodeDown[i]
+}
+
+// CrashNode takes node id down at the current simulated time, modeling a
+// full process crash: every up adjacency fails (in-flight messages on it
+// are lost, each neighbor receives LinkDown), the protocol instance's
+// pending Env.After timers are invalidated, and the node receives no
+// events while down. The wiped instance is replaced on RestartNode. The
+// crashed node itself gets no LinkDown notifications — there is no
+// process left to observe them. Reports whether id existed and was up.
+func (n *Network) CrashNode(id routing.NodeID) bool {
+	i := n.idx.Pos(id)
+	if i < 0 || n.nodeDown[i] {
+		return false
+	}
+	n.nodeDown[i] = true
+	n.envs[i].gen++
+	n.emit(TraceCrash, id, id, nil)
+	for _, ar := range n.envs[i].adj {
+		ls := &n.links[ar.link]
+		if !ls.up {
+			continue
+		}
+		ls.up = false
+		ls.epoch++
+		n.emit(TraceLinkDown, id, ar.id, nil)
+		n.push(event{kind: evLinkDown, to: ar.node, from: id})
+	}
+	return true
+}
+
+// RestartNode brings a crashed node back at the current simulated time
+// with a freshly built protocol instance — the full-state-wipe half of
+// crash recovery. Its Start runs before any neighbor message can arrive;
+// every adjacency whose other endpoint is up is restored, and each such
+// neighbor receives LinkUp (triggering the protocol's resync path).
+// Restoring all adjacencies deliberately supersedes any outage (e.g. a
+// flap storm's) that was holding one of them down. Reports whether id
+// was crashed; always false on forked networks, which carry no Builder.
+func (n *Network) RestartNode(id routing.NodeID) bool {
+	i := n.idx.Pos(id)
+	if i < 0 || !n.nodeDown[i] || n.build == nil {
+		return false
+	}
+	n.nodeDown[i] = false
+	n.nodes[i] = n.build(&n.envs[i])
+	n.emit(TraceRestart, id, id, nil)
+	n.push(event{kind: evStart, to: int32(i)})
+	for _, ar := range n.envs[i].adj {
+		ls := &n.links[ar.link]
+		if ls.up || n.nodeDown[ar.node] {
+			continue
+		}
+		ls.up = true
+		n.emit(TraceLinkUp, id, ar.id, nil)
+		n.push(event{kind: evLinkUp, to: ar.node, from: id})
+	}
+	return true
+}
 
 // Stats returns a snapshot of the accounting so far.
 func (n *Network) Stats() Stats {
@@ -637,10 +864,16 @@ func (n *Network) FailLink(a, b routing.NodeID) bool {
 }
 
 // RestoreLink brings the undirected link a—b back up; both endpoints
-// receive LinkUp. It reports whether the link existed and was down.
+// receive LinkUp. It reports whether the link existed and was down. It
+// refuses while either endpoint is crashed: a link to a dead process
+// cannot come up, and RestartNode restores the node's adjacencies
+// itself.
 func (n *Network) RestoreLink(a, b routing.NodeID) bool {
 	li, ok := n.linkAt[keyOf(a, b)]
 	if !ok || n.links[li].up {
+		return false
+	}
+	if n.nodeDown[n.idx.Pos(a)] || n.nodeDown[n.idx.Pos(b)] {
 		return false
 	}
 	n.links[li].up = true
@@ -674,15 +907,26 @@ func (n *Network) Run(maxEvents int64) (processed int64, quiesced bool) {
 		switch ev.kind {
 		case evDeliver:
 			ls := &n.links[ev.link]
-			if !ls.up || ls.epoch != ev.epoch {
+			switch {
+			case !ls.up || ls.epoch != ev.epoch:
 				n.stats.Dropped++
 				n.emit(TraceDrop, ev.from, n.idx.ID(int(ev.to)), ev.msg)
-			} else {
+			case ev.fault&faultDrop != 0:
+				n.stats.Dropped++
+				n.stats.FaultDrops++
+				n.emit(TraceDropFault, ev.from, n.idx.ID(int(ev.to)), ev.msg)
+			default:
 				n.emit(TraceDeliver, ev.from, n.idx.ID(int(ev.to)), ev.msg)
 				n.nodes[ev.to].Handle(ev.from, ev.msg)
 			}
 		case evFunc:
 			ev.fn()
+		case evNodeTimer:
+			if n.envs[ev.to].gen == ev.epoch {
+				ev.fn()
+			} else {
+				n.stats.StaleTimers++
+			}
 		case evStart:
 			n.nodes[ev.to].Start(&n.envs[ev.to])
 		case evLinkDown:
@@ -700,11 +944,110 @@ func (n *Network) Run(maxEvents int64) (processed int64, quiesced bool) {
 // time — the time of the last message transmission, measured from start
 // (i.e. the instant after which "no further update messages are sent",
 // §5.1) — along with the stats snapshot. The limit guards against
-// non-terminating protocols; it returns an error when hit.
+// non-terminating protocols; when hit, the returned error is a
+// *ConvergenceError carrying a per-node summary of the pending work, so
+// a wedged or oscillating run is diagnosable instead of an opaque event
+// count.
 func (n *Network) RunToConvergence(maxEvents int64) (time.Duration, Stats, error) {
 	_, ok := n.Run(maxEvents)
 	if !ok {
-		return 0, n.Stats(), fmt.Errorf("sim: no convergence after %d events", maxEvents)
+		return 0, n.Stats(), n.convergenceError(maxEvents)
 	}
 	return n.stats.LastSend, n.Stats(), nil
+}
+
+// PendingWork summarizes one node's share of the event queue at the
+// moment the convergence watchdog fired.
+type PendingWork struct {
+	Node routing.NodeID
+	// Deliveries is the number of messages queued for delivery to the
+	// node; ByKind breaks them down by message kind.
+	Deliveries int
+	// Timers is the number of pending Env.After timers plus control
+	// events (start, link up/down notifications) addressed to the node.
+	Timers int
+	ByKind map[string]int
+}
+
+// ConvergenceError reports a network that failed to quiesce within its
+// event budget. It carries the watchdog diagnostics: how much work was
+// still queued and for whom, so callers can tell an oscillating protocol
+// (deliveries keep regenerating) from a wedged timer loop.
+type ConvergenceError struct {
+	// MaxEvents is the budget that was exhausted; SimTime is the
+	// simulated clock when the watchdog fired.
+	MaxEvents int64
+	SimTime   time.Duration
+	// QueueLen is the total number of events still pending, of which
+	// DetachedTimers were Network.Schedule closures attributable to no
+	// node. Pending lists the per-node breakdown, busiest node first.
+	QueueLen       int
+	DetachedTimers int
+	Pending        []PendingWork
+}
+
+// Error renders the diagnostic summary, capped at the eight busiest
+// nodes.
+func (e *ConvergenceError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim: no convergence after %d events (t=%v): %d events pending",
+		e.MaxEvents, e.SimTime, e.QueueLen)
+	if e.DetachedTimers > 0 {
+		fmt.Fprintf(&b, ", %d detached timers", e.DetachedTimers)
+	}
+	for i, p := range e.Pending {
+		if i == 8 {
+			fmt.Fprintf(&b, "; … %d more nodes", len(e.Pending)-i)
+			break
+		}
+		fmt.Fprintf(&b, "; node %v: %d deliveries, %d timers", p.Node, p.Deliveries, p.Timers)
+		kinds := make([]string, 0, len(p.ByKind))
+		for k := range p.ByKind {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			fmt.Fprintf(&b, " [%s×%d]", k, p.ByKind[k])
+		}
+	}
+	return b.String()
+}
+
+// convergenceError scans the event queue into a *ConvergenceError.
+func (n *Network) convergenceError(maxEvents int64) error {
+	e := &ConvergenceError{MaxEvents: maxEvents, SimTime: n.now, QueueLen: len(n.pq)}
+	byNode := make(map[int32]*PendingWork)
+	at := func(pos int32) *PendingWork {
+		p := byNode[pos]
+		if p == nil {
+			p = &PendingWork{Node: n.idx.ID(int(pos)), ByKind: make(map[string]int)}
+			byNode[pos] = p
+		}
+		return p
+	}
+	for i := range n.pq {
+		ev := &n.pq[i]
+		switch ev.kind {
+		case evDeliver:
+			p := at(ev.to)
+			p.Deliveries++
+			p.ByKind[ev.msg.Kind()]++
+		case evFunc:
+			e.DetachedTimers++
+		default: // node timers and control events
+			at(ev.to).Timers++
+		}
+	}
+	for _, p := range byNode {
+		e.Pending = append(e.Pending, *p)
+	}
+	sort.Slice(e.Pending, func(i, j int) bool {
+		ti := e.Pending[i].Deliveries + e.Pending[i].Timers
+		tj := e.Pending[j].Deliveries + e.Pending[j].Timers
+		if ti != tj {
+			return ti > tj
+		}
+		return e.Pending[i].Node < e.Pending[j].Node
+	})
+	return e
 }

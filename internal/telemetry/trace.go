@@ -162,20 +162,32 @@ type traceLine struct {
 // traceKinds is the closed set of event kinds and whether each carries a
 // message payload (m/u/b fields).
 var traceKinds = map[string]bool{
-	"send":      true,
-	"deliver":   true,
-	"drop":      true,
-	"link-down": false,
-	"link-up":   false,
-	"route":     false,
+	"send":         true,
+	"deliver":      true,
+	"drop":         true,
+	"link-down":    false,
+	"link-up":      false,
+	"route":        false,
+	"fault-loss":   true,
+	"fault-dup":    true,
+	"fault-jitter": true,
+	"drop-fault":   true,
+	"crash":        false,
+	"restart":      false,
 }
 
 // ValidateTrace checks a JSONL trace against the golden schema: every
 // line parses, chunk headers carry chunk/label/seed with sequential
 // chunk ids, events carry t/k/f/o (plus m/u/b for message kinds) with a
 // known kind and nonnegative, per-chunk monotone nondecreasing
-// timestamps, and no event precedes the first chunk header. It returns
-// a summary of the valid trace or an error naming the offending line.
+// timestamps, and no event precedes the first chunk header. Fault drops
+// are cross-checked against injector decisions: every "drop-fault"
+// event (the delivery-time drop) must consume a preceding "fault-loss"
+// record (the send-time decision) for the same (from, to, message kind)
+// within its chunk. Leftover decisions are legal — a link flap can beat
+// the fault to the delivery, which then traces as a plain "drop". It
+// returns a summary of the valid trace or an error naming the offending
+// line.
 func ValidateTrace(r io.Reader) (TraceSummary, error) {
 	sum := TraceSummary{ByKind: make(map[string]int)}
 	sc := bufio.NewScanner(r)
@@ -183,6 +195,7 @@ func ValidateTrace(r io.Reader) (TraceSummary, error) {
 	lineNo := 0
 	lastT := int64(-1)
 	inChunk := false
+	lossDecisions := make(map[string]int) // per-chunk (f,o,m) → pending decisions
 	for sc.Scan() {
 		lineNo++
 		line := sc.Bytes()
@@ -206,6 +219,7 @@ func ValidateTrace(r io.Reader) (TraceSummary, error) {
 			sum.Chunks++
 			lastT = -1
 			inChunk = true
+			clear(lossDecisions)
 			continue
 		}
 		if tl.T == nil || tl.K == nil || tl.F == nil || tl.O == nil {
@@ -233,6 +247,16 @@ func ValidateTrace(r io.Reader) (TraceSummary, error) {
 				return sum, fmt.Errorf("trace line %d: negative units/bytes", lineNo)
 			}
 		}
+		switch *tl.K {
+		case "fault-loss":
+			lossDecisions[lossKey(*tl.F, *tl.O, *tl.M)]++
+		case "drop-fault":
+			key := lossKey(*tl.F, *tl.O, *tl.M)
+			if lossDecisions[key] == 0 {
+				return sum, fmt.Errorf("trace line %d: drop-fault %d→%d %q without a matching fault-loss decision", lineNo, *tl.F, *tl.O, *tl.M)
+			}
+			lossDecisions[key]--
+		}
 		sum.Events++
 		sum.ByKind[*tl.K]++
 	}
@@ -240,4 +264,9 @@ func ValidateTrace(r io.Reader) (TraceSummary, error) {
 		return sum, fmt.Errorf("trace: %w", err)
 	}
 	return sum, nil
+}
+
+// lossKey identifies a fault-loss decision for pairing with its drop.
+func lossKey(f, o int64, m string) string {
+	return strconv.FormatInt(f, 10) + "|" + strconv.FormatInt(o, 10) + "|" + m
 }

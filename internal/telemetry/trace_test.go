@@ -113,3 +113,48 @@ func TestValidateTraceRejects(t *testing.T) {
 		t.Fatalf("cross-chunk timestamp reset rejected: %v", err)
 	}
 }
+
+func TestValidateTraceFaultKindsAndPairing(t *testing.T) {
+	header := `{"chunk":0,"label":"rel.bgp","seed":7}` + "\n"
+	loss := `{"t":1,"k":"fault-loss","f":3,"o":9,"m":"bgp.update","u":1,"b":34}` + "\n"
+	drop := `{"t":2,"k":"drop-fault","f":3,"o":9,"m":"bgp.update","u":1,"b":34}` + "\n"
+
+	// A decision followed by its delivery-time drop validates, and the
+	// fault kinds show up in the summary.
+	ok := header + loss +
+		`{"t":1,"k":"fault-dup","f":3,"o":9,"m":"bgp.update","u":1,"b":34}` + "\n" +
+		`{"t":1,"k":"fault-jitter","f":4,"o":9,"m":"bgp.update","u":1,"b":34}` + "\n" +
+		drop +
+		`{"t":3,"k":"crash","f":5,"o":5}` + "\n" +
+		`{"t":4,"k":"restart","f":5,"o":5}` + "\n"
+	sum, err := ValidateTrace(strings.NewReader(ok))
+	if err != nil {
+		t.Fatalf("fault trace rejected: %v", err)
+	}
+	for _, k := range []string{"fault-loss", "fault-dup", "fault-jitter", "drop-fault", "crash", "restart"} {
+		if sum.ByKind[k] != 1 {
+			t.Fatalf("ByKind[%s] = %d, want 1 (%v)", k, sum.ByKind[k], sum.ByKind)
+		}
+	}
+
+	// A leftover decision (no drop) is legal: a link flap can drop the
+	// message first, tracing as plain "drop".
+	if _, err := ValidateTrace(strings.NewReader(header + loss)); err != nil {
+		t.Fatalf("leftover fault-loss decision rejected: %v", err)
+	}
+
+	// A drop-fault with no matching decision is a corrupt trace.
+	if _, err := ValidateTrace(strings.NewReader(header + drop)); err == nil {
+		t.Fatal("unmatched drop-fault must be rejected")
+	}
+	// A decision for a different (from, to, kind) does not match.
+	other := `{"t":1,"k":"fault-loss","f":8,"o":9,"m":"bgp.update","u":1,"b":34}` + "\n"
+	if _, err := ValidateTrace(strings.NewReader(header + other + drop)); err == nil {
+		t.Fatal("drop-fault must match on (from, to, message kind)")
+	}
+	// Decisions do not carry across chunk boundaries.
+	cross := header + loss + `{"chunk":1,"label":"y","seed":8}` + "\n" + drop
+	if _, err := ValidateTrace(strings.NewReader(cross)); err == nil {
+		t.Fatal("decision must not pair across chunks")
+	}
+}

@@ -58,6 +58,49 @@ func FuzzDecodeBGPUpdate(f *testing.F) {
 	})
 }
 
+func FuzzDecodeTransportData(f *testing.F) {
+	f.Add(AppendTransportData(nil, TransportData{Seq: 1}))
+	f.Add(AppendTransportData(nil, TransportData{
+		Seq:     7,
+		Payload: AppendBGPUpdate(nil, BGPUpdate{Dest: 3, Path: routing.Path{1, 2, 3}}),
+	}))
+	f.Add([]byte{KindTransportData, 1, 0xff}) // implausible payload length
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := DecodeTransportData(data)
+		if err != nil {
+			return
+		}
+		enc := AppendTransportData(nil, fr)
+		if got := TransportDataSize(fr.Seq, len(fr.Payload)); got != len(enc) {
+			t.Fatalf("TransportDataSize = %d, encoded %d bytes", got, len(enc))
+		}
+		fr2, err := DecodeTransportData(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !bytes.Equal(AppendTransportData(nil, fr2), enc) {
+			t.Fatal("canonical encoding not a fixpoint")
+		}
+	})
+}
+
+func FuzzDecodeTransportAck(f *testing.F) {
+	f.Add(AppendTransportAck(nil, TransportAck{Seq: 12}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := DecodeTransportAck(data)
+		if err != nil {
+			return
+		}
+		enc := AppendTransportAck(nil, a)
+		if got := TransportAckSize(a.Seq); got != len(enc) {
+			t.Fatalf("TransportAckSize = %d, encoded %d bytes", got, len(enc))
+		}
+		if _, err := DecodeTransportAck(enc); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}
+
 func FuzzDecodeOSPFLSA(f *testing.F) {
 	f.Add(AppendOSPFLSA(nil, OSPFLSA{Origin: 1, Seq: 1}))
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -34,6 +34,11 @@ const (
 	KindBGPUpdate = 2
 	// KindOSPFLSA tags an OSPF router LSA flood.
 	KindOSPFLSA = 3
+	// KindTransportData tags a reliable-transport data frame: a sequence
+	// number plus an opaque encoded protocol message (see sim.Reliable).
+	KindTransportData = 4
+	// KindTransportAck tags a reliable-transport cumulative ack.
+	KindTransportAck = 5
 )
 
 // CentaurUpdate is the wire form of a Centaur routing update: the delta
@@ -271,6 +276,79 @@ func DecodeOSPFLSA(buf []byte) (OSPFLSA, error) {
 		l.Neighbors = append(l.Neighbors, d.node())
 	}
 	return l, d.finish()
+}
+
+// TransportData is the wire form of a reliable-transport data frame:
+// the per-neighbor-session sequence number and the encoded protocol
+// message it carries (opaque at this layer — any of the other kinds).
+type TransportData struct {
+	Seq     uint64
+	Payload []byte
+}
+
+// TransportAck is the wire form of a reliable-transport cumulative
+// acknowledgement: every frame with sequence number ≤ Seq has been
+// received in order.
+type TransportAck struct {
+	Seq uint64
+}
+
+// AppendTransportData appends the encoded data frame to buf.
+func AppendTransportData(buf []byte, f TransportData) []byte {
+	buf = binary.AppendUvarint(buf, KindTransportData)
+	buf = binary.AppendUvarint(buf, f.Seq)
+	buf = binary.AppendUvarint(buf, uint64(len(f.Payload)))
+	return append(buf, f.Payload...)
+}
+
+// TransportDataSize returns len(AppendTransportData(nil, f)) for a frame
+// with the given sequence number and payload length, without allocating.
+func TransportDataSize(seq uint64, payloadLen int) int {
+	return uvarintLen(KindTransportData) + uvarintLen(seq) +
+		uvarintLen(uint64(payloadLen)) + payloadLen
+}
+
+// DecodeTransportData decodes a frame produced by AppendTransportData.
+func DecodeTransportData(buf []byte) (TransportData, error) {
+	d := decoder{buf: buf}
+	var f TransportData
+	if kind := d.uvarint(); kind != KindTransportData {
+		return f, fmt.Errorf("wire: kind %d is not a transport data frame", kind)
+	}
+	f.Seq = d.uvarint()
+	n := d.count()
+	if d.err == nil {
+		if uint64(len(d.buf)) < n {
+			d.fail("truncated transport payload")
+		} else {
+			f.Payload = append([]byte(nil), d.buf[:n]...)
+			d.buf = d.buf[n:]
+		}
+	}
+	return f, d.finish()
+}
+
+// AppendTransportAck appends the encoded ack to buf.
+func AppendTransportAck(buf []byte, a TransportAck) []byte {
+	buf = binary.AppendUvarint(buf, KindTransportAck)
+	return binary.AppendUvarint(buf, a.Seq)
+}
+
+// TransportAckSize returns len(AppendTransportAck(nil, a)) without
+// allocating.
+func TransportAckSize(seq uint64) int {
+	return uvarintLen(KindTransportAck) + uvarintLen(seq)
+}
+
+// DecodeTransportAck decodes an ack produced by AppendTransportAck.
+func DecodeTransportAck(buf []byte) (TransportAck, error) {
+	d := decoder{buf: buf}
+	var a TransportAck
+	if kind := d.uvarint(); kind != KindTransportAck {
+		return a, fmt.Errorf("wire: kind %d is not a transport ack", kind)
+	}
+	a.Seq = d.uvarint()
+	return a, d.finish()
 }
 
 // appendLink encodes one directed link.
