@@ -96,6 +96,8 @@ func run() error {
 		churn     = flag.String("churn", "0,10", "reliability step: comma-separated link-flap rates (flaps per simulated second)")
 		crashes   = flag.Int("crashes", 1, "reliability step: node crash/restart cycles per trial")
 		faultSeed = flag.Int64("fault-seed", 10_000, "reliability step: fault-plan seed (same seed ⇒ same faults)")
+		bloomPL   = flag.Bool("bloom-pl", false, "measure Bloom-compressed Permission Lists: adds the PL-overhead step and switches the reliability centaur series to compressed lists")
+		plFPRate  = flag.Float64("pl-fp-rate", 0, "per-filter false-positive target for -bloom-pl (0 = protocol default)")
 	)
 	flag.Parse()
 
@@ -194,6 +196,18 @@ func run() error {
 		return err
 	}
 
+	// Opt-in so a run without -bloom-pl produces byte-identical output
+	// (report and stdout) to builds predating the option.
+	if *bloomPL {
+		if err := step("pl overhead", func() (fmt.Stringer, error) {
+			return experiments.PLOverhead(experiments.PLOverheadConfig{
+				Scale: sc, FPRate: *plFPRate, Workers: *workers,
+			})
+		}); err != nil {
+			return err
+		}
+	}
+
 	if err := step("figure 5", func() (fmt.Stringer, error) {
 		sol, err := solver.SolveOpts(t3.Rows[0].Graph, solver.Options{TieBreak: policy.TieOverride})
 		if err != nil {
@@ -235,6 +249,7 @@ func run() error {
 	relCfg.LossRates, relCfg.ChurnRates = lossRates, churnRates
 	relCfg.Dup, relCfg.Jitter, relCfg.Crashes = *dup, *jitter, *crashes
 	relCfg.Seed, relCfg.FaultSeed = *seed, *faultSeed
+	relCfg.BloomPL, relCfg.PLFPRate = *bloomPL, *plFPRate
 	relCfg.Workers, relCfg.Telemetry = *workers, reg
 	if err := step("reliability", func() (fmt.Stringer, error) {
 		return experiments.RunReliability(relCfg)
@@ -316,6 +331,22 @@ func keyStats(res fmt.Stringer) map[string]any {
 			})
 		}
 		return map[string]any{"points": points}
+	case *experiments.PLOverheadResult:
+		rows := make([]map[string]any, 0, len(r.Rows))
+		for _, row := range r.Rows {
+			rows = append(rows, map[string]any{
+				"name":             row.Name,
+				"lists":            row.Lists,
+				"compressed_lists": row.CompressedLists,
+				"groups":           row.Groups,
+				"bloom_groups":     row.BloomGroups,
+				"explicit_bytes":   row.ExplicitBytes,
+				"compressed_bytes": row.CompressedBytes,
+				"fp_probes":        row.Probes,
+				"fp_hits":          row.FPHits,
+			})
+		}
+		return map[string]any{"fp_rate": r.FPRate, "rows": rows}
 	case *experiments.ReliabilityResult:
 		okTrials := 0
 		var delivery float64

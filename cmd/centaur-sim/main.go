@@ -17,7 +17,11 @@
 // every protocol wrapped in the reliable-transport adapter (disable
 // with -no-transport to watch them fail diagnostically). The fault
 // sequence is a pure function of -fault-seed: same seed, same faults,
-// same results, for every -workers value.
+// same results, for every -workers value. -bloom-pl switches the
+// centaur series to Bloom-compressed Permission Lists (paper §4.1),
+// with -pl-fp-rate setting the per-filter false-positive target;
+// every filter false positive is denied, counted (pl.fp_hits), and
+// traced (pl-fp events).
 //
 // All modes accept -workers and -trials-per-net to fan independent
 // simulations out over a bounded worker pool; results are identical for
@@ -91,6 +95,8 @@ func run() error {
 		faultSeed   = flag.Int64("fault-seed", 10_000, "reliability: fault-plan seed (same seed ⇒ same faults)")
 		trials      = flag.Int("trials", 1, "reliability: trials per (protocol, loss, churn) grid point")
 		noTransport = flag.Bool("no-transport", false, "reliability: run protocols raw, without the reliable-transport adapter")
+		bloomPL     = flag.Bool("bloom-pl", false, "reliability: centaur sends Bloom-compressed Permission Lists")
+		plFPRate    = flag.Float64("pl-fp-rate", 0, "reliability: per-filter false-positive target for -bloom-pl (0 = protocol default)")
 	)
 	flag.Parse()
 
@@ -133,7 +139,7 @@ func run() error {
 			nodes: *nodes, m: *m, seed: *seed, workers: *workers,
 			loss: *loss, dup: *dup, jitter: *jitter, churn: *churn,
 			crashes: *crashes, faultSeed: *faultSeed, trials: *trials,
-			noTransport: *noTransport,
+			noTransport: *noTransport, bloomPL: *bloomPL, plFPRate: *plFPRate,
 		}, reg, tc)
 	} else {
 		dispatchErr = dispatch(*fig, *compare, *nodes, *m, *flips, *seed, *mrai, *sizes, *workers, *trialsPer, *noCheckpt, reg, tc)
@@ -213,6 +219,8 @@ type relFlags struct {
 	faultSeed   int64
 	trials      int
 	noTransport bool
+	bloomPL     bool
+	plFPRate    float64
 }
 
 // runReliability runs the fault-injection sweep and prints the
@@ -233,7 +241,8 @@ func runReliability(f relFlags, reg *telemetry.Registry, tc *telemetry.TraceColl
 		LossRates: lossRates, ChurnRates: churnRates,
 		Dup: f.dup, Jitter: f.jitter, Crashes: f.crashes,
 		Trials: f.trials, Seed: f.seed, FaultSeed: f.faultSeed,
-		NoTransport: f.noTransport, Workers: f.workers,
+		NoTransport: f.noTransport, BloomPL: f.bloomPL, PLFPRate: f.plFPRate,
+		Workers:   f.workers,
 		Telemetry: reg, Trace: tc,
 	}
 	if f.noTransport {

@@ -6,6 +6,7 @@ package bloom
 
 import (
 	"encoding/binary"
+	"fmt"
 	"hash/fnv"
 	"math"
 
@@ -68,14 +69,27 @@ func hashPair(id routing.NodeID) (uint32, uint32) {
 	return h1, h2
 }
 
-// Add inserts id into the filter.
-func (f *Filter) Add(id routing.NodeID) {
+// Add inserts id into the filter and reports whether any bit changed.
+// The insert count behind Count and EstimatedFPRate advances only when
+// bits changed: re-adding an ID already in the filter flips nothing, so
+// repeated inserts cannot inflate the estimate. (An unlucky fresh ID
+// whose probes all collide with earlier inserts is also uncounted — it
+// contributes no new occupancy, which is what the estimate models.)
+func (f *Filter) Add(id routing.NodeID) bool {
 	h1, h2 := hashPair(id)
+	changed := false
 	for i := uint32(0); i < f.k; i++ {
 		bit := (uint64(h1) + uint64(i)*uint64(h2)) % f.m
-		f.bits[bit/64] |= 1 << (bit % 64)
+		word, mask := bit/64, uint64(1)<<(bit%64)
+		if f.bits[word]&mask == 0 {
+			f.bits[word] |= mask
+			changed = true
+		}
 	}
-	f.n++
+	if changed {
+		f.n++
+	}
+	return changed
 }
 
 // Has reports whether id may be in the filter. False positives are
@@ -109,4 +123,62 @@ func (f *Filter) EstimatedFPRate() float64 {
 	}
 	exp := -float64(f.k) * float64(f.n) / float64(f.m)
 	return math.Pow(1-math.Exp(exp), float64(f.k))
+}
+
+// Bits returns the filter's bit array packed into 64-bit words (bit i
+// is word i/64, position i%64); bits at positions ≥ SizeBits are always
+// zero. The slice is the filter's own storage — callers must treat it
+// as read-only. This is the payload a wire encoding serializes.
+func (f *Filter) Bits() []uint64 { return f.bits }
+
+// FromBits reconstructs a filter from its geometry and packed bit array
+// (the inverse of Bits + SizeBits + Hashes), e.g. after decoding the
+// wire form. The words slice is copied. It errors when the geometry is
+// degenerate, the word count does not match m, or padding bits at
+// positions ≥ m are set — the canonical encoding keeps them zero, and
+// accepting them would break re-encode byte-stability.
+//
+// The receiving side does not learn how many elements the sender
+// inserted, so a reconstructed filter reports Count 0 and
+// EstimatedFPRate 0; membership queries are unaffected.
+func FromBits(m uint64, k uint32, words []uint64) (*Filter, error) {
+	if m < 1 || k < 1 {
+		return nil, fmt.Errorf("bloom: degenerate geometry m=%d k=%d", m, k)
+	}
+	if uint64(len(words)) != (m+63)/64 {
+		return nil, fmt.Errorf("bloom: %d words cannot hold %d bits", len(words), m)
+	}
+	if rem := m % 64; rem != 0 && words[len(words)-1]>>rem != 0 {
+		return nil, fmt.Errorf("bloom: nonzero padding bits beyond %d", m)
+	}
+	return &Filter{
+		bits: append([]uint64(nil), words...),
+		m:    m,
+		k:    k,
+	}, nil
+}
+
+// Clone returns an independent copy of the filter.
+func (f *Filter) Clone() *Filter {
+	out := *f
+	out.bits = append([]uint64(nil), f.bits...)
+	return &out
+}
+
+// Equal reports whether f and other have identical geometry and bit
+// arrays (insert counts are bookkeeping, not filter state, and are
+// ignored — a wire round trip loses them).
+func (f *Filter) Equal(other *Filter) bool {
+	if f == nil || other == nil {
+		return f == other
+	}
+	if f.m != other.m || f.k != other.k || len(f.bits) != len(other.bits) {
+		return false
+	}
+	for i, w := range f.bits {
+		if other.bits[i] != w {
+			return false
+		}
+	}
+	return true
 }

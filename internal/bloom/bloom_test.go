@@ -116,3 +116,146 @@ func TestCountAndEstimate(t *testing.T) {
 		t.Fatalf("estimate %.5f implausible at half fill", est)
 	}
 }
+
+func TestAddReportsChange(t *testing.T) {
+	// Regression: Add used to advance the insert count unconditionally,
+	// so re-adding the same ID inflated Count and EstimatedFPRate.
+	fl := New(100, 0.01)
+	if !fl.Add(42) {
+		t.Fatal("first Add of a fresh ID must change bits")
+	}
+	for i := 0; i < 5; i++ {
+		if fl.Add(42) {
+			t.Fatal("re-adding an existing ID must not change bits")
+		}
+	}
+	if fl.Count() != 1 {
+		t.Fatalf("Count = %d after duplicate inserts, want 1", fl.Count())
+	}
+	est := fl.EstimatedFPRate()
+	fl2 := New(100, 0.01)
+	fl2.Add(42)
+	if est != fl2.EstimatedFPRate() {
+		t.Fatal("duplicate inserts changed the FP estimate")
+	}
+}
+
+func TestMinimumSizing(t *testing.T) {
+	// New(1, ...) is the smallest legal filter: it must still honor the
+	// m ≥ 64 floor and produce a working filter at every clamp bound.
+	fl := New(1, 0.01)
+	if fl.SizeBits() < 64 {
+		t.Fatalf("SizeBits = %d, want ≥ 64", fl.SizeBits())
+	}
+	if fl.Hashes() < 1 {
+		t.Fatalf("Hashes = %d, want ≥ 1", fl.Hashes())
+	}
+	fl.Add(1)
+	if !fl.Has(1) {
+		t.Fatal("single-element filter lost its element")
+	}
+}
+
+func TestFPRateClampBounds(t *testing.T) {
+	// fpRate clamps to [1e-6, 0.5]: values at and beyond the bounds size
+	// identically to the bound itself.
+	if lo, sub := New(1000, 1e-6), New(1000, 1e-9); lo.SizeBits() != sub.SizeBits() || lo.Hashes() != sub.Hashes() {
+		t.Fatalf("sub-floor rate sized differently: %d/%d vs %d/%d",
+			sub.SizeBits(), sub.Hashes(), lo.SizeBits(), lo.Hashes())
+	}
+	if hi, sup := New(1000, 0.5), New(1000, 0.99); hi.SizeBits() != sup.SizeBits() || hi.Hashes() != sup.Hashes() {
+		t.Fatalf("above-cap rate sized differently: %d/%d vs %d/%d",
+			sup.SizeBits(), sup.Hashes(), hi.SizeBits(), hi.Hashes())
+	}
+	if zero := New(1000, 0); zero.SizeBits() != New(1000, 1e-6).SizeBits() {
+		t.Fatal("zero rate must clamp to the floor")
+	}
+}
+
+func TestMeasuredFPMatchesEstimate(t *testing.T) {
+	// Over a large insert set, the measured false-positive rate should
+	// track the analytic estimate (1 - e^(-kn/m))^k within small factors.
+	const n = 10_000
+	fl := New(n, 0.01)
+	rng := rand.New(rand.NewSource(7))
+	inserted := make(map[routing.NodeID]bool, n)
+	for len(inserted) < n {
+		id := routing.NodeID(rng.Uint32()%100_000_000 + 1)
+		if !inserted[id] {
+			inserted[id] = true
+			fl.Add(id)
+		}
+	}
+	est := fl.EstimatedFPRate()
+	if est <= 0 || est > 0.05 {
+		t.Fatalf("estimate %.5f implausible for target 0.01", est)
+	}
+	falsePos, probes := 0, 0
+	for probes < 50_000 {
+		id := routing.NodeID(rng.Uint32()%100_000_000 + 1)
+		if inserted[id] {
+			continue
+		}
+		probes++
+		if fl.Has(id) {
+			falsePos++
+		}
+	}
+	measured := float64(falsePos) / float64(probes)
+	if measured > 3*est+0.005 || (measured > 0 && measured < est/3-0.005) {
+		t.Fatalf("measured FP rate %.5f far from estimate %.5f", measured, est)
+	}
+}
+
+func TestBitsFromBitsRoundTrip(t *testing.T) {
+	fl := New(500, 0.01)
+	for i := routing.NodeID(1); i <= 500; i++ {
+		fl.Add(i * 13)
+	}
+	back, err := FromBits(fl.SizeBits(), fl.Hashes(), fl.Bits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(fl) {
+		t.Fatal("round-tripped filter differs")
+	}
+	// Membership answers must be identical, including false positives.
+	for id := routing.NodeID(1); id <= 20_000; id++ {
+		if back.Has(id) != fl.Has(id) {
+			t.Fatalf("membership diverged at %d", id)
+		}
+	}
+	// Count is sender-side bookkeeping the bits don't carry.
+	if back.Count() != 0 || back.EstimatedFPRate() != 0 {
+		t.Fatal("reconstructed filter must report Count 0")
+	}
+	// The words are copied, not shared.
+	fl.Bits()[0] ^= 1
+	if back.Bits()[0] == fl.Bits()[0] {
+		t.Fatal("FromBits shared the caller's storage")
+	}
+}
+
+func TestFromBitsRejectsBadInput(t *testing.T) {
+	words := make([]uint64, 2)
+	for _, tc := range []struct {
+		name  string
+		m     uint64
+		k     uint32
+		words []uint64
+	}{
+		{"zero m", 0, 1, nil},
+		{"zero k", 64, 0, make([]uint64, 1)},
+		{"short words", 128, 1, make([]uint64, 1)},
+		{"long words", 64, 1, words},
+		{"padding bits set", 100, 1, []uint64{0, 1 << 40}},
+	} {
+		if _, err := FromBits(tc.m, tc.k, tc.words); err == nil {
+			t.Fatalf("%s: FromBits accepted invalid input", tc.name)
+		}
+	}
+	// The same shape with clean padding is accepted.
+	if _, err := FromBits(100, 1, []uint64{0, 1 << 35}); err != nil {
+		t.Fatalf("valid padding rejected: %v", err)
+	}
+}

@@ -93,7 +93,22 @@ type Config struct {
 	// route changed for. Results are identical to the full mode (tested);
 	// this is the "recompute scope" ablation of DESIGN.md §6.
 	Incremental bool
+	// BloomPL announces Permission Lists in the §4.1 Bloom-compressed
+	// form: outgoing deltas carry a per-next-hop-group filter (or the
+	// explicit list when that is smaller on the wire), and WireBytes
+	// charges only the compressed form. Receivers answer membership from
+	// the filters and verify positive hits against the explicit pairs,
+	// so a false positive is counted (pl.fp_hits, Stats.PLFalsePositives)
+	// and denied — routing decisions are identical to the explicit mode.
+	BloomPL bool
+	// PLFPRate is the per-group Bloom filter false-positive target used
+	// when BloomPL is on; zero means DefaultPLFPRate.
+	PLFPRate float64
 }
+
+// DefaultPLFPRate is the Bloom filter sizing target used when
+// Config.PLFPRate is unset.
+const DefaultPLFPRate = 0.01
 
 // Node is one Centaur router. Create with New; it implements
 // sim.Protocol.
@@ -218,7 +233,49 @@ func (n *Node) Start(env sim.Env) {
 func (n *Node) freshNeighborGraph(b routing.NodeID) *pgraph.Graph {
 	g := pgraph.New(b)
 	g.MarkDest(b)
+	n.installFPObserver(g)
 	return g
+}
+
+// plFPNoter is the optional environment interface for Permission List
+// Bloom false-positive accounting; the simulator's envs implement it.
+type plFPNoter interface{ NotePLFalsePositive(dest routing.NodeID) }
+
+// installFPObserver wires the graph's Bloom false-positive hits into
+// the simulator's stats and trace. Only compressed Permission Lists
+// (BloomPL mode) can produce hits. The observer closes over the node,
+// so a forked protocol instance re-installs its own on its cloned
+// graphs (see snapshot.go).
+func (n *Node) installFPObserver(g *pgraph.Graph) {
+	if !n.cfg.BloomPL {
+		return
+	}
+	g.SetFPObserver(func(_ routing.Link, dest, _ routing.NodeID) {
+		if noter, ok := n.env.(plFPNoter); ok {
+			noter.NotePLFalsePositive(dest)
+		}
+	})
+}
+
+// plFPRate resolves the configured filter sizing target.
+func (n *Node) plFPRate() float64 {
+	if n.cfg.PLFPRate > 0 {
+		return n.cfg.PLFPRate
+	}
+	return DefaultPLFPRate
+}
+
+// compressDelta attaches the §4.1 compressed form to every Permission
+// List in an outgoing delta. The explicit pairs stay in the message —
+// the simulator passes structs, not bytes, and the receiver uses them
+// as the oracle that catches false positives — but the wire layer
+// serializes (and WireBytes charges) only the compressed form.
+func (n *Node) compressDelta(d pgraph.Delta) {
+	for i := range d.Adds {
+		if len(d.Adds[i].Perm) > 0 {
+			d.Adds[i].Filters = pgraph.CompressPerm(d.Adds[i].Perm, n.plFPRate())
+		}
+	}
 }
 
 // neighbors returns the static ascending neighbor list (shared; do not
@@ -552,6 +609,9 @@ func (n *Node) finish(changed []routing.NodeID, dirty map[routing.NodeID]bool) {
 		delta := view.Flush()
 		if delta.Empty() {
 			continue
+		}
+		if n.cfg.BloomPL {
+			n.compressDelta(delta)
 		}
 		msg := Update{Delta: delta}
 		if len(failed) > 0 {

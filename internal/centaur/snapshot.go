@@ -46,7 +46,11 @@ func (n *Node) ForkProtocol(env sim.Env) sim.Protocol {
 		notedGen:  n.notedGen,
 	}
 	for b, g := range n.nbGraph {
-		out.nbGraph[b] = g.Clone()
+		cl := g.Clone()
+		// Graph.Clone does not carry the false-positive observer — it
+		// closes over the owning node; the fork registers its own.
+		out.installFPObserver(cl)
+		out.nbGraph[b] = cl
 	}
 	for b, v := range n.views {
 		out.views[b] = v.Clone()

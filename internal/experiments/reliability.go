@@ -72,6 +72,13 @@ type ReliabilityConfig struct {
 	// default. Diagnostic no-transport runs set it low so a genuinely
 	// diverging trial fails fast with watchdog diagnostics.
 	MaxEvents int64
+	// BloomPL runs the centaur series with Bloom-compressed Permission
+	// Lists (centaur.Config.BloomPL); PLFPRate sets the per-filter
+	// false-positive target (0 = centaur.DefaultPLFPRate). The other
+	// series are unaffected. With BloomPL false the sweep is bit-for-bit
+	// what it was before the option existed.
+	BloomPL  bool
+	PLFPRate float64
 	// Workers, Telemetry, Trace as in FlipConfig. Series names are
 	// "rel.centaur", "rel.bgp", "rel.ospf".
 	Workers   int
@@ -123,6 +130,11 @@ type ReliabilitySample struct {
 	// into a wrong stable state.
 	Violations     int
 	FirstViolation string
+	// PLFalsePositives counts Bloom-filter false-positive hits during
+	// Permission List checks (each one detected against the explicit
+	// oracle and denied — exposure, not damage). Always 0 without
+	// ReliabilityConfig.BloomPL.
+	PLFalsePositives int64
 }
 
 // OK reports a fully successful trial: quiesced and solver-verified.
@@ -184,6 +196,7 @@ func (j relJob) run() error {
 	s.Retransmits = st.Retransmits
 	s.DupSuppressed = st.DupSuppressed
 	s.Abandoned = st.TransportAbandoned
+	s.PLFalsePositives = st.PLFalsePositives
 	if s.Converged {
 		if vs := invariant.Check(net, j.sol); len(vs) > 0 {
 			s.Violations = len(vs)
@@ -213,6 +226,11 @@ func (j relJob) record(st sim.Stats, conv time.Duration) {
 	r.Counter("transport.retransmits").Add(st.Retransmits)
 	r.Counter("transport.dup_suppressed").Add(st.DupSuppressed)
 	r.Counter("transport.abandoned").Add(st.TransportAbandoned)
+	// Registered only when a hit occurred, so a BloomPL-off run's
+	// telemetry snapshot is byte-identical to pre-option runs.
+	if st.PLFalsePositives > 0 {
+		r.Counter("sim.pl_fp").Add(st.PLFalsePositives)
+	}
 	for kind, msgs := range st.MsgsByKind {
 		r.Counter(series + ".msgs." + kind).Add(msgs)
 		r.Counter(series + ".units." + kind).Add(st.UnitsByKind[kind])
@@ -225,7 +243,8 @@ func (j relJob) record(st sim.Stats, conv time.Duration) {
 // policy setup (hashed tie-breaks) so one solver solution verifies both
 // path-vector protocols. OSPF runs with DatabaseExchange: without it a
 // crashed router cannot rejoin, and the fault workload crashes routers.
-func reliabilityProtocols() []struct {
+// cfg.BloomPL/PLFPRate select the centaur Permission List encoding.
+func reliabilityProtocols(cfg ReliabilityConfig) []struct {
 	name  string
 	build sim.Builder
 } {
@@ -233,7 +252,12 @@ func reliabilityProtocols() []struct {
 		name  string
 		build sim.Builder
 	}{
-		{"centaur", centaur.New(centaur.Config{Policy: hashedPolicy, Incremental: true})},
+		{"centaur", centaur.New(centaur.Config{
+			Policy:      hashedPolicy,
+			Incremental: true,
+			BloomPL:     cfg.BloomPL,
+			PLFPRate:    cfg.PLFPRate,
+		})},
 		{"bgp", bgp.New(bgp.Config{Policy: hashedPolicy})},
 		{"ospf", ospf.NewWithConfig(ospf.Config{DatabaseExchange: true})},
 	}
@@ -271,7 +295,7 @@ func RunReliability(cfg ReliabilityConfig) (*ReliabilityResult, error) {
 		budget = maxEvents
 	}
 
-	protos := reliabilityProtocols()
+	protos := reliabilityProtocols(cfg)
 	res := &ReliabilityResult{
 		Samples: make([]ReliabilitySample, len(protos)*len(lossRates)*len(churnRates)*trials),
 	}
@@ -337,6 +361,7 @@ func (r *ReliabilityResult) String() string {
 		conv    *metrics.Dist
 		success float64
 		rexmit  int64
+		plfp    int64
 		trials  int
 		ok      int
 	}
@@ -353,6 +378,7 @@ func (r *ReliabilityResult) String() string {
 		a.trials++
 		a.success += s.DeliverySuccess
 		a.rexmit += s.Retransmits
+		a.plfp += s.PLFalsePositives
 		if s.OK() {
 			a.ok++
 			a.conv.Add(float64(s.ConvergenceTime) / float64(time.Millisecond))
@@ -364,6 +390,11 @@ func (r *ReliabilityResult) String() string {
 		a := points[k]
 		line := fmt.Sprintf("  %-8s loss=%.2f churn=%5.1f  ok %d/%d  conv %s  delivery %.3f  rexmit %d\n",
 			k.proto, k.loss, k.churn, a.ok, a.trials, a.conv.Summary(), a.success/float64(a.trials), a.rexmit)
+		if a.plfp > 0 {
+			// Only Bloom-compressed runs can hit this, so runs without the
+			// option render exactly as before.
+			line = line[:len(line)-1] + fmt.Sprintf("  pl-fp %d\n", a.plfp)
+		}
 		b = append(b, line...)
 	}
 	return string(b)

@@ -78,7 +78,14 @@ func (g *Graph) DerivePathWith(dest routing.NodeID, skip func(routing.Link) bool
 					unrestricted = p
 					continue
 				}
-				if pl.Permit(dest, next) {
+				ok, fp := pl.PermitReport(dest, next)
+				if fp {
+					noteFPHit()
+					if g.fpObserver != nil {
+						g.fpObserver(l, dest, next)
+					}
+				}
+				if ok {
 					parent = p
 					break
 				}
@@ -214,15 +221,26 @@ type LinkInfo struct {
 	Link     routing.Link
 	ToIsDest bool
 	Perm     []PermEntry // sorted by (Next, Dest); nil when unrestricted
+	// Filters is the Bloom-compressed Permission List (§4.1), sorted by
+	// Next. When set, the wire layer serializes it instead of Perm; a
+	// simulated receiver keeps both so the explicit pairs act as the
+	// false-positive oracle, while a pure wire consumer sees only this.
+	Filters []DestFilter
 }
 
 // Equal reports whether two LinkInfo values announce identical state.
 func (li LinkInfo) Equal(other LinkInfo) bool {
-	if li.Link != other.Link || li.ToIsDest != other.ToIsDest || len(li.Perm) != len(other.Perm) {
+	if li.Link != other.Link || li.ToIsDest != other.ToIsDest || len(li.Perm) != len(other.Perm) ||
+		len(li.Filters) != len(other.Filters) {
 		return false
 	}
 	for i := range li.Perm {
 		if li.Perm[i] != other.Perm[i] {
+			return false
+		}
+	}
+	for i := range li.Filters {
+		if !li.Filters[i].Equal(other.Filters[i]) {
 			return false
 		}
 	}
@@ -233,6 +251,7 @@ func (li LinkInfo) Equal(other LinkInfo) bool {
 func (li LinkInfo) Clone() LinkInfo {
 	out := li
 	out.Perm = append([]PermEntry(nil), li.Perm...)
+	out.Filters = cloneFilters(li.Filters)
 	return out
 }
 
@@ -329,6 +348,7 @@ func (g *Graph) Apply(d Delta) {
 		for _, e := range li.Perm {
 			pl.Add(e.Dest, e.Next)
 		}
+		pl.SetFilters(cloneFilters(li.Filters))
 		g.SetPermission(li.Link, pl)
 	}
 }

@@ -32,6 +32,12 @@ type Graph struct {
 	// DFS scratch reused across DestsBelow calls.
 	dbSeen  map[routing.NodeID]struct{}
 	dbStack []routing.NodeID
+
+	// fpObserver, when set, is called for every Bloom false-positive hit
+	// a Permission List check takes during derivation (see filter.go).
+	// Clone does not carry it over: the callback closes over its owning
+	// protocol node, so a forked node must re-register its own.
+	fpObserver func(l routing.Link, dest, next routing.NodeID)
 }
 
 // New returns an empty P-graph rooted at root.
@@ -145,6 +151,14 @@ func (g *Graph) NumDests() int { return len(g.dests) }
 // Permission returns the Permission List attached to link l, or nil when
 // the link is unrestricted.
 func (g *Graph) Permission(l routing.Link) *PermissionList { return g.perms[l] }
+
+// SetFPObserver registers fn (nil to clear) to be called whenever a
+// Permission List membership check on this graph hits a Bloom false
+// positive during derivation. Centaur nodes use it to fold hits into
+// simulator statistics and the event trace.
+func (g *Graph) SetFPObserver(fn func(l routing.Link, dest, next routing.NodeID)) {
+	g.fpObserver = fn
+}
 
 // SetPermission attaches pl to link l, replacing any existing list. A
 // nil or empty pl clears the restriction.

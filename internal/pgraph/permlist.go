@@ -40,6 +40,10 @@ func (e PermEntry) String() string {
 type PermissionList struct {
 	byNext map[routing.NodeID]map[routing.NodeID]struct{}
 	pairs  int
+	// filters is the optional compressed §4.1 representation (see
+	// filter.go); when set, PermitReport answers from it and uses byNext
+	// only as the false-positive oracle.
+	filters []DestFilter
 }
 
 // Add records that the path to dest whose next hop (after the
@@ -98,8 +102,10 @@ func (pl *PermissionList) NumEntries() int { return len(pl.byNext) }
 // describes.
 func (pl *PermissionList) NumPairs() int { return pl.pairs }
 
-// Empty reports whether the list permits no paths at all.
-func (pl *PermissionList) Empty() bool { return pl.pairs == 0 }
+// Empty reports whether the list permits no paths at all. A list
+// carrying only a compressed representation (a pure wire consumer's
+// view) is not empty: it still restricts derivation.
+func (pl *PermissionList) Empty() bool { return pl.pairs == 0 && len(pl.filters) == 0 }
 
 // Pairs returns every (dest, next) pair sorted by (next, dest), for
 // deterministic wire encoding and comparison.
@@ -121,7 +127,7 @@ func (pl *PermissionList) Pairs() []PermEntry {
 
 // Clone returns an independent copy of the list.
 func (pl *PermissionList) Clone() *PermissionList {
-	out := &PermissionList{pairs: pl.pairs}
+	out := &PermissionList{pairs: pl.pairs, filters: cloneFilters(pl.filters)}
 	if pl.byNext == nil {
 		return out
 	}
@@ -137,7 +143,8 @@ func (pl *PermissionList) Clone() *PermissionList {
 }
 
 // Equal reports whether two lists permit exactly the same path set. A
-// nil list equals an empty one.
+// nil list equals an empty one. The compressed representation is an
+// encoding of the pairs, not extra state, so it does not participate.
 func (pl *PermissionList) Equal(other *PermissionList) bool {
 	plPairs, otherPairs := 0, 0
 	if pl != nil {

@@ -8,6 +8,11 @@ import "centaur/internal/telemetry"
 var tele struct {
 	builds      telemetry.Counter // pgraph.builds: P-graphs built from path sets
 	deriveCalls telemetry.Counter // pgraph.derive_calls: path derivations (backtraces)
+	// reg backs the pl.fp_hits counter, which registers lazily on the
+	// first Bloom false positive: runs that never compress Permission
+	// Lists must not grow their telemetry snapshots (report files are
+	// compared byte-for-byte across modes).
+	reg *telemetry.Registry
 }
 
 // SetTelemetry points the package's counters at r (nil disables them
@@ -16,4 +21,10 @@ var tele struct {
 func SetTelemetry(r *telemetry.Registry) {
 	tele.builds = r.Counter("pgraph.builds")
 	tele.deriveCalls = r.Counter("pgraph.derive_calls")
+	tele.reg = r
 }
+
+// noteFPHit counts one Permission List Bloom false positive
+// (pl.fp_hits). Hits are rare by construction, so the per-hit registry
+// lookup is not a hot path.
+func noteFPHit() { tele.reg.Counter("pl.fp_hits").Inc() }

@@ -212,6 +212,16 @@ type relEnv struct {
 
 func (e *relEnv) Send(to routing.NodeID, msg Message) { e.n.sendData(to, msg) }
 
+// NotePLFalsePositive forwards compressed-Permission-List accounting to
+// the real environment. The embedded Env interface hides the concrete
+// env's extra methods, so without this forwarder a protocol running
+// behind the adapter could not reach the network's counter.
+func (e *relEnv) NotePLFalsePositive(dest routing.NodeID) {
+	if noter, ok := e.Env.(interface{ NotePLFalsePositive(routing.NodeID) }); ok {
+		noter.NotePLFalsePositive(dest)
+	}
+}
+
 // Inner returns the wrapped protocol instance, so tests and invariant
 // checkers can reach the protocol's RIB accessors through the adapter.
 func (n *relNode) Inner() Protocol { return n.inner }

@@ -265,6 +265,11 @@ type Stats struct {
 	// StaleTimers counts Env.After timers skipped because their node
 	// crashed (and was possibly replaced) after they were scheduled.
 	StaleTimers int64
+	// PLFalsePositives counts Bloom false-positive hits taken by
+	// compressed Permission List checks during path derivation (§4.1).
+	// Each hit was denied — compression never grants a path the policy
+	// did not — so the count measures exposure, not damage.
+	PLFalsePositives int64
 	// Events is the lifetime number of simulator events processed by
 	// Run. Unlike the message counters it is NOT zeroed by ResetStats,
 	// so callers can tell "quiesced" from "hit maxEvents" even after a
@@ -359,6 +364,10 @@ const (
 	// transitions (From and To are both the node).
 	TraceCrash
 	TraceRestart
+	// TracePLFalsePositive is a Bloom false-positive hit in a compressed
+	// Permission List check (From is the node deriving, To the
+	// destination whose check hit; the path was denied).
+	TracePLFalsePositive
 )
 
 // String names the trace kind.
@@ -388,6 +397,8 @@ func (k TraceKind) String() string {
 		return "crash"
 	case TraceRestart:
 		return "restart"
+	case TracePLFalsePositive:
+		return "pl-fp"
 	default:
 		return fmt.Sprintf("trace(%d)", uint8(k))
 	}
@@ -673,6 +684,16 @@ func (e *nodeEnv) After(d time.Duration, fn func()) {
 func (e *nodeEnv) noteRetransmit()    { e.net.stats.Retransmits++ }
 func (e *nodeEnv) noteDupSuppressed() { e.net.stats.DupSuppressed++ }
 func (e *nodeEnv) noteAbandoned()     { e.net.stats.TransportAbandoned++ }
+
+// NotePLFalsePositive folds a compressed Permission List Bloom
+// false-positive hit (observed inside a protocol's path derivation)
+// into the stats and the trace. Exported because protocol packages
+// reach it by type-asserting their Env, which crosses packages —
+// unlike the transportNoter methods, which sim's own adapter asserts.
+func (e *nodeEnv) NotePLFalsePositive(dest routing.NodeID) {
+	e.net.stats.PLFalsePositives++
+	e.net.emit(TracePLFalsePositive, e.self, dest, nil)
+}
 
 func (e *nodeEnv) RouteChanged(dest routing.NodeID) {
 	net := e.net

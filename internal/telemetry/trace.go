@@ -174,6 +174,7 @@ var traceKinds = map[string]bool{
 	"drop-fault":   true,
 	"crash":        false,
 	"restart":      false,
+	"pl-fp":        false,
 }
 
 // ValidateTrace checks a JSONL trace against the golden schema: every

@@ -27,6 +27,23 @@ func FuzzDecodeCentaurUpdate(f *testing.F) {
 	seedUpdate := CentaurUpdate{}
 	seedUpdate.Adds = append(seedUpdate.Adds, seedLinkInfo())
 	f.Add(AppendCentaurUpdate(nil, seedUpdate))
+	// Bloom-compressed Permission List frames: an explicit-form group, a
+	// Bloom-form group (large destination set), and a hand-built minimal
+	// Bloom group so the fuzzer starts with every tag on the wire.
+	bloomSeed := CentaurUpdate{}
+	li := seedLinkInfo()
+	li.Filters = []pgraph.DestFilter{{Next: 4, Dests: []routing.NodeID{3, 5}}}
+	bloomSeed.Adds = append(bloomSeed.Adds, li)
+	big := pgraph.LinkInfo{Link: routing.Link{From: 2, To: 3}}
+	var bigPL pgraph.PermissionList
+	for i := 0; i < 200; i++ {
+		bigPL.Add(routing.NodeID(100+i*3), 7)
+	}
+	big.Perm = bigPL.Pairs()
+	big.Filters = pgraph.CompressPerm(big.Perm, 0.01)
+	bloomSeed.Adds = append(bloomSeed.Adds, big)
+	f.Add(AppendCentaurUpdate(nil, bloomSeed))
+	f.Add([]byte{KindCentaurUpdate, 1, 1, 2, 4, 1, 3, 1, 4, 1, 0x0f, 0, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		u, err := DecodeCentaurUpdate(data)
 		if err != nil {

@@ -44,11 +44,24 @@ func TestCentaurUpdateSizeMatchesEncoding(t *testing.T) {
 	for i := 0; i < 200; i++ {
 		var u CentaurUpdate
 		for j := rng.Intn(5); j > 0; j-- {
-			u.Adds = append(u.Adds, pgraph.LinkInfo{
+			li := pgraph.LinkInfo{
 				Link:     routing.Link{From: routing.NodeID(rng.Intn(1 << 18)), To: routing.NodeID(rng.Intn(1 << 18))},
 				ToIsDest: rng.Intn(2) == 0,
 				Perm:     randPerm(rng, rng.Intn(8)),
-			})
+			}
+			// Sometimes carry the compressed form, occasionally with a
+			// group large enough that the Bloom tag wins the size race.
+			if rng.Intn(3) == 0 {
+				perm := li.Perm
+				if rng.Intn(2) == 0 {
+					perm = randPerm(rng, 200)
+				}
+				li.Filters = pgraph.CompressPerm(perm, 0.01)
+			}
+			if pgraph.PermWireLen(li.Perm) != permLen(li.Perm) {
+				t.Fatalf("pgraph.PermWireLen disagrees with permLen for %+v", li.Perm)
+			}
+			u.Adds = append(u.Adds, li)
 		}
 		u.Removes = randLinks(rng, rng.Intn(4))
 		u.FailedLinks = randLinks(rng, rng.Intn(3))

@@ -20,8 +20,10 @@ package wire
 import (
 	"encoding/binary"
 	"fmt"
+	"slices"
 	"sort"
 
+	"centaur/internal/bloom"
 	"centaur/internal/pgraph"
 	"centaur/internal/routing"
 )
@@ -67,7 +69,11 @@ type OSPFLSA struct {
 	Neighbors []routing.NodeID
 }
 
-// AppendCentaurUpdate appends the encoded update to buf.
+// AppendCentaurUpdate appends the encoded update to buf. A LinkInfo
+// carrying a Bloom-compressed Permission List (Filters, §4.1)
+// serializes only that form — the explicit pairs are the sender's local
+// oracle and stay off the wire; otherwise the explicit grouped pairs
+// are encoded.
 func AppendCentaurUpdate(buf []byte, u CentaurUpdate) []byte {
 	buf = binary.AppendUvarint(buf, KindCentaurUpdate)
 	buf = binary.AppendUvarint(buf, uint64(len(u.Adds)))
@@ -77,11 +83,17 @@ func AppendCentaurUpdate(buf []byte, u CentaurUpdate) []byte {
 		if li.ToIsDest {
 			flags |= 1
 		}
-		if len(li.Perm) > 0 {
+		switch {
+		case len(li.Filters) > 0:
+			flags |= 4
+		case len(li.Perm) > 0:
 			flags |= 2
 		}
 		buf = binary.AppendUvarint(buf, flags)
-		if len(li.Perm) > 0 {
+		switch {
+		case flags&4 != 0:
+			buf = appendFilters(buf, li.Filters)
+		case flags&2 != 0:
 			buf = appendPerm(buf, li.Perm)
 		}
 	}
@@ -109,6 +121,35 @@ func appendPerm(buf []byte, perm []pgraph.PermEntry) []byte {
 		sort.Slice(dests, func(i, j int) bool { return dests[i] < dests[j] })
 		buf = binary.AppendUvarint(buf, uint64(len(dests)))
 		for _, d := range dests {
+			buf = binary.AppendUvarint(buf, uint64(d))
+		}
+	}
+	return buf
+}
+
+// appendFilters encodes a Bloom-compressed Permission List (§4.1):
+// groups sorted by next hop, each with a form tag — 0 for an explicit
+// sorted destination list, 1 for a Bloom filter's geometry followed by
+// its bit array packed into ⌈m/8⌉ little-endian bytes (padding bits
+// beyond m are zero, which decode enforces for re-encode stability).
+func appendFilters(buf []byte, fs []pgraph.DestFilter) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(fs)))
+	for _, f := range fs {
+		buf = binary.AppendUvarint(buf, uint64(f.Next))
+		if f.Filter != nil {
+			m := f.Filter.SizeBits()
+			buf = binary.AppendUvarint(buf, 1)
+			buf = binary.AppendUvarint(buf, m)
+			buf = binary.AppendUvarint(buf, uint64(f.Filter.Hashes()))
+			words := f.Filter.Bits()
+			for i := 0; i < int((m+7)/8); i++ {
+				buf = append(buf, byte(words[i/8]>>(8*(i%8))))
+			}
+			continue
+		}
+		buf = binary.AppendUvarint(buf, 0)
+		buf = binary.AppendUvarint(buf, uint64(len(f.Dests)))
+		for _, d := range f.Dests {
 			buf = binary.AppendUvarint(buf, uint64(d))
 		}
 	}
@@ -163,14 +204,24 @@ func permLen(perm []pgraph.PermEntry) int {
 	return n + uvarintLen(uint64(groups))
 }
 
+// PermWireLen returns the encoded length of a Permission List in the
+// grouped explicit form, for overhead comparisons against the
+// compressed form (pgraph.FiltersWireLen). perm must be in the
+// canonical (Next, Dest) order pgraph produces.
+func PermWireLen(perm []pgraph.PermEntry) int { return permLen(perm) }
+
 // CentaurUpdateSize returns len(AppendCentaurUpdate(nil, u)) without
 // allocating. Each LinkInfo's Perm must be in the canonical (Next, Dest)
-// order pgraph produces.
+// order pgraph produces. Like the encoder, a LinkInfo with Filters is
+// charged for the compressed form only.
 func CentaurUpdateSize(u CentaurUpdate) int {
 	n := uvarintLen(KindCentaurUpdate) + uvarintLen(uint64(len(u.Adds)))
 	for _, li := range u.Adds {
 		n += linkLen(li.Link) + 1 // flags always encode in one byte
-		if len(li.Perm) > 0 {
+		switch {
+		case len(li.Filters) > 0:
+			n += pgraph.FiltersWireLen(li.Filters)
+		case len(li.Perm) > 0:
 			n += permLen(li.Perm)
 		}
 	}
@@ -204,18 +255,31 @@ func DecodeCentaurUpdate(buf []byte) (CentaurUpdate, error) {
 		return u, fmt.Errorf("wire: kind %d is not a centaur update", kind)
 	}
 	nAdds := d.count()
+	u.Adds = make([]pgraph.LinkInfo, 0, d.capFor(nAdds, 3))
 	for i := uint64(0); i < nAdds && d.err == nil; i++ {
 		var li pgraph.LinkInfo
 		li.Link = d.link()
 		flags := d.uvarint()
 		li.ToIsDest = flags&1 != 0
+		if flags&2 != 0 && flags&4 != 0 {
+			d.fail("conflicting permission list encodings")
+		}
 		if flags&2 != 0 {
 			li.Perm = d.perm()
 			if len(li.Perm) == 0 && d.err == nil {
 				d.fail("empty permission list encoded")
 			}
 		}
+		if flags&4 != 0 {
+			li.Filters = d.filters()
+			if len(li.Filters) == 0 && d.err == nil {
+				d.fail("empty compressed permission list encoded")
+			}
+		}
 		u.Adds = append(u.Adds, li)
+	}
+	if len(u.Adds) == 0 {
+		u.Adds = nil
 	}
 	u.Removes = d.links()
 	u.FailedLinks = d.links()
@@ -417,33 +481,155 @@ func (d *decoder) link() routing.Link {
 	return routing.Link{From: d.node(), To: d.node()}
 }
 
+// capFor bounds a preallocation by what the remaining buffer could
+// possibly hold: each element of the collection costs at least minBytes
+// encoded bytes, so a claimed count above len(buf)/minBytes is already
+// doomed to fail decoding. Well-formed input gets its exact capacity in
+// one allocation; malformed counts cannot force huge ones.
+func (d *decoder) capFor(n uint64, minBytes int) int {
+	if max := uint64(len(d.buf) / minBytes); n > max {
+		n = max
+	}
+	return int(n)
+}
+
 func (d *decoder) links() []routing.Link {
 	n := d.count()
-	var out []routing.Link
+	if n == 0 {
+		return nil
+	}
+	out := make([]routing.Link, 0, d.capFor(n, 2))
 	for i := uint64(0); i < n && d.err == nil; i++ {
 		out = append(out, d.link())
 	}
 	return out
 }
 
+// perm decodes a grouped explicit Permission List. Only the canonical
+// form the encoder produces is accepted: groups strictly ascending by
+// next hop, destinations strictly ascending within each group, and no
+// empty groups. Duplicate or split-across-groups pairs are rejected —
+// accepting them would make decode→re-encode change bytes, breaking the
+// re-encode idempotence the fuzz targets check.
 func (d *decoder) perm() []pgraph.PermEntry {
 	nGroups := d.count()
-	var out []pgraph.PermEntry
+	out := make([]pgraph.PermEntry, 0, d.capFor(nGroups, 3))
+	var prevNext routing.NodeID
 	for i := uint64(0); i < nGroups && d.err == nil; i++ {
 		next := d.node()
+		if i > 0 && next <= prevNext {
+			d.fail("permission groups not in canonical order")
+			break
+		}
+		prevNext = next
 		nDests := d.count()
+		if nDests == 0 && d.err == nil {
+			d.fail("empty permission group")
+			break
+		}
+		out = slices.Grow(out, d.capFor(nDests, 1))
+		groupStart := len(out)
 		for j := uint64(0); j < nDests && d.err == nil; j++ {
-			out = append(out, pgraph.PermEntry{Dest: d.node(), Next: next})
+			dest := d.node()
+			if len(out) > groupStart && dest <= out[len(out)-1].Dest {
+				d.fail("permission destinations not in canonical order")
+				break
+			}
+			out = append(out, pgraph.PermEntry{Dest: dest, Next: next})
 		}
 	}
-	// Re-sort into the canonical (Next, Dest) order LinkInfo carries.
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Next != out[j].Next {
-			return out[i].Next < out[j].Next
-		}
-		return out[i].Dest < out[j].Dest
-	})
+	if len(out) == 0 {
+		return nil
+	}
 	return out
+}
+
+// maxFilterBits bounds a decoded Bloom filter's bit-array size
+// (2 MiB of bits) for the same reason maxCount bounds counts.
+const maxFilterBits = 1 << 24
+
+// filters decodes a Bloom-compressed Permission List. The same
+// canonical-form rules as perm apply to group order and explicit
+// groups; Bloom groups must have plausible geometry and zero padding
+// bits (bloom.FromBits enforces the latter).
+func (d *decoder) filters() []pgraph.DestFilter {
+	nGroups := d.count()
+	out := make([]pgraph.DestFilter, 0, d.capFor(nGroups, 4))
+	var prevNext routing.NodeID
+	for i := uint64(0); i < nGroups && d.err == nil; i++ {
+		next := d.node()
+		if i > 0 && next <= prevNext {
+			d.fail("filter groups not in canonical order")
+			break
+		}
+		prevNext = next
+		f := pgraph.DestFilter{Next: next}
+		switch tag := d.uvarint(); {
+		case d.err != nil:
+		case tag == 0:
+			nDests := d.count()
+			if nDests == 0 && d.err == nil {
+				d.fail("empty filter group")
+			}
+			dests := make([]routing.NodeID, 0, d.capFor(nDests, 1))
+			for j := uint64(0); j < nDests && d.err == nil; j++ {
+				dest := d.node()
+				if len(dests) > 0 && dest <= dests[len(dests)-1] {
+					d.fail("filter destinations not in canonical order")
+					break
+				}
+				dests = append(dests, dest)
+			}
+			f.Dests = dests
+		case tag == 1:
+			m := d.uvarint()
+			if d.err == nil && (m == 0 || m > maxFilterBits) {
+				d.fail("implausible filter size")
+			}
+			k := d.uvarint()
+			if d.err == nil && (k == 0 || k > 255) {
+				d.fail("implausible filter hash count")
+			}
+			words := d.filterBits(m)
+			if d.err == nil {
+				fl, err := bloom.FromBits(m, uint32(k), words)
+				if err != nil {
+					d.fail(err.Error())
+					break
+				}
+				f.Filter = fl
+			}
+		default:
+			d.fail("unknown filter group form")
+		}
+		if d.err != nil {
+			break
+		}
+		out = append(out, f)
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// filterBits reads ⌈m/8⌉ bytes into the word layout bloom.FromBits
+// expects.
+func (d *decoder) filterBits(m uint64) []uint64 {
+	if d.err != nil {
+		return nil
+	}
+	nBytes := int((m + 7) / 8)
+	if len(d.buf) < nBytes {
+		d.fail("truncated filter bit array")
+		return nil
+	}
+	words := make([]uint64, (m+63)/64)
+	for i := 0; i < nBytes; i++ {
+		words[i/8] |= uint64(d.buf[i]) << (8 * (i % 8))
+	}
+	d.buf = d.buf[nBytes:]
+	return words
 }
 
 func (d *decoder) finish() error {
