@@ -186,6 +186,42 @@ func BenchmarkDerivePath(b *testing.B) {
 	}
 }
 
+// BenchmarkDeriveAll measures deriving every destination's path from
+// one built P-graph with a fresh result map per call.
+func BenchmarkDeriveAll(b *testing.B) {
+	sol := benchSolution(b)
+	node := sol.Index().ID(0)
+	g, err := pgraph.Build(node, sol.PathSet(node))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if paths := g.DeriveAll(); len(paths) == 0 {
+			b.Fatal("no paths derived")
+		}
+	}
+}
+
+// BenchmarkDeriveAllInto is BenchmarkDeriveAll with the result map and
+// backtrace scratch reused across calls — the allocation-free variant
+// loops over P-graphs use.
+func BenchmarkDeriveAllInto(b *testing.B) {
+	sol := benchSolution(b)
+	node := sol.Index().ID(0)
+	g, err := pgraph.Build(node, sol.PathSet(node))
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := g.DeriveAll()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if buf = g.DeriveAllInto(buf); len(buf) == 0 {
+			b.Fatal("no paths derived")
+		}
+	}
+}
+
 // BenchmarkDiff measures export-view diffing, the inner loop of the
 // steady phase (Δ computation, §4.3.2).
 func BenchmarkDiff(b *testing.B) {
@@ -237,6 +273,82 @@ func BenchmarkSolverSingleDest(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// incBenchNodes is the scale of the incremental-vs-cold solver pair:
+// the 4,000-node CAIDA-like topology of the full-scale report, where
+// the warm-start speedup claim is measured.
+const incBenchNodes = 4000
+
+func incBenchSetup(b *testing.B) (*topology.Graph, *solver.Solution) {
+	b.Helper()
+	g, err := topogen.CAIDALike(incBenchNodes, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sol, err := solver.SolveOpts(g, solver.Options{TieBreak: policy.TieHashed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, sol
+}
+
+// BenchmarkSolveCold measures a from-scratch SolveOpts at 4k nodes — the
+// baseline the incremental path is compared against.
+func BenchmarkSolveCold(b *testing.B) {
+	g, _ := incBenchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.SolveOpts(g, solver.Options{TieBreak: policy.TieHashed}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveIncremental measures Solution.Resolve at 4k nodes: one
+// iteration is a full fail+restore cycle, for a single link and for a
+// 1%-of-links batch. The reverse next-hop index is primed in setup, as
+// it would be at steady state.
+func BenchmarkSolveIncremental(b *testing.B) {
+	g, sol := incBenchSetup(b)
+	edges := g.Edges()
+	cycle := func(b *testing.B, flip []topology.Edge) {
+		b.Helper()
+		flips := make([]solver.Flip, len(flip))
+		for i, e := range flip {
+			flips[i] = solver.Flip{A: e.A, B: e.B}
+		}
+		apply := func(down bool) {
+			for _, e := range flip {
+				if down {
+					g.RemoveEdge(e.A, e.B)
+				} else if err := g.AddEdge(e.A, e.B, e.Rel); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := sol.Resolve(flips); err != nil {
+				b.Fatal(err)
+			}
+		}
+		apply(true) // prime the reverse index and scratch outside the clock
+		apply(false)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			apply(true)
+			apply(false)
+		}
+	}
+	b.Run("single-flip", func(b *testing.B) {
+		cycle(b, edges[len(edges)/2:len(edges)/2+1])
+	})
+	b.Run("batch-1pct", func(b *testing.B) {
+		n := len(edges) / 100
+		batch := make([]topology.Edge, 0, n)
+		for i := 0; i < n; i++ {
+			batch = append(batch, edges[i*len(edges)/n])
+		}
+		cycle(b, batch)
+	})
 }
 
 // BenchmarkBloomAddHas measures the Permission List destination-list

@@ -39,7 +39,6 @@ import (
 	"centaur/internal/ospf"
 	"centaur/internal/pgraph"
 	"centaur/internal/policy"
-	"centaur/internal/solver"
 	"centaur/internal/telemetry"
 )
 
@@ -98,6 +97,7 @@ func run() error {
 		faultSeed = flag.Int64("fault-seed", 10_000, "reliability step: fault-plan seed (same seed ⇒ same faults)")
 		bloomPL   = flag.Bool("bloom-pl", false, "measure Bloom-compressed Permission Lists: adds the PL-overhead step and switches the reliability centaur series to compressed lists")
 		plFPRate  = flag.Float64("pl-fp-rate", 0, "per-filter false-positive target for -bloom-pl (0 = protocol default)")
+		scaling   = flag.Bool("scaling", false, "add the solver scaling step: cold solve vs incremental flips at 1k/4k/16k nodes (quick: 300/600), verified byte-identical")
 	)
 	flag.Parse()
 
@@ -190,8 +190,20 @@ func run() error {
 	fmt.Print(t3)
 	fmt.Println()
 
+	// Solve each measured-like topology exactly once; every static stage
+	// downstream (tables 4-5, PL overhead, figure 5, multipath) reads the
+	// same solutions instead of cold-solving its own copy.
+	t0 = time.Now()
+	solved, err := experiments.SolveTable3(t3, policy.TieOverride)
+	if err != nil {
+		return err
+	}
+	report.Steps = append(report.Steps, benchStep{Name: "solve", Seconds: time.Since(t0).Seconds()})
+	fmt.Printf("[solved %d topologies once for all static stages; took %v]\n\n",
+		len(solved), time.Since(t0).Round(time.Millisecond))
+
 	if err := step("tables 4-5", func() (fmt.Stringer, error) {
-		return experiments.Table4And5(sc)
+		return experiments.Table4And5From(solved)
 	}); err != nil {
 		return err
 	}
@@ -201,7 +213,7 @@ func run() error {
 	if *bloomPL {
 		if err := step("pl overhead", func() (fmt.Stringer, error) {
 			return experiments.PLOverhead(experiments.PLOverheadConfig{
-				Scale: sc, FPRate: *plFPRate, Workers: *workers,
+				Solved: solved, FPRate: *plFPRate, Workers: *workers,
 			})
 		}); err != nil {
 			return err
@@ -209,11 +221,7 @@ func run() error {
 	}
 
 	if err := step("figure 5", func() (fmt.Stringer, error) {
-		sol, err := solver.SolveOpts(t3.Rows[0].Graph, solver.Options{TieBreak: policy.TieOverride})
-		if err != nil {
-			return nil, err
-		}
-		return experiments.Figure5(t3.Rows[0].Name, sol, fig5Sample, *seed)
+		return experiments.Figure5(solved[0].Name, solved[0].Sol, fig5Sample, *seed)
 	}); err != nil {
 		return err
 	}
@@ -259,11 +267,7 @@ func run() error {
 
 	// Extensions beyond the paper's evaluation (DESIGN.md §6).
 	if err := step("multipath extension", func() (fmt.Stringer, error) {
-		sol, err := solver.SolveOpts(t3.Rows[0].Graph, solver.Options{TieBreak: policy.TieOverride})
-		if err != nil {
-			return nil, err
-		}
-		return experiments.MultipathExtension(sol, 3, 200, *seed)
+		return experiments.MultipathExtension(solved[0].Sol, 3, 200, *seed)
 	}); err != nil {
 		return err
 	}
@@ -276,6 +280,20 @@ func run() error {
 		return experiments.AggregationExtension(aggCfg)
 	}); err != nil {
 		return err
+	}
+
+	// Opt-in: the 16k cold solve takes about a minute per pass (two with
+	// verification) on top of the sweep itself.
+	if *scaling {
+		scCfg := experiments.ScalingConfig{Seed: *seed, TieBreak: policy.TieHashed, Verify: true}
+		if *quick {
+			scCfg.Sizes = []int{300, 600}
+		}
+		if err := step("scaling", func() (fmt.Stringer, error) {
+			return experiments.Scaling(scCfg)
+		}); err != nil {
+			return err
+		}
 	}
 
 	report.TotalSeconds = time.Since(start).Seconds()
@@ -328,6 +346,27 @@ func keyStats(res fmt.Stringer) map[string]any {
 				"bgp_msgs":      p.BGPMsgs,
 				"centaur_bytes": p.CentaurBytes,
 				"bgp_bytes":     p.BGPBytes,
+			})
+		}
+		return map[string]any{"points": points}
+	case *experiments.ScalingResult:
+		points := make([]map[string]any, 0, len(r.Points))
+		for _, p := range r.Points {
+			points = append(points, map[string]any{
+				"nodes":           p.Nodes,
+				"links":           p.Links,
+				"cold_solve_ms":   p.ColdSolveMS,
+				"cold_alloc_mb":   p.ColdAllocMB,
+				"index_ms":        p.IndexMS,
+				"index_mb":        p.IndexMB,
+				"fail_us_mean":    p.FailMeanUS,
+				"fail_us_p95":     p.FailP95US,
+				"restore_us_mean": p.RestoreMeanUS,
+				"restore_us_p95":  p.RestoreP95US,
+				"flip_alloc_kb":   p.FlipAllocKB,
+				"mean_dirty":      p.MeanDirty,
+				"speedup":         p.Speedup,
+				"verified":        p.Verified,
 			})
 		}
 		return map[string]any{"points": points}

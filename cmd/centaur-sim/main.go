@@ -10,6 +10,16 @@
 //	centaur-sim -fig 8 -sizes 100,200,300,400,500 -flips 30
 //	centaur-sim -compare -nodes 200 -flips 40   # protocol ladder
 //	centaur-sim -rel -nodes 150 -loss 0.2,0.05 -churn 0,10 -fault-seed 42
+//	centaur-sim -scaling -sizes 1000,4000,16000 -flips 30
+//
+// The -scaling mode skips the simulator entirely and sweeps the solver:
+// per size it measures one cold all-destinations solve against a series
+// of incrementally re-solved link flips (Solution.Resolve), verifying
+// the warm-started tables byte-identical against a fresh cold solve
+// unless -no-verify. The figure modes accept -verify to invariant-check
+// every quiesced state of every flip trial against an incrementally
+// maintained solver oracle — a correctness harness, observationally
+// free for the measured samples.
 //
 // The -rel mode runs the reliability experiment: cold-start convergence
 // under injected faults (-loss, -dup, -jitter per message; -churn link
@@ -54,6 +64,7 @@ import (
 	"centaur/internal/experiments"
 	"centaur/internal/ospf"
 	"centaur/internal/pgraph"
+	"centaur/internal/policy"
 	"centaur/internal/sim"
 	"centaur/internal/telemetry"
 	"centaur/internal/topogen"
@@ -82,6 +93,9 @@ func run() error {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		noCheckpt  = flag.Bool("no-checkpoint", false, "disable converged-state checkpointing; cold-start every trial chunk")
+		verify     = flag.Bool("verify", false, "figures 6-8: invariant-check every quiesced flip state against the incremental solver oracle")
+		scaling    = flag.Bool("scaling", false, "run the solver scaling sweep (cold solve vs incremental flips; -sizes, -flips, -seed apply)")
+		noVerify   = flag.Bool("no-verify", false, "scaling: skip the byte-identical check against a fresh cold solve per size")
 		traceFile  = flag.String("trace", "", "write a structured JSONL event trace to this file")
 		debugAddr  = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
 		progress   = flag.Duration("progress", 0, "print a progress line to stderr at this interval (0 = off)")
@@ -133,16 +147,26 @@ func run() error {
 		defer stopProgress()
 	}
 
+	sizesSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "sizes" {
+			sizesSet = true
+		}
+	})
+
 	var dispatchErr error
-	if *rel {
+	switch {
+	case *scaling:
+		dispatchErr = runScaling(*sizes, sizesSet, *flips, *seed, !*noVerify)
+	case *rel:
 		dispatchErr = runReliability(relFlags{
 			nodes: *nodes, m: *m, seed: *seed, workers: *workers,
 			loss: *loss, dup: *dup, jitter: *jitter, churn: *churn,
 			crashes: *crashes, faultSeed: *faultSeed, trials: *trials,
 			noTransport: *noTransport, bloomPL: *bloomPL, plFPRate: *plFPRate,
 		}, reg, tc)
-	} else {
-		dispatchErr = dispatch(*fig, *compare, *nodes, *m, *flips, *seed, *mrai, *sizes, *workers, *trialsPer, *noCheckpt, reg, tc)
+	default:
+		dispatchErr = dispatch(*fig, *compare, *nodes, *m, *flips, *seed, *mrai, *sizes, *workers, *trialsPer, *noCheckpt, *verify, reg, tc)
 	}
 	if dispatchErr != nil {
 		return dispatchErr
@@ -158,7 +182,7 @@ func run() error {
 
 // dispatch runs the selected experiment mode with the observability
 // hooks threaded through.
-func dispatch(fig string, compare bool, nodes, m, flips int, seed int64, mrai time.Duration, sizes string, workers, trialsPer int, noCheckpt bool, reg *telemetry.Registry, tc *telemetry.TraceCollector) error {
+func dispatch(fig string, compare bool, nodes, m, flips int, seed int64, mrai time.Duration, sizes string, workers, trialsPer int, noCheckpt, verify bool, reg *telemetry.Registry, tc *telemetry.TraceCollector) error {
 	if compare {
 		return runCompare(nodes, m, flips, seed, mrai, workers, trialsPer, noCheckpt, reg, tc)
 	}
@@ -168,7 +192,7 @@ func dispatch(fig string, compare bool, nodes, m, flips int, seed int64, mrai ti
 		res, err := experiments.Figure6(experiments.Figure6Config{
 			Nodes: nodes, LinksPerNode: m, Flips: flips, Seed: seed, MRAI: mrai,
 			TrialsPerNetwork: trialsPer, Workers: workers, NoCheckpoint: noCheckpt,
-			Telemetry: reg, Trace: tc,
+			Verify: verify, Telemetry: reg, Trace: tc,
 		})
 		if err != nil {
 			return err
@@ -179,7 +203,7 @@ func dispatch(fig string, compare bool, nodes, m, flips int, seed int64, mrai ti
 		res, err := experiments.Figure7(experiments.Figure7Config{
 			Nodes: nodes, LinksPerNode: m, Flips: flips, Seed: seed,
 			TrialsPerNetwork: trialsPer, Workers: workers, NoCheckpoint: noCheckpt,
-			Telemetry: reg, Trace: tc,
+			Verify: verify, Telemetry: reg, Trace: tc,
 		})
 		if err != nil {
 			return err
@@ -194,7 +218,7 @@ func dispatch(fig string, compare bool, nodes, m, flips int, seed int64, mrai ti
 		res, err := experiments.Figure8(experiments.Figure8Config{
 			Sizes: sz, LinksPerNode: m, FlipsPerSize: flips, Seed: seed,
 			TrialsPerNetwork: trialsPer, Workers: workers, NoCheckpoint: noCheckpt,
-			Telemetry: reg, Trace: tc,
+			Verify: verify, Telemetry: reg, Trace: tc,
 		})
 		if err != nil {
 			return err
@@ -205,6 +229,28 @@ func dispatch(fig string, compare bool, nodes, m, flips int, seed int64, mrai ti
 		flag.Usage()
 		return fmt.Errorf("-fig {6,7,8} is required")
 	}
+}
+
+// runScaling runs the solver scaling sweep (no simulator involved). The
+// -sizes default targets figure 8; unless the flag was set explicitly
+// the sweep uses experiments.DefaultScalingSizes.
+func runScaling(sizesFlag string, sizesSet bool, flips int, seed int64, verify bool) error {
+	var sz []int
+	if sizesSet {
+		var err error
+		if sz, err = parseSizes(sizesFlag); err != nil {
+			return err
+		}
+	}
+	res, err := experiments.Scaling(experiments.ScalingConfig{
+		Sizes: sz, Flips: flips, Seed: seed,
+		TieBreak: policy.TieHashed, Verify: verify,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res)
+	return nil
 }
 
 // relFlags bundles the reliability-mode flag values.

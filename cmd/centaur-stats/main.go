@@ -8,7 +8,13 @@
 //	centaur-stats -table 45 -nodes 4000
 //	centaur-stats -fig 5 -nodes 4000 -sample 500
 //	centaur-stats -fig 5 -topo caida.rel     # real snapshot
+//	centaur-stats -table 45 -fig 5 -ext multipath   # combined, one solve
 //	centaur-stats -check-trace trace.jsonl   # validate a -trace file
+//
+// The analysis modes compose: -table, -fig, and -ext may be combined in
+// one invocation, and all stages share one solved-topology computation
+// (with -tiebreak override, the default, the figure-5 and extension
+// stages reuse the Tables 4-5 solutions directly).
 package main
 
 import (
@@ -54,27 +60,94 @@ func run() error {
 		return err
 	}
 
-	switch {
-	case *table == "3":
-		res, err := experiments.Table3(sc)
-		if err != nil {
-			return err
+	// The modes compose: one invocation may combine -table, -fig, and
+	// -ext, and every stage that needs a solved topology reads the same
+	// memoized solutions instead of cold-solving its own copy.
+	var t3 *experiments.Table3Result
+	table3 := func() (*experiments.Table3Result, error) {
+		if t3 == nil {
+			var err error
+			if t3, err = experiments.Table3(sc); err != nil {
+				return nil, err
+			}
 		}
-		fmt.Print(res)
-		return nil
-	case *table == "45" || *table == "4" || *table == "5":
-		res, err := experiments.Table4And5(sc)
-		if err != nil {
-			return err
+		return t3, nil
+	}
+	var solved []experiments.SolvedTopology
+	solveAll := func() ([]experiments.SolvedTopology, error) {
+		if solved == nil {
+			res, err := table3()
+			if err != nil {
+				return nil, err
+			}
+			if solved, err = experiments.SolveTable3(res, policy.TieOverride); err != nil {
+				return nil, err
+			}
 		}
-		fmt.Print(res)
-		return nil
-	case *fig == "5":
-		g, name, err := loadOrGenerate(*topoFile, sc)
-		if err != nil {
-			return err
+		return solved, nil
+	}
+	// solveOne yields the figure-5/extension topology: the first
+	// measured-like row (shared with solveAll when the tie-break agrees)
+	// or the -topo snapshot.
+	var oneSol *solver.Solution
+	var oneName string
+	solveOne := func() (*solver.Solution, string, error) {
+		if oneSol != nil {
+			return oneSol, oneName, nil
+		}
+		if *topoFile == "" && tb == policy.TieOverride {
+			s, err := solveAll()
+			if err != nil {
+				return nil, "", err
+			}
+			oneSol, oneName = s[0].Sol, s[0].Name
+			return oneSol, oneName, nil
+		}
+		var g *topology.Graph
+		var name string
+		if *topoFile == "" {
+			res, err := table3()
+			if err != nil {
+				return nil, "", err
+			}
+			g, name = res.Rows[0].Graph, res.Rows[0].Name
+		} else {
+			var err error
+			if g, name, err = loadSnapshot(*topoFile); err != nil {
+				return nil, "", err
+			}
 		}
 		sol, err := solver.SolveOpts(g, solver.Options{TieBreak: tb})
+		if err != nil {
+			return nil, "", err
+		}
+		oneSol, oneName = sol, name
+		return oneSol, oneName, nil
+	}
+
+	ran := false
+	if *table == "3" {
+		res, err := table3()
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+		ran = true
+	}
+	if *table == "45" || *table == "4" || *table == "5" {
+		s, err := solveAll()
+		if err != nil {
+			return err
+		}
+		res, err := experiments.Table4And5From(s)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+		ran = true
+	}
+	if *fig == "5" {
+		sol, name, err := solveOne()
 		if err != nil {
 			return err
 		}
@@ -83,13 +156,10 @@ func run() error {
 			return err
 		}
 		fmt.Print(res)
-		return nil
-	case *ext == "multipath":
-		g, _, err := loadOrGenerate(*topoFile, sc)
-		if err != nil {
-			return err
-		}
-		sol, err := solver.SolveOpts(g, solver.Options{TieBreak: tb})
+		ran = true
+	}
+	if *ext == "multipath" {
+		sol, _, err := solveOne()
 		if err != nil {
 			return err
 		}
@@ -98,11 +168,13 @@ func run() error {
 			return err
 		}
 		fmt.Print(res)
-		return nil
-	default:
+		ran = true
+	}
+	if !ran {
 		flag.Usage()
 		return fmt.Errorf("one of -table {3,45}, -fig 5, -ext multipath, or -check-trace is required")
 	}
+	return nil
 }
 
 // checkTrace validates a JSONL event trace against the schema
@@ -130,14 +202,8 @@ func checkTrace(path string) error {
 	return nil
 }
 
-func loadOrGenerate(topoFile string, sc experiments.Scale) (*topology.Graph, string, error) {
-	if topoFile == "" {
-		t3, err := experiments.Table3(sc)
-		if err != nil {
-			return nil, "", err
-		}
-		return t3.Rows[0].Graph, t3.Rows[0].Name, nil
-	}
+// loadSnapshot parses a CAIDA serial-1 relationship file.
+func loadSnapshot(topoFile string) (*topology.Graph, string, error) {
 	f, err := os.Open(topoFile)
 	if err != nil {
 		return nil, "", err

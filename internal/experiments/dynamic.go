@@ -12,10 +12,12 @@ import (
 
 	"centaur/internal/bgp"
 	"centaur/internal/centaur"
+	"centaur/internal/invariant"
 	"centaur/internal/metrics"
 	"centaur/internal/ospf"
 	"centaur/internal/routing"
 	"centaur/internal/sim"
+	"centaur/internal/solver"
 	"centaur/internal/telemetry"
 	"centaur/internal/topogen"
 	"centaur/internal/topology"
@@ -85,6 +87,18 @@ type FlipConfig struct {
 	// chunk's trace must contain its own cold-start events to stay
 	// byte-identical to the uncheckpointed output.
 	NoCheckpoint bool
+	// Verify, when non-nil, makes every flip trial invariant-checked:
+	// after each reconvergence (fail and restore alike) the quiesced
+	// RIBs are checked against ground truth that the incremental solver
+	// maintains alongside the simulation. Verify must be the converged
+	// solve of Topology under the protocol's policy; it is never
+	// mutated — each job forks it onto a private graph clone
+	// (Solution.CloneOn) and keeps the fork current with
+	// Solution.Resolve across its fail/restore schedule, so the oracle
+	// costs microseconds per quiescence instead of a cold re-solve. Any
+	// violation fails the run. Checking reads RIBs only, after the
+	// phase's accounting is captured, so measured samples are unchanged.
+	Verify *solver.Solution
 	// Series names this run in telemetry metrics and trace chunk labels
 	// (e.g. "fig6.centaur"); empty means "flips".
 	Series string
@@ -116,6 +130,22 @@ type flipJob struct {
 	// fork, when non-nil, is the series' shared checkpoint source: the
 	// job forks its network from it instead of cold-starting one.
 	fork *forkSource
+	// verify, when non-nil, is the series' shared converged base
+	// solution; see FlipConfig.Verify.
+	verify *solver.Solution
+}
+
+// verifySolution cold-solves g under the shared hashed-tie-break policy
+// when verification is requested; a nil result disables checking.
+func verifySolution(g *topology.Graph, verify bool) (*solver.Solution, error) {
+	if !verify {
+		return nil, nil
+	}
+	sol, err := solver.SolveOpts(g, solver.Options{TieBreak: hashedPolicy.TieBreak})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: verification solve: %w", err)
+	}
+	return sol, nil
 }
 
 // flipEdges returns the flip schedule for cfg: all edges, or a
@@ -177,6 +207,7 @@ func flipJobs(cfg FlipConfig, label string, out []FlipSample) []flipJob {
 			tele:      cfg.Telemetry,
 			chunk:     cfg.Trace.Chunk(series, delaySeed),
 			fork:      fork,
+			verify:    cfg.Verify,
 		})
 	}
 	return jobs
@@ -188,6 +219,17 @@ func (j flipJob) run() error {
 	net, err := j.network()
 	if err != nil {
 		return err
+	}
+	// The verification oracle: a private fork of the series' base
+	// solution on a private graph clone, advanced edge-by-edge with the
+	// incremental solver in lockstep with the simulated flips.
+	var vg *topology.Graph
+	var vsol *solver.Solution
+	if j.verify != nil {
+		vg = j.topo.Clone()
+		if vsol, err = j.verify.CloneOn(vg); err != nil {
+			return j.wrap(err)
+		}
 	}
 	t0 := time.Now()
 	defer func() { stageClock.flips.Add(int64(time.Since(t0))) }()
@@ -209,6 +251,14 @@ func (j flipJob) run() error {
 			s.DownTime = st.LastSend - start
 		}
 		j.recordPhase("down", st, s.DownTime, net, start)
+		if vsol != nil {
+			if !vg.RemoveEdge(e.A, e.B) {
+				return j.wrap(fmt.Errorf("experiments: verify: removing %v: no such link", e))
+			}
+			if err := j.checkQuiesced(net, vsol, e, "failing"); err != nil {
+				return err
+			}
+		}
 		net.ResetStats()
 		start = net.Now()
 		if !net.RestoreLink(e.A, e.B) {
@@ -225,7 +275,28 @@ func (j flipJob) run() error {
 			s.UpTime = st.LastSend - start
 		}
 		j.recordPhase("up", st, s.UpTime, net, start)
+		if vsol != nil {
+			if err := vg.AddEdge(e.A, e.B, e.Rel); err != nil {
+				return j.wrap(fmt.Errorf("experiments: verify: restoring %v: %w", e, err))
+			}
+			if err := j.checkQuiesced(net, vsol, e, "restoring"); err != nil {
+				return err
+			}
+		}
 		j.out[i] = s
+	}
+	return nil
+}
+
+// checkQuiesced advances the oracle solution over the already-applied
+// graph mutation and checks the quiesced network's RIBs against it.
+func (j flipJob) checkQuiesced(net *sim.Network, vsol *solver.Solution, e topology.Edge, phase string) error {
+	if _, err := vsol.Resolve([]solver.Flip{{A: e.A, B: e.B}}); err != nil {
+		return j.wrap(fmt.Errorf("experiments: verify: re-solving after %s %v: %w", phase, e, err))
+	}
+	if vs := invariant.CheckAt(net, vsol); len(vs) > 0 {
+		return j.wrap(fmt.Errorf("experiments: verify: %d invariant violations after %s %v, e.g. %s",
+			len(vs), phase, e, vs[0]))
 	}
 	return nil
 }
@@ -367,6 +438,10 @@ type Figure6Config struct {
 	Workers          int
 	// NoCheckpoint disables converged-state checkpointing; see FlipConfig.
 	NoCheckpoint bool
+	// Verify invariant-checks every quiesced state of every series
+	// against incremental-solver ground truth (one cold solve up front,
+	// microseconds per flip after); see FlipConfig.Verify.
+	Verify bool
 	// Telemetry and Trace are the observability hooks, shared by all
 	// series; see FlipConfig. Series names are "fig6.centaur",
 	// "fig6.bgp_mrai", and "fig6.bgp".
@@ -405,10 +480,16 @@ func Figure6(cfg Figure6Config) (*Figure6Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// All three series run the same hashed-tie-break policy, so one base
+	// solution serves every job's verification fork.
+	verify, err := verifySolution(g, cfg.Verify)
+	if err != nil {
+		return nil, err
+	}
 	flip := func(b sim.Builder, series string) FlipConfig {
 		return FlipConfig{Topology: g, Build: b, Flips: cfg.Flips, Seed: cfg.Seed,
 			TrialsPerNetwork: cfg.TrialsPerNetwork, NoCheckpoint: cfg.NoCheckpoint,
-			Series: series, Telemetry: cfg.Telemetry, Trace: cfg.Trace}
+			Verify: verify, Series: series, Telemetry: cfg.Telemetry, Trace: cfg.Trace}
 	}
 	nFlips := len(flipEdges(flip(nil, "")))
 	cent := make([]FlipSample, nFlips)
@@ -484,6 +565,8 @@ type Figure7Config struct {
 	Workers          int
 	// NoCheckpoint disables converged-state checkpointing; see FlipConfig.
 	NoCheckpoint bool
+	// Verify invariant-checks every quiesced state; see Figure6Config.
+	Verify bool
 	// Telemetry and Trace are the observability hooks; series names are
 	// "fig7.centaur" and "fig7.ospf".
 	Telemetry *telemetry.Registry
@@ -522,10 +605,14 @@ func Figure7(cfg Figure7Config) (*Figure7Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	verify, err := verifySolution(g, cfg.Verify)
+	if err != nil {
+		return nil, err
+	}
 	flip := func(b sim.Builder, series string) FlipConfig {
 		return FlipConfig{Topology: g, Build: b, Flips: cfg.Flips, Seed: cfg.Seed,
 			TrialsPerNetwork: cfg.TrialsPerNetwork, NoCheckpoint: cfg.NoCheckpoint,
-			Series: series, Telemetry: cfg.Telemetry, Trace: cfg.Trace}
+			Verify: verify, Series: series, Telemetry: cfg.Telemetry, Trace: cfg.Trace}
 	}
 	nFlips := len(flipEdges(flip(nil, "")))
 	cent := make([]FlipSample, nFlips)
@@ -610,6 +697,9 @@ type Figure8Config struct {
 	Workers          int
 	// NoCheckpoint disables converged-state checkpointing; see FlipConfig.
 	NoCheckpoint bool
+	// Verify invariant-checks every quiesced state (one verification
+	// solve per sweep size); see Figure6Config.
+	Verify bool
 	// Telemetry and Trace are the observability hooks; series names are
 	// "fig8.centaur" and "fig8.bgp" (all sizes fold together).
 	Telemetry *telemetry.Registry
@@ -662,10 +752,16 @@ func Figure8(cfg Figure8Config) (*Figure8Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Both series run the same hashed-tie-break policy, so one
+		// verification solve per size serves every job's fork.
+		verify, err := verifySolution(g, cfg.Verify)
+		if err != nil {
+			return nil, err
+		}
 		flip := func(b sim.Builder, series string) FlipConfig {
 			return FlipConfig{Topology: g, Build: b, Flips: cfg.FlipsPerSize, Seed: cfg.Seed,
 				TrialsPerNetwork: cfg.TrialsPerNetwork, NoCheckpoint: cfg.NoCheckpoint,
-				Series: series, Telemetry: cfg.Telemetry, Trace: cfg.Trace}
+				Verify: verify, Series: series, Telemetry: cfg.Telemetry, Trace: cfg.Trace}
 		}
 		nFlips := len(flipEdges(flip(nil, "")))
 		centBySize[i] = make([]FlipSample, nFlips)

@@ -25,6 +25,10 @@ import (
 type PLOverheadConfig struct {
 	// Scale selects the measured-like topologies (Table 3 stand-ins).
 	Scale Scale
+	// Solved, when non-nil, supplies pre-solved topologies (SolveTable3
+	// with TieOverride) and Scale is ignored — the bench uses this to
+	// share one solve across every static stage.
+	Solved []SolvedTopology
 	// FPRate is the per-filter false-positive target handed to
 	// pgraph.CompressPerm; 0 means centaur.DefaultPLFPRate.
 	FPRate float64
@@ -82,17 +86,19 @@ func PLOverhead(cfg PLOverheadConfig) (*PLOverheadResult, error) {
 	if fpRate <= 0 {
 		fpRate = centaur.DefaultPLFPRate
 	}
-	t3, err := Table3(cfg.Scale)
-	if err != nil {
-		return nil, err
+	solved := cfg.Solved
+	if solved == nil {
+		t3, err := Table3(cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		if solved, err = SolveTable3(t3, policy.TieOverride); err != nil {
+			return nil, err
+		}
 	}
 	out := &PLOverheadResult{FPRate: fpRate}
-	for _, row := range t3.Rows {
-		sol, err := solver.SolveOpts(row.Graph, solver.Options{TieBreak: policy.TieOverride})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: solving %s: %w", row.Name, err)
-		}
-		r, err := plOverheadRow(row.Name, sol, fpRate, cfg.Workers)
+	for _, s := range solved {
+		r, err := plOverheadRow(s.Name, s.Sol, fpRate, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}

@@ -155,6 +155,30 @@ type Table45Result struct {
 	Stats []*PGraphStats
 }
 
+// SolvedTopology pairs a Table 3 topology with its converged solution,
+// so downstream stages (Tables 4–5, the Permission List overhead
+// measurement, Figure 5, the multipath extension) share one
+// all-destinations solve instead of each re-running the fixpoint on an
+// identical graph.
+type SolvedTopology struct {
+	Name string
+	Sol  *solver.Solution
+}
+
+// SolveTable3 solves every Table 3 topology once under the given
+// tie-break mode.
+func SolveTable3(t3 *Table3Result, tb policy.TieBreakMode) ([]SolvedTopology, error) {
+	out := make([]SolvedTopology, 0, len(t3.Rows))
+	for _, row := range t3.Rows {
+		sol, err := solver.SolveOpts(row.Graph, solver.Options{TieBreak: tb})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: solving %s: %w", row.Name, err)
+		}
+		out = append(out, SolvedTopology{Name: row.Name, Sol: sol})
+	}
+	return out, nil
+}
+
 // Table4And5 generates both measured-like topologies, solves them, and
 // computes the P-graph structure tables.
 func Table4And5(sc Scale) (*Table45Result, error) {
@@ -162,13 +186,19 @@ func Table4And5(sc Scale) (*Table45Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	solved, err := SolveTable3(t3, policy.TieOverride)
+	if err != nil {
+		return nil, err
+	}
+	return Table4And5From(solved)
+}
+
+// Table4And5From computes the P-graph structure tables from pre-solved
+// topologies.
+func Table4And5From(solved []SolvedTopology) (*Table45Result, error) {
 	out := &Table45Result{}
-	for _, row := range t3.Rows {
-		sol, err := solver.SolveOpts(row.Graph, solver.Options{TieBreak: policy.TieOverride})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: solving %s: %w", row.Name, err)
-		}
-		st, err := ComputePGraphStats(row.Name, sol)
+	for _, s := range solved {
+		st, err := ComputePGraphStats(s.Name, s.Sol)
 		if err != nil {
 			return nil, err
 		}
@@ -329,38 +359,41 @@ type edgeImpact struct {
 }
 
 // failureImpact measures endpoint u's immediate reaction to losing its
-// link to v. The expensive intermediates — u's exported link views and
-// the best replacement route per affected destination — are computed
-// once here and shared by the individual accountings.
+// link to v. The expensive intermediates — u's exported link views, the
+// set of destinations routed through the failed link (from the
+// solution's reverse next-hop index, instead of scanning the full path
+// set), and the best replacement route per affected destination — are
+// computed once here and shared by the individual accountings. One
+// exportable-path buffer is reused across every view build of the
+// sample.
 func failureImpact(sol *solver.Solution, st *nodeStatic, u, v routing.NodeID) edgeImpact {
 	pol := sol.Policy()
 	nbs := sol.Topology().Neighbors(u)
+	buf := make(map[routing.NodeID]routing.Path, len(st.paths))
 	// Old exported views toward every surviving neighbor, aligned with
 	// nbs (nil at v's slot).
 	oldViews := make([][]pgraph.LinkInfo, len(nbs))
 	for i, nb := range nbs {
 		if nb.ID != v {
-			oldViews[i] = exportLinkView(u, nb, st.paths, st.classes, pol)
+			oldViews[i] = exportLinkView(u, nb, st.paths, st.classes, pol, buf)
 		}
 	}
-	repl := replacements(sol, st, u, v)
+	via := sol.DestsVia(u, v)
+	repl := replacements(sol, st, via, u, v)
 	return edgeImpact{
 		rootCause: rootCauseCentaurMsgs(oldViews, routing.Link{From: u, To: v}),
-		bgpMsgs:   immediateBGPMsgs(sol, st, repl, u, v),
-		delta:     immediateCentaurDelta(sol, st, repl, oldViews, u, v),
+		bgpMsgs:   immediateBGPMsgs(sol, st, via, repl, u, v),
+		delta:     immediateCentaurDelta(sol, st, repl, oldViews, u, v, buf),
 	}
 }
 
 // replacements computes, for every destination u currently routes
-// through v, the best replacement among the remaining neighbors'
-// (still unchanged) announced paths. Destinations with no surviving
-// route are absent.
-func replacements(sol *solver.Solution, st *nodeStatic, u, v routing.NodeID) map[routing.NodeID]policy.Candidate {
-	out := make(map[routing.NodeID]policy.Candidate)
-	for d, p := range st.paths {
-		if p.NextHop(u) != v {
-			continue
-		}
+// through v (via, from Solution.DestsVia), the best replacement among
+// the remaining neighbors' (still unchanged) announced paths.
+// Destinations with no surviving route are absent.
+func replacements(sol *solver.Solution, st *nodeStatic, via []routing.NodeID, u, v routing.NodeID) map[routing.NodeID]policy.Candidate {
+	out := make(map[routing.NodeID]policy.Candidate, len(via))
+	for _, d := range via {
 		if best := bestReplacement(sol, u, v, d); len(best.Path) > 0 {
 			out[d] = best
 		}
@@ -413,17 +446,15 @@ func rootCauseCentaurMsgs(oldViews [][]pgraph.LinkInfo, failed routing.Link) int
 }
 
 // immediateBGPMsgs counts the updates endpoint u sends right after its
-// link to v fails: for every destination routed through v, one
+// link to v fails: for every destination routed through v (via), one
 // announce/withdraw per neighbor whose advertised state changes when
 // the route moves to its best replacement (repl).
-func immediateBGPMsgs(sol *solver.Solution, st *nodeStatic, repl map[routing.NodeID]policy.Candidate, u, v routing.NodeID) int {
+func immediateBGPMsgs(sol *solver.Solution, st *nodeStatic, via []routing.NodeID, repl map[routing.NodeID]policy.Candidate, u, v routing.NodeID) int {
 	g := sol.Topology()
 	pol := sol.Policy()
 	msgs := 0
-	for d, oldPath := range st.paths {
-		if oldPath.NextHop(u) != v {
-			continue
-		}
+	for _, d := range via {
+		oldPath := st.paths[d]
 		oldClass := st.classes[d]
 		best := repl[d]
 		// One message per neighbor whose advertised state changes.
@@ -452,7 +483,7 @@ func immediateBGPMsgs(sol *solver.Solution, st *nodeStatic, repl map[routing.Nod
 // (oldViews, aligned with Neighbors(u)) and the views rebuilt from the
 // replacement routes (repl).
 func immediateCentaurDelta(sol *solver.Solution, st *nodeStatic, repl map[routing.NodeID]policy.Candidate,
-	oldViews [][]pgraph.LinkInfo, u, v routing.NodeID) [2]int {
+	oldViews [][]pgraph.LinkInfo, u, v routing.NodeID, buf map[routing.NodeID]routing.Path) [2]int {
 	pol := sol.Policy()
 	// New path set: every route through v moves to its best replacement
 	// (or disappears); the rest carry over.
@@ -472,7 +503,7 @@ func immediateCentaurDelta(sol *solver.Solution, st *nodeStatic, repl map[routin
 		if nb.ID == v {
 			continue
 		}
-		newView := exportLinkView(u, nb, newPaths, newClasses, pol)
+		newView := exportLinkView(u, nb, newPaths, newClasses, pol, buf)
 		d := pgraph.Diff(oldViews[i], newView)
 		out[0] += len(d.Adds)
 		out[1] += len(d.Removes)
@@ -482,11 +513,19 @@ func immediateCentaurDelta(sol *solver.Solution, st *nodeStatic, repl map[routin
 
 // exportLinkView assembles the link-level announcement view of paths as
 // exported to neighbor nb (the batch equivalent of the protocol's
-// incrementally maintained pgraph.View).
+// incrementally maintained pgraph.View). buf, when non-nil, is reused
+// as the exportable-path work map — pgraph.Build does not retain it, so
+// one buffer serves every view of a Figure 5 sample (the same
+// reusable-buffer discipline as pgraph.DeriveAllInto).
 func exportLinkView(self routing.NodeID, nb topology.Neighbor,
 	paths map[routing.NodeID]routing.Path, classes map[routing.NodeID]policy.RouteClass,
-	pol policy.Policy) []pgraph.LinkInfo {
-	exportable := make(map[routing.NodeID]routing.Path, len(paths))
+	pol policy.Policy, buf map[routing.NodeID]routing.Path) []pgraph.LinkInfo {
+	exportable := buf
+	if exportable == nil {
+		exportable = make(map[routing.NodeID]routing.Path, len(paths))
+	} else {
+		clear(exportable)
+	}
 	for d, p := range paths {
 		if !pol.Export(self, classes[d], nb.Rel) || p.Contains(nb.ID) {
 			continue

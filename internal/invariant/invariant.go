@@ -70,7 +70,24 @@ func (v Violation) String() string {
 // violation. The network must be quiesced with all nodes and links up —
 // the state every completed fault plan restores.
 func Check(net *sim.Network, sol *solver.Solution) []Violation {
-	g := net.Topology()
+	return checkAgainst(net, sol, net.Topology())
+}
+
+// CheckAt is Check for a quiesced network whose live link state differs
+// from the topology the simulator was built with — e.g. after FailLink
+// reconverged but before the restore. sim.Network.FailLink does not
+// mutate the construction-time graph, so the caller supplies the truth
+// through sol: a solution maintained against a mutated clone of the
+// graph (typically forked with Solution.CloneOn and kept current with
+// Solution.Resolve). That solution's topology — not the simulator's —
+// drives the reachability, valley, and shortest-path checks.
+func CheckAt(net *sim.Network, sol *solver.Solution) []Violation {
+	return checkAgainst(net, sol, sol.Topology())
+}
+
+// checkAgainst is the dispatch core of Check/CheckAt, parameterized by
+// the graph that defines current reachability.
+func checkAgainst(net *sim.Network, sol *solver.Solution, g *topology.Graph) []Violation {
 	var out []Violation
 	nodes := g.Nodes()
 	usesNextHop := false
@@ -86,7 +103,7 @@ func Check(net *sim.Network, sol *solver.Solution) []Violation {
 		}
 	}
 	if usesNextHop {
-		out = append(out, CheckNextHops(net)...)
+		out = append(out, checkNextHopsOn(net, g)...)
 	}
 	return out
 }
@@ -183,7 +200,12 @@ func valleyCheck(g *topology.Graph, id, dest routing.NodeID, p routing.Path) (Vi
 // topology. Nodes not exposing NextHopRIB are skipped — Check handles
 // the mixed reporting.
 func CheckNextHops(net *sim.Network) []Violation {
-	g := net.Topology()
+	return checkNextHopsOn(net, net.Topology())
+}
+
+// checkNextHopsOn is CheckNextHops against an explicit graph (the
+// CheckAt path hands in the mutated clone's link state).
+func checkNextHopsOn(net *sim.Network, g *topology.Graph) []Violation {
 	nodes := g.Nodes()
 	var out []Violation
 	for _, dest := range nodes {

@@ -27,31 +27,43 @@ func (g *Graph) DerivePath(dest routing.NodeID) (routing.Path, bool) {
 // mutating the neighbor's announced graph — the announcement contract
 // stays intact and derivation simply avoids the dead links.
 func (g *Graph) DerivePathWith(dest routing.NodeID, skip func(routing.Link) bool) (routing.Path, bool) {
+	p, ok, _ := g.derivePath(dest, skip, nil)
+	return p, ok
+}
+
+// derivePath is the backtrace core of DerivePathWith. scratch, when
+// non-nil, is reused as the reversed-path work buffer; the (possibly
+// grown) buffer is returned so batch callers (DeriveAllInto) amortize
+// it across destinations. The returned path never aliases scratch.
+func (g *Graph) derivePath(dest routing.NodeID, skip func(routing.Link) bool, scratch routing.Path) (routing.Path, bool, routing.Path) {
 	tele.deriveCalls.Inc()
 	if dest == g.root {
-		return routing.Path{g.root}, true
+		return routing.Path{g.root}, true, scratch
 	}
 	if len(g.parents[dest]) == 0 {
-		return nil, false
+		return nil, false, scratch
 	}
 	// Backtrace produces the path reversed (dest first); reverse at the
 	// end. A step budget of nLinks+1 bounds the walk: any longer chain
 	// must revisit a link, i.e. the graph is malformed (loop detection
 	// without allocating a visited set).
-	reversed := make(routing.Path, 0, 8)
+	reversed := scratch[:0]
+	if reversed == nil {
+		reversed = make(routing.Path, 0, 8)
+	}
 	reversed = append(reversed, dest)
 	steps := g.nLinks + 1
 	current := dest
 	next := routing.None // current's successor on the path being rebuilt
 	for current != g.root {
 		if steps--; steps < 0 {
-			return nil, false
+			return nil, false, reversed
 		}
 		parents := g.parents[current]
 		var parent routing.NodeID
 		switch {
 		case len(parents) == 0:
-			return nil, false
+			return nil, false, reversed
 		case skip == nil && len(parents) == 1 && g.perms[routing.Link{From: parents[0], To: current}] == nil:
 			parent = parents[0]
 		default:
@@ -92,7 +104,7 @@ func (g *Graph) DerivePathWith(dest routing.NodeID, skip func(routing.Link) bool
 			}
 			if parent == routing.None {
 				if unrestricted == routing.None || ambiguous {
-					return nil, false
+					return nil, false, reversed
 				}
 				parent = unrestricted
 			}
@@ -106,16 +118,33 @@ func (g *Graph) DerivePathWith(dest routing.NodeID, skip func(routing.Link) bool
 	for i, n := range reversed {
 		path[len(reversed)-1-i] = n
 	}
-	return path, true
+	return path, true, reversed
 }
 
 // DeriveAll derives the policy-compliant path for every marked
 // destination, returning a map keyed by destination. Destinations with
 // no derivable path are omitted.
 func (g *Graph) DeriveAll() map[routing.NodeID]routing.Path {
-	out := make(map[routing.NodeID]routing.Path, len(g.dests))
+	return g.DeriveAllInto(nil)
+}
+
+// DeriveAllInto is DeriveAll with caller-owned storage: out, when
+// non-nil, is cleared and refilled instead of allocating a fresh map,
+// and one backtrace work buffer is shared across all destinations
+// instead of being re-grown per derivation. Batch consumers that derive
+// every destination repeatedly (analysis sweeps, per-flip re-derivation)
+// use this to hold per-call allocation to the result paths themselves.
+func (g *Graph) DeriveAllInto(out map[routing.NodeID]routing.Path) map[routing.NodeID]routing.Path {
+	if out == nil {
+		out = make(map[routing.NodeID]routing.Path, len(g.dests))
+	} else {
+		clear(out)
+	}
+	var scratch routing.Path
 	for d := range g.dests {
-		if p, ok := g.DerivePath(d); ok {
+		var p routing.Path
+		var ok bool
+		if p, ok, scratch = g.derivePath(d, nil, scratch); ok {
 			out[d] = p
 		}
 	}

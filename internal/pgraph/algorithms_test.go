@@ -347,3 +347,27 @@ func TestDeriveAll(t *testing.T) {
 		}
 	}
 }
+
+func TestDeriveAllInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Reuse one buffer across several random graphs: every refill must
+	// match a fresh DeriveAll exactly, with no stale keys surviving.
+	buf := map[routing.NodeID]routing.Path{99: {99}} // junk that must be cleared
+	for trial := 0; trial < 20; trial++ {
+		paths := randomPathSet(rng, 1)
+		g, err := Build(1, paths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := g.DeriveAll()
+		buf = g.DeriveAllInto(buf)
+		if len(buf) != len(want) {
+			t.Fatalf("trial %d: DeriveAllInto has %d paths, DeriveAll has %d", trial, len(buf), len(want))
+		}
+		for d, p := range want {
+			if !buf[d].Equal(p) {
+				t.Fatalf("trial %d: DeriveAllInto[%v] = %v, want %v", trial, d, buf[d], p)
+			}
+		}
+	}
+}

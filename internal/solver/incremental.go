@@ -1,0 +1,653 @@
+// Incremental re-solving. A converged Solution is re-converged in place
+// after a set of link flips by Resolve, which re-runs the per-destination
+// fixpoint only for the destinations whose routing can actually change:
+//
+//   - Removing (or downgrading) a link dirties exactly the destinations
+//     whose best-route trees traverse it. A tree toward d uses link a—b
+//     iff next[d][a] == b or next[d][b] == a, so the dirty set is two
+//     lookups in the reverse next-hop index (Solution.rev), which maps
+//     each directed adjacency slot to the bitmap of destinations routed
+//     over it.
+//   - Adding (or upgrading) a link dirties at most the destinations for
+//     which the candidate route over the new link would outrank one
+//     endpoint's current best. That test needs only the dense tables
+//     (class, dist, next) and the shared better() ranking — no paths —
+//     so it is O(1) per destination. It over-approximates (the receiver-
+//     side loop check is skipped), which is sound: a spuriously dirty
+//     destination re-runs its fixpoint and converges to the same state.
+//
+// Each dirty destination's fixpoint is warm-started from the previous
+// assignment with only the flipped links' endpoints activated. Soundness
+// rests on the unique-stable-state property (see the package comment and
+// DESIGN.md): under Gao–Rexford policies with a deterministic tie-break
+// the best-response dynamics converge to the same fixpoint from any
+// initial assignment, and a node whose best response differs from its
+// seeded route is always eventually activated — initially only the flip
+// endpoints' responses can differ, and afterwards every route change
+// re-activates the changer's neighbors.
+//
+// The warm start is lazy: per-node class and path seeds materialize from
+// the old dense rows on first touch (epoch-stamped scratch, no O(N)
+// clearing per destination), and materialized paths are interned in a
+// per-solve arena so the cascade allocates nothing per node. A flip that
+// leaves routing untouched therefore costs a few bitmap words, and a
+// typical single-link failure re-runs a handful of localized cascades.
+package solver
+
+import (
+	"fmt"
+	"math/bits"
+	"slices"
+
+	"centaur/internal/policy"
+	"centaur/internal/routing"
+	"centaur/internal/topology"
+)
+
+// relDead marks an adjacency slot whose edge is currently removed from
+// the topology. exportOK answers false for it, so the slot never yields
+// a candidate; keeping the slot (instead of re-packing the CSR layout)
+// lets a restored link resurrect it in place.
+const relDead = uint8(0xFF)
+
+// Flip names one flipped link by its endpoints. The caller applies the
+// change to the solution's topology graph first (RemoveEdge, AddEdge, or
+// a remove+add relationship change) and then passes the endpoint pair to
+// Resolve, which reconciles the solution with the graph's new state. A
+// pair whose graph state matches the solution's is a no-op.
+type Flip struct {
+	A, B routing.NodeID
+}
+
+// ResolveStats reports what a Resolve call had to do.
+type ResolveStats struct {
+	// Dirty is the number of destinations whose fixpoint was re-run.
+	Dirty int
+	// Changed is the number of (destination, node) table rows rewritten.
+	Changed int
+	// Rebuilt reports whether the dense adjacency had to be rebuilt
+	// because a flip added a link with no previous slot (restoring a
+	// previously removed link patches in place instead).
+	Rebuilt bool
+}
+
+// slotPatch is a pending in-place adjacency edit (kill or resurrect).
+type slotPatch struct {
+	s       int32
+	classIn uint8
+	expRel  uint8
+}
+
+// Resolve re-converges the solution in place after the given link flips,
+// which must already be applied to the solution's topology graph. It
+// computes the dirty destination set, re-runs the warm-started fixpoint
+// for those destinations only, and updates the dense tables (and the
+// reverse next-hop index) in place. The result is identical to a cold
+// SolveOpts of the mutated graph under the same options.
+//
+// Resolve mutates the solution and is not safe to call concurrently with
+// any other method of the same Solution.
+func (s *Solution) Resolve(flips []Flip) (ResolveStats, error) {
+	var stats ResolveStats
+	if len(flips) == 0 {
+		return stats, nil
+	}
+	a := s.adj
+	n := a.n
+	words := (n + 63) / 64
+	dirty := make([]uint64, words)
+	var (
+		seeds   []int32
+		patches []slotPatch
+		rebuild bool
+	)
+	type pair struct{ lo, hi int32 }
+	seen := make(map[pair]bool, len(flips))
+	for _, f := range flips {
+		va, vb := int32(s.idx.Pos(f.A)), int32(s.idx.Pos(f.B))
+		if va < 0 || vb < 0 || va == vb {
+			return stats, fmt.Errorf("solver: flip %v-%v is not a node pair of the solved topology", f.A, f.B)
+		}
+		key := pair{va, vb}
+		if va > vb {
+			key = pair{vb, va}
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		rel, nowUp := s.topo.Rel(f.A, f.B)
+		sAB := a.slot(va, vb)
+		sBA := int32(-1)
+		if sAB >= 0 {
+			sBA = a.slot(vb, va)
+		}
+		wasUp := sAB >= 0 && a.expRel[sAB] != relDead
+		if wasUp && nowUp &&
+			a.classIn[sAB] == uint8(policy.ClassOf(rel)) &&
+			a.classIn[sBA] == uint8(policy.ClassOf(rel.Invert())) {
+			continue // relationship unchanged: no-op flip
+		}
+		switch {
+		case !wasUp && !nowUp:
+			continue // removed twice (or never existed): no-op flip
+		case wasUp && !nowUp: // removal
+			s.ensureRev()
+			orBits(dirty, s.rev[sAB])
+			orBits(dirty, s.rev[sBA])
+			patches = append(patches,
+				slotPatch{sAB, 0, relDead},
+				slotPatch{sBA, 0, relDead})
+		case !wasUp && nowUp: // addition (restore or brand-new link)
+			s.additionDirty(dirty, va, vb, rel)
+			if sAB < 0 {
+				rebuild = true
+			} else {
+				patches = append(patches,
+					slotPatch{sAB, uint8(policy.ClassOf(rel)), uint8(rel.Invert())},
+					slotPatch{sBA, uint8(policy.ClassOf(rel.Invert())), uint8(rel)})
+			}
+		default: // relationship change on a live link: removal + addition
+			s.ensureRev()
+			orBits(dirty, s.rev[sAB])
+			orBits(dirty, s.rev[sBA])
+			s.additionDirty(dirty, va, vb, rel)
+			patches = append(patches,
+				slotPatch{sAB, uint8(policy.ClassOf(rel)), uint8(rel.Invert())},
+				slotPatch{sBA, uint8(policy.ClassOf(rel.Invert())), uint8(rel)})
+		}
+		seeds = append(seeds, va, vb)
+	}
+	if len(seeds) == 0 {
+		return stats, nil
+	}
+	// Fold the flips into the dense adjacency: in place when every
+	// touched pair still has its slots, otherwise one rebuild whose slot
+	// renumbering the reverse index is remapped onto.
+	if rebuild {
+		old := a
+		a = buildAdjacency(s.topo, s.idx, s.opts)
+		s.rev = remapRev(old, a, s.rev)
+		s.adj = a
+		stats.Rebuilt = true
+	} else {
+		for _, p := range patches {
+			a.classIn[p.s] = p.classIn
+			a.expRel[p.s] = p.expRel
+		}
+	}
+	if s.inc == nil {
+		s.inc = newIncState(n)
+	}
+	st := s.inc
+	st.sol = s
+	st.adj = a
+	for w := 0; w < words; w++ {
+		word := dirty[w]
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			d := w*64 + b
+			stats.Dirty++
+			if err := st.resolveDest(d, seeds); err != nil {
+				return stats, err
+			}
+			stats.Changed += st.writeBack(d)
+		}
+	}
+	return stats, nil
+}
+
+// additionDirty marks every destination for which the candidate route
+// over the new (or upgraded) link va—vb could outrank an endpoint's
+// current best. rel is vb's relationship from va's perspective. The test
+// mirrors reselect's ranking on the dense tables alone; skipping the
+// loop check only over-approximates the dirty set.
+func (s *Solution) additionDirty(dirty []uint64, va, vb int32, rel topology.Relationship) {
+	relBA := rel.Invert()
+	cAB, eAB := uint8(policy.ClassOf(rel)), uint8(relBA) // va learns from vb
+	cBA, eBA := uint8(policy.ClassOf(relBA)), uint8(rel) // vb learns from va
+	for d := 0; d < s.adj.n; d++ {
+		if s.candidateBeats(d, va, vb, cAB, eAB) || s.candidateBeats(d, vb, va, cBA, eBA) {
+			dirty[d>>6] |= 1 << (uint(d) & 63)
+		}
+	}
+}
+
+// candidateBeats reports whether the route v would learn from u (class
+// cIn, export-checked against expRel) could outrank v's current best
+// toward destination d, judging from the dense tables only.
+func (s *Solution) candidateBeats(d int, v, u int32, cIn, expRel uint8) bool {
+	if int(v) == d {
+		return false // the destination's own route never changes
+	}
+	cu := s.class[d][u]
+	if cu == 0 || !exportOK(cu, expRel) {
+		return false
+	}
+	bc := s.class[d][v]
+	if bc == 0 {
+		return true // currently unreachable: any candidate wins
+	}
+	plen := int(s.dist[d][u]) + 2
+	bl := int(s.dist[d][v]) + 1
+	return s.adj.better(v, d, cIn, plen, u, bc, bl, s.next[d][v])
+}
+
+// DestsVia returns the destinations that from currently routes through
+// neighbor via (including via itself when the direct link is the best
+// route), in ascending dense-index order. It answers from the reverse
+// next-hop index, so after the first call it costs one bitmap scan.
+// Returns nil when from and via are not adjacent.
+func (s *Solution) DestsVia(from, via routing.NodeID) []routing.NodeID {
+	f, u := s.idx.Pos(from), s.idx.Pos(via)
+	if f < 0 || u < 0 {
+		return nil
+	}
+	s.ensureRev()
+	slot := s.adj.slot(int32(f), int32(u))
+	if slot < 0 {
+		return nil
+	}
+	var out []routing.NodeID
+	for w, word := range s.rev[slot] {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			out = append(out, s.idx.ID(w*64+b))
+		}
+	}
+	return out
+}
+
+// CloneOn returns an independent deep copy of the solution re-anchored
+// on g, which must be topologically identical to the solution's current
+// graph (e.g. its Clone). The copy shares no mutable state with the
+// original, so each side can Resolve its own flip sequence against its
+// own graph; lazy caches (reverse index, scratch) start empty.
+func (s *Solution) CloneOn(g *topology.Graph) (*Solution, error) {
+	if g.NumNodes() != s.idx.Len() || g.NumEdges() != s.topo.NumEdges() {
+		return nil, fmt.Errorf("solver: CloneOn graph shape mismatch: %d nodes/%d edges vs %d/%d",
+			g.NumNodes(), g.NumEdges(), s.idx.Len(), s.topo.NumEdges())
+	}
+	n := s.idx.Len()
+	c := &Solution{
+		topo:  g,
+		idx:   s.idx, // immutable, and the node set is fixed across flips
+		opts:  s.opts,
+		next:  make([][]int32, n),
+		class: make([][]uint8, n),
+		dist:  make([][]uint16, n),
+	}
+	for d := 0; d < n; d++ {
+		c.next[d] = append([]int32(nil), s.next[d]...)
+		c.class[d] = append([]uint8(nil), s.class[d]...)
+		c.dist[d] = append([]uint16(nil), s.dist[d]...)
+	}
+	c.adj = buildAdjacency(g, s.idx, s.opts)
+	return c, nil
+}
+
+// PrimeReverseIndex eagerly builds the reverse next-hop index that
+// Resolve and DestsVia otherwise build on first use, letting callers
+// (benchmarks, latency-sensitive steady-state loops) move the one-time
+// cost off their hot path.
+func (s *Solution) PrimeReverseIndex() { s.ensureRev() }
+
+// Equal reports whether o encodes exactly the same dense tables (next
+// hop, class, distance) over the same node index — the byte-identical
+// bar the incremental path is held to against a cold solve.
+func (s *Solution) Equal(o *Solution) bool {
+	if o == nil || s.idx.Len() != o.idx.Len() {
+		return false
+	}
+	n := s.idx.Len()
+	for i := 0; i < n; i++ {
+		if s.idx.ID(i) != o.idx.ID(i) {
+			return false
+		}
+	}
+	for d := 0; d < n; d++ {
+		if !slices.Equal(s.next[d], o.next[d]) ||
+			!slices.Equal(s.class[d], o.class[d]) ||
+			!slices.Equal(s.dist[d], o.dist[d]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ensureRev builds the reverse next-hop index on first use: one bitmap
+// per directed adjacency slot, bit d set iff the slot's owner routes to
+// d through the slot's neighbor. The incremental write-back keeps it
+// consistent afterwards.
+func (s *Solution) ensureRev() {
+	s.revOnce.Do(func() {
+		a := s.adj
+		words := (a.n + 63) / 64
+		rev := make([][]uint64, len(a.nbr))
+		backing := make([]uint64, len(a.nbr)*words)
+		for i := range rev {
+			rev[i] = backing[i*words : (i+1)*words : (i+1)*words]
+		}
+		for d := 0; d < a.n; d++ {
+			row := s.next[d]
+			for v := 0; v < a.n; v++ {
+				u := row[v]
+				if u == noRoute || v == d {
+					continue
+				}
+				rev[a.slot(int32(v), u)][d>>6] |= 1 << (uint(d) & 63)
+			}
+		}
+		s.rev = rev
+	})
+}
+
+// remapRev carries the reverse index across an adjacency rebuild: slots
+// present in both keep their bitmaps (moved, not copied), brand-new
+// slots start empty (no destination can route over a link that did not
+// exist), and dropped slots' bitmaps are discarded — any destination
+// still routed over a dropped link is in the dirty set by construction
+// and rewrites its row before the index is read again.
+func remapRev(old, cur *adjacency, rev [][]uint64) [][]uint64 {
+	if rev == nil {
+		return nil
+	}
+	words := (cur.n + 63) / 64
+	out := make([][]uint64, len(cur.nbr))
+	for v := 0; v < cur.n; v++ {
+		oi, oe := old.off[v], old.off[v+1]
+		for t := cur.off[v]; t < cur.off[v+1]; t++ {
+			u := cur.nbr[t]
+			for oi < oe && old.nbr[oi] < u {
+				oi++
+			}
+			if oi < oe && old.nbr[oi] == u {
+				out[t] = rev[oi]
+				oi++
+			} else {
+				out[t] = make([]uint64, words)
+			}
+		}
+	}
+	return out
+}
+
+// slot returns the dense slot index of v's adjacency toward u, or -1
+// when u is not (and never was, since the last rebuild) v's neighbor.
+// Slots within a node ascend by neighbor position, so this is a binary
+// search over v's range.
+func (a *adjacency) slot(v, u int32) int32 {
+	lo, hi := a.off[v], a.off[v+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a.nbr[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < a.off[v+1] && a.nbr[lo] == u {
+		return lo
+	}
+	return -1
+}
+
+// orBits folds src into dst (dst |= src).
+func orBits(dst, src []uint64) {
+	for i, w := range src {
+		dst[i] |= w
+	}
+}
+
+// incState is the reusable warm-start scratch of the incremental path.
+// All per-node arrays are epoch-stamped: bumping epoch invalidates every
+// lazily seeded value at once, so switching destinations costs O(1)
+// instead of an O(N) clear. Paths live in a per-solve arena reset per
+// destination; a slice whose epoch stamp is current never dangles.
+type incState struct {
+	adj *adjacency
+	sol *Solution
+	d   int
+	// oldNext/oldClass/oldDist alias the destination's dense rows. They
+	// are immutable during the fixpoint (writeBack mutates them after).
+	oldNext  []int32
+	oldClass []uint8
+	oldDist  []uint16
+	epoch    uint32
+	// class[v] is v's current route class, valid iff clsEp[v] == epoch;
+	// stale entries read through to oldClass.
+	clsEp []uint32
+	class []uint8
+	// path[v] is v's current route, valid iff pathEp[v] == epoch; stale
+	// entries materialize from the old next row on first touch. Invariant:
+	// a stale pathEp with a current non-zero class means v still holds its
+	// old route (every route change stamps both).
+	pathEp []uint32
+	path   [][]int32
+	inqEp  []uint32
+	queue  []int32
+	head   int
+	chEp   []uint32
+	// changed lists the nodes whose route changed at least once during
+	// the current destination's cascade (deduplicated via chEp).
+	changed []int32
+	arena   []int32
+}
+
+func newIncState(n int) *incState {
+	return &incState{
+		clsEp:  make([]uint32, n),
+		class:  make([]uint8, n),
+		pathEp: make([]uint32, n),
+		path:   make([][]int32, n),
+		inqEp:  make([]uint32, n),
+		chEp:   make([]uint32, n),
+		queue:  make([]int32, 0, 64),
+		arena:  make([]int32, 0, 1024),
+	}
+}
+
+// resolveDest re-runs the best-response fixpoint for destination d,
+// seeded from the old assignment with only the flipped links' endpoints
+// activated. The run loop mirrors destState.solve exactly (budget,
+// compaction, dest skip); only the seeding differs.
+func (st *incState) resolveDest(d int, seeds []int32) error {
+	st.epoch++
+	st.d = d
+	st.oldNext = st.sol.next[d]
+	st.oldClass = st.sol.class[d]
+	st.oldDist = st.sol.dist[d]
+	st.arena = st.arena[:0]
+	st.queue = st.queue[:0]
+	st.head = 0
+	st.changed = st.changed[:0]
+	for _, v := range seeds {
+		st.push(v)
+	}
+	adj := st.adj
+	budget := int64(64) * int64(adj.n+1) * int64(adj.n+1)
+	for st.head < len(st.queue) {
+		if budget--; budget < 0 {
+			return fmt.Errorf("solver: incremental fixpoint did not converge for destination position %d (policy oscillation — check the topology for customer-provider cycles)", d)
+		}
+		if st.head >= 1024 && 2*st.head >= len(st.queue) {
+			st.queue = st.queue[:copy(st.queue, st.queue[st.head:])]
+			st.head = 0
+		}
+		v := st.queue[st.head]
+		st.head++
+		st.inqEp[v] = st.epoch - 1
+		if int(v) == d {
+			continue // the destination's own route never changes
+		}
+		if st.reselect(v) {
+			st.activateNeighbors(v)
+		}
+	}
+	return nil
+}
+
+func (st *incState) push(v int32) {
+	if st.inqEp[v] != st.epoch {
+		st.inqEp[v] = st.epoch
+		st.queue = append(st.queue, v)
+	}
+}
+
+func (st *incState) activateNeighbors(v int32) {
+	adj := st.adj
+	for s := adj.off[v]; s < adj.off[v+1]; s++ {
+		st.push(adj.nbr[s])
+	}
+}
+
+// reselect is destState.reselect with lazy seeding: neighbor classes and
+// paths read through to the old dense rows until first modified. The
+// candidate scan, ranking, and loop check are otherwise identical — the
+// equivalence tests hold the two implementations together.
+func (st *incState) reselect(v int32) bool {
+	adj := st.adj
+	var (
+		bestClass uint8
+		bestLen   int
+		bestNbr   int32
+		bestPath  []int32
+	)
+	for s := adj.off[v]; s < adj.off[v+1]; s++ {
+		u := adj.nbr[s]
+		cu := st.cls(u)
+		if cu == 0 || !exportOK(cu, adj.expRel[s]) {
+			continue
+		}
+		up := st.pathOf(u)
+		c, plen := adj.classIn[s], len(up)+1
+		if bestPath != nil && !adj.better(v, st.d, c, plen, u, bestClass, bestLen, bestNbr) {
+			continue
+		}
+		if containsNode(up, v) {
+			continue
+		}
+		bestClass, bestLen, bestNbr, bestPath = c, plen, u, up
+	}
+	if bestPath == nil {
+		if st.cls(v) == 0 {
+			return false
+		}
+		st.class[v] = 0
+		st.markChanged(v)
+		return true
+	}
+	if st.cls(v) == bestClass && pathEqualPrepended(st.pathOf(v), v, bestPath) {
+		return false
+	}
+	p := st.alloc(len(bestPath) + 1)
+	p[0] = v
+	copy(p[1:], bestPath)
+	st.path[v] = p
+	st.pathEp[v] = st.epoch
+	st.class[v] = bestClass
+	st.clsEp[v] = st.epoch
+	st.markChanged(v)
+	return true
+}
+
+// cls returns v's current route class, seeding it from the old row on
+// first touch.
+func (st *incState) cls(v int32) uint8 {
+	if st.clsEp[v] != st.epoch {
+		st.clsEp[v] = st.epoch
+		st.class[v] = st.oldClass[v]
+	}
+	return st.class[v]
+}
+
+// pathOf returns v's current route path (v first). Callers must have
+// established that v's current class is non-zero. A stale entry is v's
+// old route, materialized into the arena by walking the old next row —
+// which stays internally consistent during the fixpoint because
+// writeBack only mutates it afterwards.
+func (st *incState) pathOf(v int32) []int32 {
+	if st.pathEp[v] != st.epoch {
+		st.pathEp[v] = st.epoch
+		n := int(st.oldDist[v]) + 1
+		p := st.alloc(n)
+		cur := v
+		for i := 0; i < n-1; i++ {
+			p[i] = cur
+			cur = st.oldNext[cur]
+		}
+		p[n-1] = cur
+		st.path[v] = p
+	}
+	return st.path[v]
+}
+
+func (st *incState) markChanged(v int32) {
+	if st.chEp[v] != st.epoch {
+		st.chEp[v] = st.epoch
+		st.changed = append(st.changed, v)
+	}
+}
+
+// alloc carves an n-element block out of the arena. The three-index
+// result cannot grow into a later block; when the arena itself grows,
+// earlier blocks keep referencing the abandoned backing array, which is
+// exactly the write-once lifetime paths need.
+func (st *incState) alloc(n int) []int32 {
+	if cap(st.arena)-len(st.arena) < n {
+		c := 2 * cap(st.arena)
+		if c < n {
+			c = n
+		}
+		if c < 1024 {
+			c = 1024
+		}
+		st.arena = make([]int32, 0, c)
+	}
+	off := len(st.arena)
+	st.arena = st.arena[:off+n]
+	return st.arena[off : off+n : off+n]
+}
+
+// writeBack folds destination d's re-converged assignment into the dense
+// tables in place, keeping the reverse index consistent, and returns how
+// many rows actually changed. A node that changed during the cascade but
+// settled back on a route with identical (class, next, dist) leaves its
+// row — and the index — untouched.
+func (st *incState) writeBack(d int) int {
+	s := st.sol
+	adj := st.adj
+	changed := 0
+	for _, v := range st.changed {
+		newC := st.class[v] // epoch-current: markChanged implies a class stamp
+		newN := noRoute
+		var newD uint16
+		if newC != 0 {
+			p := st.path[v]
+			newN = p[1] // v != d: the destination is never reselected
+			newD = uint16(len(p) - 1)
+		}
+		if newC == st.oldClass[v] && newN == st.oldNext[v] && newD == st.oldDist[v] {
+			continue
+		}
+		if s.rev != nil {
+			if oldN := st.oldNext[v]; oldN != noRoute {
+				// The old slot may have been dropped by a rebuild; its
+				// bitmap died with it.
+				if os := adj.slot(v, oldN); os >= 0 {
+					s.rev[os][d>>6] &^= 1 << (uint(d) & 63)
+				}
+			}
+			if newN != noRoute {
+				s.rev[adj.slot(v, newN)][d>>6] |= 1 << (uint(d) & 63)
+			}
+		}
+		st.oldNext[v] = newN // the old* slices alias the dense rows
+		st.oldClass[v] = newC
+		st.oldDist[v] = newD
+		changed++
+	}
+	return changed
+}

@@ -1,0 +1,399 @@
+package solver
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"centaur/internal/policy"
+	"centaur/internal/routing"
+	"centaur/internal/topogen"
+	"centaur/internal/topology"
+)
+
+// tieBreakModes is every within-class preference model the incremental
+// path must reproduce byte-identically.
+var tieBreakModes = []policy.TieBreakMode{
+	policy.TieLowestVia, policy.TieHashed, policy.TieHashedPreferred, policy.TieOverride,
+}
+
+// assertTablesEqual fails unless got's dense tables are byte-identical
+// to want's (the ISSUE's correctness bar for the incremental path).
+func assertTablesEqual(t *testing.T, ctx string, got, want *Solution) {
+	t.Helper()
+	n := want.idx.Len()
+	if got.idx.Len() != n {
+		t.Fatalf("%s: index sizes differ: %d vs %d", ctx, got.idx.Len(), n)
+	}
+	for d := 0; d < n; d++ {
+		for v := 0; v < n; v++ {
+			if got.next[d][v] != want.next[d][v] ||
+				got.class[d][v] != want.class[d][v] ||
+				got.dist[d][v] != want.dist[d][v] {
+				t.Fatalf("%s: tables differ at dest %v node %v: next %d vs %d, class %d vs %d, dist %d vs %d",
+					ctx, want.idx.ID(d), want.idx.ID(v),
+					got.next[d][v], want.next[d][v],
+					got.class[d][v], want.class[d][v],
+					got.dist[d][v], want.dist[d][v])
+			}
+		}
+	}
+}
+
+// assertRevConsistent rebuilds the reverse next-hop index from the dense
+// tables and fails if the maintained one disagrees — the write-back must
+// keep the index exact, not just the tables.
+func assertRevConsistent(t *testing.T, ctx string, s *Solution) {
+	t.Helper()
+	if s.rev == nil {
+		return
+	}
+	a := s.adj
+	words := (a.n + 63) / 64
+	want := make([][]uint64, len(a.nbr))
+	for i := range want {
+		want[i] = make([]uint64, words)
+	}
+	for d := 0; d < a.n; d++ {
+		for v := 0; v < a.n; v++ {
+			u := s.next[d][v]
+			if u == noRoute || v == d {
+				continue
+			}
+			want[a.slot(int32(v), u)][d>>6] |= 1 << (uint(d) & 63)
+		}
+	}
+	for i := range want {
+		for w := range want[i] {
+			if s.rev[i][w] != want[i][w] {
+				t.Fatalf("%s: reverse index inconsistent at slot %d word %d: %x vs %x",
+					ctx, i, w, s.rev[i][w], want[i][w])
+			}
+		}
+	}
+}
+
+// resolveAndCheck applies flips to the solution and asserts the result
+// is byte-identical to a cold solve of the (already mutated) graph.
+func resolveAndCheck(t *testing.T, ctx string, s *Solution, g *topology.Graph, flips []Flip) ResolveStats {
+	t.Helper()
+	stats, err := s.Resolve(flips)
+	if err != nil {
+		t.Fatalf("%s: Resolve: %v", ctx, err)
+	}
+	cold, err := SolveOpts(g, s.opts)
+	if err != nil {
+		t.Fatalf("%s: cold solve: %v", ctx, err)
+	}
+	assertTablesEqual(t, ctx, s, cold)
+	assertRevConsistent(t, ctx, s)
+	return stats
+}
+
+// TestResolveEquivalence drives randomized flip sequences — single
+// removals and restores, multi-flip batches, same-link flapping, brand-
+// new peer links (forcing an adjacency rebuild), relationship changes,
+// and whole-node isolation — through every tie-break mode, asserting
+// after every Resolve that the dense tables match a cold SolveOpts of
+// the mutated graph exactly.
+func TestResolveEquivalence(t *testing.T) {
+	for _, mode := range tieBreakModes {
+		mode := mode
+		t.Run(fmt.Sprint(mode), func(t *testing.T) {
+			g, err := topogen.CAIDALike(120, 17)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := SolveOpts(g, Options{TieBreak: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(mode) + 42))
+			nodes := g.Nodes()
+			var removed []topology.Edge // currently removed, original rels
+
+			removeOne := func(ctx string) {
+				edges := g.Edges()
+				e := edges[rng.Intn(len(edges))]
+				if !g.RemoveEdge(e.A, e.B) {
+					t.Fatalf("%s: RemoveEdge(%v) = false", ctx, e)
+				}
+				removed = append(removed, e)
+				resolveAndCheck(t, ctx, s, g, []Flip{{A: e.A, B: e.B}})
+			}
+			restoreOne := func(ctx string) {
+				if len(removed) == 0 {
+					return
+				}
+				i := rng.Intn(len(removed))
+				e := removed[i]
+				removed = append(removed[:i], removed[i+1:]...)
+				if err := g.AddEdge(e.A, e.B, e.Rel); err != nil {
+					t.Fatalf("%s: AddEdge(%v): %v", ctx, e, err)
+				}
+				resolveAndCheck(t, ctx, s, g, []Flip{{A: e.A, B: e.B}})
+			}
+
+			for step := 0; step < 12; step++ {
+				switch step % 6 {
+				case 0: // single removal
+					removeOne(fmt.Sprintf("step %d remove", step))
+				case 1: // single restore
+					restoreOne(fmt.Sprintf("step %d restore", step))
+				case 2: // multi-flip batch: two removals and a restore at once
+					ctx := fmt.Sprintf("step %d batch", step)
+					var flips []Flip
+					for k := 0; k < 2; k++ {
+						edges := g.Edges()
+						e := edges[rng.Intn(len(edges))]
+						g.RemoveEdge(e.A, e.B)
+						removed = append(removed, e)
+						flips = append(flips, Flip{A: e.A, B: e.B})
+					}
+					if len(removed) > 2 {
+						e := removed[0]
+						removed = removed[1:]
+						if err := g.AddEdge(e.A, e.B, e.Rel); err != nil {
+							t.Fatalf("%s: %v", ctx, err)
+						}
+						flips = append(flips, Flip{A: e.A, B: e.B})
+					}
+					resolveAndCheck(t, ctx, s, g, flips)
+				case 3: // flap: remove + restore the same link before resolving
+					ctx := fmt.Sprintf("step %d flap", step)
+					edges := g.Edges()
+					e := edges[rng.Intn(len(edges))]
+					g.RemoveEdge(e.A, e.B)
+					if err := g.AddEdge(e.A, e.B, e.Rel); err != nil {
+						t.Fatalf("%s: %v", ctx, err)
+					}
+					stats := resolveAndCheck(t, ctx, s, g, []Flip{{A: e.A, B: e.B}, {A: e.B, B: e.A}})
+					if stats.Dirty != 0 {
+						t.Fatalf("%s: a net no-op flap dirtied %d destinations", ctx, stats.Dirty)
+					}
+				case 4: // brand-new peer link (never in the adjacency: rebuild)
+					ctx := fmt.Sprintf("step %d addnew", step)
+					for tries := 0; tries < 100; tries++ {
+						a := nodes[rng.Intn(len(nodes))]
+						b := nodes[rng.Intn(len(nodes))]
+						if a == b || g.HasEdge(a, b) {
+							continue
+						}
+						if err := g.AddEdge(a, b, topology.RelPeer); err != nil {
+							t.Fatalf("%s: %v", ctx, err)
+						}
+						stats := resolveAndCheck(t, ctx, s, g, []Flip{{A: a, B: b}})
+						if !stats.Rebuilt {
+							t.Fatalf("%s: brand-new link did not rebuild the adjacency", ctx)
+						}
+						// Take it down again so the graph drifts back
+						// toward its generated shape.
+						g.RemoveEdge(a, b)
+						resolveAndCheck(t, ctx+" teardown", s, g, []Flip{{A: a, B: b}})
+						break
+					}
+				case 5: // relationship change on a live link
+					ctx := fmt.Sprintf("step %d relchange", step)
+					edges := g.Edges()
+					e := edges[rng.Intn(len(edges))]
+					if e.Rel == topology.RelPeer {
+						continue
+					}
+					g.RemoveEdge(e.A, e.B)
+					if err := g.AddEdge(e.A, e.B, topology.RelPeer); err != nil {
+						t.Fatalf("%s: %v", ctx, err)
+					}
+					resolveAndCheck(t, ctx, s, g, []Flip{{A: e.A, B: e.B}})
+					// Change it back, also incrementally.
+					g.RemoveEdge(e.A, e.B)
+					if err := g.AddEdge(e.A, e.B, e.Rel); err != nil {
+						t.Fatalf("%s: %v", ctx, err)
+					}
+					resolveAndCheck(t, ctx+" back", s, g, []Flip{{A: e.A, B: e.B}})
+				}
+			}
+
+			// Isolate one node entirely (every route to it must vanish),
+			// then bring it back, as one batch each way.
+			victim := nodes[len(nodes)/2]
+			var flips []Flip
+			var cut []topology.Edge
+			for _, nb := range append([]topology.Neighbor(nil), g.Neighbors(victim)...) {
+				rel, _ := g.Rel(victim, nb.ID)
+				cut = append(cut, topology.Edge{A: victim, B: nb.ID, Rel: rel})
+				g.RemoveEdge(victim, nb.ID)
+				flips = append(flips, Flip{A: victim, B: nb.ID})
+			}
+			resolveAndCheck(t, "isolate", s, g, flips)
+			if s.Reachable(nodes[0], victim) {
+				t.Fatalf("isolated node %v still reachable", victim)
+			}
+			for _, e := range cut {
+				if err := g.AddEdge(e.A, e.B, e.Rel); err != nil {
+					t.Fatal(err)
+				}
+			}
+			resolveAndCheck(t, "reattach", s, g, flips)
+
+			// Finally restore everything still down and check we are back
+			// at a from-scratch solve of the pristine graph.
+			flips = flips[:0]
+			for _, e := range removed {
+				if err := g.AddEdge(e.A, e.B, e.Rel); err != nil {
+					t.Fatal(err)
+				}
+				flips = append(flips, Flip{A: e.A, B: e.B})
+			}
+			removed = nil
+			resolveAndCheck(t, "restore all", s, g, flips)
+		})
+	}
+}
+
+// TestResolveNoOpDelta is the regression test that a delta matching the
+// solution's current state touches zero destinations and rewrites zero
+// rows.
+func TestResolveNoOpDelta(t *testing.T) {
+	g, err := topogen.CAIDALike(80, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := SolveOpts(g, Options{TieBreak: policy.TieHashed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := g.Edges()
+	nodes := g.Nodes()
+	// A live link that did not change, a pair that was never linked, and
+	// the same live link listed twice with swapped endpoints.
+	var unlinked Flip
+	for _, a := range nodes {
+		for _, b := range nodes {
+			if a != b && !g.HasEdge(a, b) {
+				unlinked = Flip{A: a, B: b}
+			}
+		}
+	}
+	flips := []Flip{
+		{A: edges[0].A, B: edges[0].B},
+		unlinked,
+		{A: edges[0].B, B: edges[0].A},
+	}
+	stats, err := s.Resolve(flips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Dirty != 0 || stats.Changed != 0 || stats.Rebuilt {
+		t.Fatalf("no-op delta did work: %+v", stats)
+	}
+	if stats, err := s.Resolve(nil); err != nil || stats.Dirty != 0 {
+		t.Fatalf("empty delta did work: %+v, %v", stats, err)
+	}
+	cold, err := SolveOpts(g, s.opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTablesEqual(t, "no-op", s, cold)
+}
+
+func TestResolveUnknownNode(t *testing.T) {
+	g, err := topogen.Chain(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Solve(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Resolve([]Flip{{A: 1, B: 99}}); err == nil {
+		t.Fatal("Resolve with an unknown endpoint must fail")
+	}
+	if _, err := s.Resolve([]Flip{{A: 2, B: 2}}); err == nil {
+		t.Fatal("Resolve with a self-loop flip must fail")
+	}
+}
+
+// TestDestsVia checks the reverse-index query against a brute-force scan
+// of the dense tables, before and after an incremental re-solve.
+func TestDestsVia(t *testing.T) {
+	g, err := topogen.CAIDALike(90, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := SolveOpts(g, Options{TieBreak: policy.TieHashed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(ctx string) {
+		t.Helper()
+		for _, from := range g.Nodes() {
+			for _, nb := range g.Neighbors(from) {
+				got := s.DestsVia(from, nb.ID)
+				var want []routing.NodeID
+				for _, dest := range g.Nodes() {
+					if dest != from && s.NextHop(from, dest) == nb.ID {
+						want = append(want, dest)
+					}
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%s: DestsVia(%v,%v) = %v, want %v", ctx, from, nb.ID, got, want)
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%s: DestsVia(%v,%v) = %v, want %v", ctx, from, nb.ID, got, want)
+					}
+				}
+			}
+		}
+	}
+	check("cold")
+	if s.DestsVia(g.Nodes()[0], g.Nodes()[0]) != nil {
+		t.Fatal("DestsVia of a non-adjacent pair must be nil")
+	}
+	e := g.Edges()[3]
+	g.RemoveEdge(e.A, e.B)
+	if _, err := s.Resolve([]Flip{{A: e.A, B: e.B}}); err != nil {
+		t.Fatal(err)
+	}
+	check("after removal")
+	if err := g.AddEdge(e.A, e.B, e.Rel); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Resolve([]Flip{{A: e.A, B: e.B}}); err != nil {
+		t.Fatal(err)
+	}
+	check("after restore")
+}
+
+// TestCloneOn: a clone resolves its own flips against its own graph
+// without disturbing the original, and both sides match cold solves.
+func TestCloneOn(t *testing.T) {
+	g, err := topogen.CAIDALike(80, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := SolveOpts(g, Options{TieBreak: policy.TieOverride})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc := g.Clone()
+	c, err := s.CloneOn(gc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := gc.Edges()[0]
+	gc.RemoveEdge(e.A, e.B)
+	resolveAndCheck(t, "clone flip", c, gc, []Flip{{A: e.A, B: e.B}})
+	// The original must still match a cold solve of the unmutated graph.
+	cold, err := SolveOpts(g, s.opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTablesEqual(t, "original untouched", s, cold)
+	if c.Topology() != gc || s.Topology() != g {
+		t.Fatal("clone topology anchoring broken")
+	}
+	if _, err := s.CloneOn(topology.NewGraph(0)); err == nil {
+		t.Fatal("CloneOn with a mismatched graph must fail")
+	}
+}

@@ -57,6 +57,17 @@ type Solution struct {
 	class [][]uint8
 	// dist[d][v] is the hop count of v's best route to d.
 	dist [][]uint16
+	// adj is the dense adjacency the tables were computed against. The
+	// incremental path (Resolve, incremental.go) keeps it in sync with
+	// topo as links flip.
+	adj *adjacency
+	// rev is the reverse next-hop index: rev[s] is a destination bitmap
+	// with bit d set iff next[d][v] == adj.nbr[s] for the slot's owner v.
+	// Built lazily by ensureRev, maintained by the incremental write-back.
+	rev     [][]uint64
+	revOnce sync.Once
+	// inc is the reusable incremental-solve scratch (see incremental.go).
+	inc *incState
 }
 
 // Options parameterizes the solver's policy details.
@@ -93,6 +104,7 @@ func SolveOpts(g *topology.Graph, opts Options) (*Solution, error) {
 		dist:  make([][]uint16, n),
 	}
 	adj := buildAdjacency(g, idx, opts)
+	s.adj = adj
 
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -294,7 +306,7 @@ func (st *destState) reselect(v int32, dest int) bool {
 		// tie-break mode (mirroring policy.GaoRexford.Better). Slots
 		// ascend by neighbor position, so when everything else ties the
 		// first slot wins the final lowest-via comparison.
-		if bestPath != nil && !st.better(v, dest, c, plen, u, bestClass, bestLen, bestNbr) {
+		if bestPath != nil && !adj.better(v, dest, c, plen, u, bestClass, bestLen, bestNbr) {
 			continue
 		}
 		// Receiver-side loop check last — it is the expensive part.
@@ -323,9 +335,11 @@ func (st *destState) reselect(v int32, dest int) bool {
 
 // better reports whether candidate (class c, path length plen, via u)
 // outranks the current best (bc, bl, bn) at node v for destination dest,
-// mirroring policy.GaoRexford.Better exactly.
-func (st *destState) better(v int32, dest int, c uint8, plen int, u int32, bc uint8, bl int, bn int32) bool {
-	adj := st.adj
+// mirroring policy.GaoRexford.Better exactly. It is a method of the
+// adjacency (not destState) because the incremental path's addition
+// prefilter ranks candidates from the dense tables alone, without any
+// per-destination scratch.
+func (adj *adjacency) better(v int32, dest int, c uint8, plen int, u int32, bc uint8, bl int, bn int32) bool {
 	if c != bc {
 		return c < bc
 	}
