@@ -18,10 +18,14 @@
 // simulator fan-out; -trials-per-net chunks each figure series over
 // fresh networks, which the converged-state checkpoint layer then
 // serves from forks of one cold start (-no-checkpoint opts out);
-// -cpuprofile/-memprofile write pprof profiles.
+// -cpuprofile/-memprofile write pprof profiles. -trace writes the
+// simulator event trace of the dynamic steps; adding -prov upgrades it
+// to schema v2 (causal provenance) and folds per-series critical-path
+// percentiles into the report's "provenance" section.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -74,6 +78,11 @@ type benchReport struct {
 	// simulator counters, the heap high-water gauge, and per-series
 	// message-kind counts and convergence-time distributions.
 	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
+	// Provenance holds per-series critical-path percentiles (causal
+	// depth and root-to-last-route-change latency) derived from the
+	// -prov trace. Only present with -trace -prov, so a default run's
+	// report stays byte-identical to builds predating the option.
+	Provenance map[string]telemetry.SeriesProvenance `json:"provenance,omitempty"`
 }
 
 func run() error {
@@ -88,6 +97,8 @@ func run() error {
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		debugAddr  = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
 		progress   = flag.Duration("progress", 0, "print a progress line to stderr at this interval (0 = off)")
+		traceFile  = flag.String("trace", "", "write a structured JSONL event trace of the figure 6-8 and reliability steps to this file")
+		prov       = flag.Bool("prov", false, "emit the trace with causal provenance (schema v2; requires -trace) and add per-series critical-path percentiles to the report")
 
 		loss      = flag.String("loss", "0,0.1,0.2", "reliability step: comma-separated per-message loss rates")
 		dup       = flag.Float64("dup", 0, "reliability step: per-message duplication probability")
@@ -144,6 +155,21 @@ func run() error {
 	fig6.TrialsPerNetwork, fig7.TrialsPerNetwork, fig8.TrialsPerNetwork = *trialsPer, *trialsPer, *trialsPer
 	fig6.NoCheckpoint, fig7.NoCheckpoint, fig8.NoCheckpoint = *noCheckpt, *noCheckpt, *noCheckpt
 	fig6.Telemetry, fig7.Telemetry, fig8.Telemetry = reg, reg, reg
+
+	// Opt-in like -bloom-pl: without -trace the report and stdout stay
+	// byte-identical to builds predating the option.
+	if *prov && *traceFile == "" {
+		return fmt.Errorf("-prov requires -trace (provenance rides on the event trace)")
+	}
+	var tc *telemetry.TraceCollector
+	if *traceFile != "" {
+		if *prov {
+			tc = telemetry.NewTraceCollectorV2()
+		} else {
+			tc = telemetry.NewTraceCollector()
+		}
+		fig6.Trace, fig7.Trace, fig8.Trace = tc, tc, tc
+	}
 
 	start := time.Now()
 	report := benchReport{
@@ -259,6 +285,7 @@ func run() error {
 	relCfg.Seed, relCfg.FaultSeed = *seed, *faultSeed
 	relCfg.BloomPL, relCfg.PLFPRate = *bloomPL, *plFPRate
 	relCfg.Workers, relCfg.Telemetry = *workers, reg
+	relCfg.Trace = tc
 	if err := step("reliability", func() (fmt.Stringer, error) {
 		return experiments.RunReliability(relCfg)
 	}); err != nil {
@@ -302,6 +329,19 @@ func run() error {
 	runtime.ReadMemStats(&ms)
 	reg.Gauge("heap.max_bytes").SetMax(int64(ms.HeapAlloc))
 	report.Telemetry = reg.Snapshot()
+	if tc != nil {
+		if err := os.WriteFile(*traceFile, tc.Bytes(), 0o644); err != nil {
+			return fmt.Errorf("-trace: %w", err)
+		}
+		fmt.Printf("event trace: %s\n", *traceFile)
+		if *prov {
+			rep, err := telemetry.Explain(bytes.NewReader(tc.Bytes()))
+			if err != nil {
+				return fmt.Errorf("-prov: %w", err)
+			}
+			report.Provenance = rep.SeriesSummary()
+		}
+	}
 	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
 	if *reportPath != "" {
 		if err := writeReport(*reportPath, report); err != nil {

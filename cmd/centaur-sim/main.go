@@ -97,6 +97,7 @@ func run() error {
 		scaling    = flag.Bool("scaling", false, "run the solver scaling sweep (cold solve vs incremental flips; -sizes, -flips, -seed apply)")
 		noVerify   = flag.Bool("no-verify", false, "scaling: skip the byte-identical check against a fresh cold solve per size")
 		traceFile  = flag.String("trace", "", "write a structured JSONL event trace to this file")
+		prov       = flag.Bool("prov", false, "emit the trace with causal provenance (schema v2; requires -trace)")
 		debugAddr  = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
 		progress   = flag.Duration("progress", 0, "print a progress line to stderr at this interval (0 = off)")
 
@@ -131,8 +132,15 @@ func run() error {
 		centaur.SetTelemetry(reg)
 		pgraph.SetTelemetry(reg)
 	}
+	if *prov && *traceFile == "" {
+		return fmt.Errorf("-prov requires -trace (provenance rides on the event trace)")
+	}
 	if *traceFile != "" {
-		tc = telemetry.NewTraceCollector()
+		if *prov {
+			tc = telemetry.NewTraceCollectorV2()
+		} else {
+			tc = telemetry.NewTraceCollector()
+		}
 	}
 	if *debugAddr != "" {
 		addr, stopDebug, err := telemetry.ServeDebug(*debugAddr, reg)

@@ -10,11 +10,18 @@
 //	centaur-stats -fig 5 -topo caida.rel     # real snapshot
 //	centaur-stats -table 45 -fig 5 -ext multipath   # combined, one solve
 //	centaur-stats -check-trace trace.jsonl   # validate a -trace file
+//	centaur-stats -explain trace.jsonl       # causal analysis of a -prov trace
 //
 // The analysis modes compose: -table, -fig, and -ext may be combined in
 // one invocation, and all stages share one solved-topology computation
 // (with -tiebreak override, the default, the figure-5 and extension
 // stages reuse the Tables 4-5 solutions directly).
+//
+// -explain reads a schema-v2 (causal provenance) trace, produced with
+// centaur-sim -trace out.jsonl -prov, and prints per-root-event causal
+// trees: the convergence wavefront by causal depth, the critical
+// send→deliver path with per-hop latency, per-destination churn with
+// cycle detection, and a per-link blame summary.
 package main
 
 import (
@@ -49,10 +56,14 @@ func run() error {
 		topoFile = flag.String("topo", "", "CAIDA serial-1 relationship file to analyze instead of a generated topology")
 		tiebreak = flag.String("tiebreak", "override", "within-class preference model: lowest-via | hashed | hashed-preferred | override")
 		checkTr  = flag.String("check-trace", "", "validate a centaur-sim -trace JSONL file and print its summary")
+		explain  = flag.String("explain", "", "causal analysis of a centaur-sim -trace -prov JSONL file")
 	)
 	flag.Parse()
 	if *checkTr != "" {
 		return checkTrace(*checkTr)
+	}
+	if *explain != "" {
+		return explainTrace(*explain)
 	}
 	sc := experiments.Scale{Nodes: *nodes, Seed: *seed}
 	tb, err := parseTieBreak(*tiebreak)
@@ -172,7 +183,7 @@ func run() error {
 	}
 	if !ran {
 		flag.Usage()
-		return fmt.Errorf("one of -table {3,45}, -fig 5, -ext multipath, or -check-trace is required")
+		return fmt.Errorf("one of -table {3,45}, -fig 5, -ext multipath, -check-trace, or -explain is required")
 	}
 	return nil
 }
@@ -199,6 +210,36 @@ func checkTrace(path string) error {
 	for _, k := range kinds {
 		fmt.Printf("  %-12s %d\n", k, sum.ByKind[k])
 	}
+	if sum.ProvenanceChunks > 0 {
+		fmt.Printf("  provenance: %d/%d chunks schema v2\n", sum.ProvenanceChunks, sum.Chunks)
+	}
+	if sum.UnconsumedLossDecisions > 0 {
+		fmt.Printf("  unconsumed fault-loss decisions: %d (losses outrun by link flaps)\n", sum.UnconsumedLossDecisions)
+	}
+	return nil
+}
+
+// explainTrace runs the causal analysis on a schema-v2 trace: it
+// validates the trace first (provenance integrity included), then
+// prints the per-root-event trees and the per-series critical-path
+// summary.
+func explainTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := telemetry.ValidateTrace(f); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		return err
+	}
+	rep, err := telemetry.Explain(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Print(rep)
 	return nil
 }
 

@@ -160,7 +160,7 @@ func (n *Node) Start(env sim.Env) {
 		Class: policy.ClassOwn,
 		Via:   routing.None,
 	}
-	env.RouteChanged(n.self)
+	sim.RouteChangedVia(env, n.self, routing.None, routing.None)
 	for _, nb := range n.nbrs {
 		n.scheduleAdvert(nb, n.self)
 	}
@@ -257,6 +257,11 @@ func (n *Node) runDecision(dest routing.NodeID) {
 	if had && newBest.Path.Equal(old.Path) && newBest.Via == old.Via {
 		return
 	}
+	oldVia := routing.None
+	if had {
+		oldVia = old.Via
+	}
+	newVia := routing.None
 	if len(newBest.Path) == 0 {
 		if !had {
 			return
@@ -264,8 +269,9 @@ func (n *Node) runDecision(dest routing.NodeID) {
 		delete(n.best, dest)
 	} else {
 		n.best[dest] = newBest
+		newVia = newBest.Via
 	}
-	n.env.RouteChanged(dest)
+	sim.RouteChangedVia(n.env, dest, oldVia, newVia)
 	for _, nb := range n.nbrs {
 		n.scheduleAdvert(nb, dest)
 	}

@@ -680,6 +680,8 @@ func (n *Node) solveSome(dests []routing.NodeID, dirty map[routing.NodeID]bool) 
 		}
 		oldPath, had := n.paths[d]
 		oldClass := n.classes[d]
+		oldVia := n.vias[d] // routing.None when absent
+		newVia := routing.None
 		switch {
 		case len(best.Path) == 0 && !had:
 			continue
@@ -693,9 +695,10 @@ func (n *Node) solveSome(dests []routing.NodeID, dirty map[routing.NodeID]bool) 
 			n.paths[d] = best.Path
 			n.classes[d] = best.Class
 			n.vias[d] = best.Via
+			newVia = best.Via
 		}
 		changed = append(changed, d)
-		n.env.RouteChanged(d)
+		sim.RouteChangedVia(n.env, d, oldVia, newVia)
 		if dirty != nil {
 			n.markDirty(dirty, d, oldClass, best)
 		}

@@ -331,6 +331,9 @@ func (j flipJob) network() (*sim.Network, error) {
 	}
 	if j.chunk != nil {
 		cfg.Trace = j.chunk.Observe
+		// A schema-v2 chunk needs the simulator to assign provenance
+		// spans; a v1 chunk must not see them (byte-compat).
+		cfg.Provenance = j.chunk.Provenance()
 	}
 	t0 := time.Now()
 	net, err := sim.NewNetwork(cfg)

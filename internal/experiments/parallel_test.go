@@ -219,3 +219,64 @@ func TestTraceWorkerCountInvariance(t *testing.T) {
 		t.Fatal("convergence distributions never observed")
 	}
 }
+
+// TestProvenanceTraceWorkerCountInvariance extends the trace
+// determinism guarantee to schema v2: span assignment is per-network
+// and chunks are created serially, so provenance-annotated traces are
+// byte-identical across worker counts, pass the extended validation,
+// and reconstruct the same causal trees.
+func TestProvenanceTraceWorkerCountInvariance(t *testing.T) {
+	g, err := topogen.BRITE(60, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) *telemetry.TraceCollector {
+		tc := telemetry.NewTraceCollectorV2()
+		_, err := RunFlips(FlipConfig{
+			Topology: g, Build: bgp.New(bgp.Config{}), Flips: 8, Seed: 5,
+			TrialsPerNetwork: 2, Workers: workers,
+			Series: "test.bgp", Trace: tc,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return tc
+	}
+	b1, b8 := run(1).Bytes(), run(8).Bytes()
+	if len(b1) == 0 {
+		t.Fatal("trace is empty")
+	}
+	if !bytes.Equal(b1, b8) {
+		t.Fatal("provenance traces differ between workers=1 and workers=8")
+	}
+	sum, err := telemetry.ValidateTrace(bytes.NewReader(b1))
+	if err != nil {
+		t.Fatalf("provenance trace does not validate: %v", err)
+	}
+	if sum.ProvenanceChunks != sum.Chunks || sum.Chunks == 0 {
+		t.Fatalf("want every chunk schema v2: %+v", sum)
+	}
+	rep, err := telemetry.Explain(bytes.NewReader(b1))
+	if err != nil {
+		t.Fatalf("explain failed: %v", err)
+	}
+	// Every chunk flips links down and up: two roots per trial, and the
+	// fail phase must reconvergence through at least one message hop.
+	deepRoots := 0
+	for _, c := range rep.Chunks {
+		if len(c.Roots) == 0 {
+			t.Fatalf("chunk %q has no root events", c.Label)
+		}
+		for _, rt := range c.Roots {
+			if rt.Critical.Depth > 0 {
+				deepRoots++
+				if len(rt.Critical.Hops) == 0 {
+					t.Fatalf("deep critical path without hops: %+v", rt.Critical)
+				}
+			}
+		}
+	}
+	if deepRoots == 0 {
+		t.Fatal("no root event produced a critical path through the network")
+	}
+}

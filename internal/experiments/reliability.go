@@ -169,6 +169,8 @@ func (j relJob) run() error {
 	}
 	if j.chunk != nil {
 		simCfg.Trace = j.chunk.Observe
+		// Schema-v2 chunks need simulator-assigned provenance spans.
+		simCfg.Provenance = j.chunk.Provenance()
 	}
 	net, err := sim.NewNetwork(simCfg)
 	if err != nil {

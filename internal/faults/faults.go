@@ -156,6 +156,12 @@ func Attach(net *sim.Network, plan Plan, reg *telemetry.Registry) *Injector {
 	edges := topo.Edges()
 	nodes := topo.Nodes()
 
+	// Causal provenance (sim.Config.Provenance) needs no help from this
+	// package: the top-level Schedule calls below run with no active
+	// cause, so each FailLink/CrashNode traces as its own root span, and
+	// the nested restore Schedules capture the cause register the outage
+	// just set — a flap's link-up parents to its link-down, a restart to
+	// its crash — purely through the simulator's cause inheritance.
 	flapCount := int(plan.Churn*plan.Window.Seconds() + 0.5)
 	for i := 0; i < flapCount && len(edges) > 0; i++ {
 		e := edges[sched.Intn(len(edges))]

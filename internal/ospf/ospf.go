@@ -141,6 +141,11 @@ func (n *Node) originate() {
 	n.lsdb[n.self] = lsa
 	n.spf = nil
 	tele.originates.Inc()
+	// Deliberately the next-hop-less RouteChanged (not RouteChangedVia):
+	// SPF is lazy, so the new next hops aren't known here, and computing
+	// them eagerly just to report them would bump the ospf.spf_runs
+	// counter and perturb provenance-off outputs. Schema-v2 traces mark
+	// these route events "next hop unknown" by omitting oh/nh.
 	n.env.RouteChanged(n.self)
 	n.flood(lsa, routing.None)
 }
@@ -185,7 +190,8 @@ func (n *Node) Handle(from routing.NodeID, msg sim.Message) {
 	n.lsdb[f.LSA.Origin] = f.LSA
 	n.spf = nil
 	// An installed LSA invalidates SPF: routes toward (at least) the
-	// origin may differ once recomputed.
+	// origin may differ once recomputed. Next hops are unreported (plain
+	// RouteChanged) because SPF is lazy — see originate.
 	n.env.RouteChanged(f.LSA.Origin)
 	n.flood(f.LSA, from)
 }

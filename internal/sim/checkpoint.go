@@ -118,6 +118,11 @@ func (c *Checkpoint) Fork(delaySeed int64) (*Network, error) {
 	n.now = src.now
 	n.seq = src.seq
 	n.events = src.events
+	// Provenance continues from the template: span IDs stay unique per
+	// network lineage, and the active-cause registers are zero on a
+	// quiesced template anyway (Run clears them on drain).
+	n.prov = src.prov
+	n.spanSeq = src.spanSeq
 	for i := range src.nodes {
 		n.nodes[i] = src.nodes[i].(Snapshotter).ForkProtocol(&n.envs[i])
 	}

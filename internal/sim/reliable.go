@@ -222,6 +222,15 @@ func (e *relEnv) NotePLFalsePositive(dest routing.NodeID) {
 	}
 }
 
+// RouteChangedVia forwards next-hop-annotated route reports to the real
+// environment, for the same reason as NotePLFalsePositive above: the
+// embedded interface hides the concrete env's extra methods, and
+// without the forwarder a protocol behind the adapter would silently
+// degrade to plain RouteChanged and lose its oh/nh trace fields.
+func (e *relEnv) RouteChangedVia(dest, oldNext, newNext routing.NodeID) {
+	RouteChangedVia(e.Env, dest, oldNext, newNext)
+}
+
 // Inner returns the wrapped protocol instance, so tests and invariant
 // checkers can reach the protocol's RIB accessors through the adapter.
 func (n *relNode) Inner() Protocol { return n.inner }

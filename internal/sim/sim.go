@@ -123,16 +123,22 @@ const faultDrop uint8 = 1
 // on kind: evFunc uses fn; evStart uses to; evDeliver uses from, to,
 // link, epoch, fault, and msg; evLinkDown/evLinkUp use from (the peer)
 // and to (the dense index of the notified node); evNodeTimer uses fn,
-// to, and epoch (the node generation).
+// to, and epoch (the node generation). Under Config.Provenance every
+// event also carries cause/depth: the span of the occurrence that
+// scheduled it (the send for a delivery, the link transition for a
+// notification, the active cause for a timer) and that cause's causal
+// depth, captured at scheduling time so the handler inherits causality.
 type event struct {
 	at    time.Duration
 	seq   uint64 // tie-break so equal-time events run in schedule order
 	epoch uint64
+	cause uint64
 	fn    func()
 	msg   Message
 	from  routing.NodeID
 	to    int32
 	link  int32
+	depth int32
 	kind  uint8
 	fault uint8
 }
@@ -294,6 +300,17 @@ type Config struct {
 	// deliveries, drops, link transitions). It runs synchronously inside
 	// the event loop, so it sees a consistent view but should stay cheap.
 	Trace func(TraceEvent)
+	// Provenance enables causal provenance: every traced event is
+	// assigned a trace-unique span ID (TraceEvent.Span, dense from 1 per
+	// network in emission order) and annotated with the span of the
+	// event that caused it (Parent) and its causal depth in message hops
+	// from the root link/node event (Depth). Root events — link
+	// transitions, crashes, restarts — are depth 0; a send is one deeper
+	// than its cause; deliveries, fault records, and route changes
+	// inherit their cause's depth. Schema v2 trace chunks
+	// (telemetry.NewTraceCollectorV2) require it; leave it off to keep
+	// traces byte-identical to the v1 schema.
+	Provenance bool
 	// Faults, when non-nil, is consulted once per message entering an up
 	// link and may lose, duplicate, or delay it (see Injector). It can
 	// also be installed after construction with SetInjector.
@@ -411,6 +428,21 @@ type TraceEvent struct {
 	At       time.Duration
 	From, To routing.NodeID
 	Msg      Message
+	// Span, Parent, and Depth are the causal provenance annotations,
+	// populated only under Config.Provenance: Span is this event's
+	// trace-unique cause ID (dense from 1 per network, in emission
+	// order), Parent the span of the event that caused it (0 = none, a
+	// startup or externally driven occurrence), and Depth the causal
+	// depth in message hops from the root link/node event.
+	Span, Parent uint64
+	Depth        int32
+	// OldNext and NewNext are the old and new next hop of a
+	// TraceRouteChange reported through RouteChangedVia; routing.None
+	// means "no route". HasVia distinguishes them from a plain
+	// RouteChanged report, which leaves the next hops unknown (e.g.
+	// OSPF, whose SPF — and hence next hop — is computed lazily).
+	OldNext, NewNext routing.NodeID
+	HasVia           bool
 }
 
 // adjRef is one adjacency of a node in the dense layout: the neighbor's
@@ -460,6 +492,27 @@ type Network struct {
 	// retained so Checkpoint.Fork can re-derive per-link delays from a new
 	// seed exactly the way NewNetwork did.
 	minDelay, maxDelay time.Duration
+	// prov enables causal provenance (Config.Provenance); the fields
+	// below are only maintained when it is on.
+	prov bool
+	// spanSeq allocates trace-unique provenance span IDs, dense from 1
+	// in emission order. Deterministic because the event schedule is a
+	// total order processed single-threaded.
+	spanSeq uint64
+	// curCause/curDepth are the active-cause registers: the span and
+	// causal depth the currently executing handler inherits. Set per
+	// event at dispatch (a delivery advances curCause to its own span
+	// before Handle runs), captured by Send, After, and Schedule, and
+	// advanced by each root operation so closures it schedules are
+	// parented to it (a flap's restore hangs off its fail). Reset to
+	// zero when Run drains, so external drivers start parentless.
+	curCause uint64
+	curDepth int32
+	// rootCause is the parent used for root spans (FailLink, CrashNode,
+	// ...). Unlike curCause it stays fixed for the whole event, so
+	// multiple root operations in one closure (a partition's cuts)
+	// become siblings instead of a chain.
+	rootCause uint64
 }
 
 // kindCount is one per-kind accumulator of sent messages, units, and
@@ -471,11 +524,30 @@ type kindCount struct {
 	bytes int64
 }
 
-// emit reports a trace event to the configured observer, if any.
+// emit reports a plain (provenance-free) trace event to the configured
+// observer, if any. All emission sites go through emitSpan, which falls
+// back here when provenance is off.
 func (n *Network) emit(kind TraceKind, from, to routing.NodeID, msg Message) {
 	if n.trace != nil {
 		n.trace(TraceEvent{Kind: kind, At: n.now, From: from, To: to, Msg: msg})
 	}
+}
+
+// emitSpan reports a trace event, allocating its provenance span when
+// provenance is on. parent and depth are the causal annotations; the
+// allocated span ID is returned (0 with provenance off) so the caller
+// can thread causality into whatever the event triggers.
+func (n *Network) emitSpan(kind TraceKind, from, to routing.NodeID, msg Message, parent uint64, depth int32) uint64 {
+	if !n.prov {
+		n.emit(kind, from, to, msg)
+		return 0
+	}
+	n.spanSeq++
+	if n.trace != nil {
+		n.trace(TraceEvent{Kind: kind, At: n.now, From: from, To: to, Msg: msg,
+			Span: n.spanSeq, Parent: parent, Depth: depth})
+	}
+	return n.spanSeq
 }
 
 // NewNetwork builds the simulation: assigns per-link delays, constructs
@@ -532,6 +604,7 @@ func newShell(cfg Config, idx *topology.Index) (*Network, error) {
 		linkAt: make(map[linkKey]int32, len(edges)),
 		pq:     make(eventQueue, 0, numNodes),
 		trace:  cfg.Trace,
+		prov:   cfg.Provenance,
 
 		routeChangedAt:  make([]time.Duration, numNodes),
 		routeChangedSet: make([]bool, numNodes),
@@ -613,7 +686,10 @@ func (e *nodeEnv) Send(to routing.NodeID, msg Message) {
 	if !ok || !net.links[ar.link].up {
 		net.stats.Dropped++
 		net.stats.Undeliverable++
-		net.emit(TraceDrop, e.self, to, msg)
+		// A send-time refusal has no send span of its own, so the drop
+		// hangs directly off the active cause, one hop deeper — the same
+		// place the send would have been.
+		net.emitSpan(TraceDrop, e.self, to, msg, net.curCause, net.curDepth+1)
 		return
 	}
 	ls := &net.links[ar.link]
@@ -627,7 +703,10 @@ func (e *nodeEnv) Send(to routing.NodeID, msg Message) {
 	}
 	net.account(msg.Kind(), units, wire)
 	net.stats.LastSend = net.now
-	net.emit(TraceSend, e.self, to, msg)
+	// The send is one message hop deeper than whatever triggered it; the
+	// delivery (and every fault record) inherits the send's span/depth.
+	sendDepth := net.curDepth + 1
+	sendSpan := net.emitSpan(TraceSend, e.self, to, msg, net.curCause, sendDepth)
 	delay := ls.delay
 	var fault uint8
 	var dec FaultDecision
@@ -635,11 +714,11 @@ func (e *nodeEnv) Send(to routing.NodeID, msg Message) {
 		dec = net.injector.Deliver(e.self, to, msg)
 		if dec.Drop {
 			fault = faultDrop
-			net.emit(TraceFaultLoss, e.self, to, msg)
+			net.emitSpan(TraceFaultLoss, e.self, to, msg, sendSpan, sendDepth)
 		}
 		if dec.Jitter > 0 {
 			delay += dec.Jitter
-			net.emit(TraceFaultJitter, e.self, to, msg)
+			net.emitSpan(TraceFaultJitter, e.self, to, msg, sendSpan, sendDepth)
 		}
 	}
 	net.seq++
@@ -647,25 +726,29 @@ func (e *nodeEnv) Send(to routing.NodeID, msg Message) {
 		at:    net.now + delay,
 		seq:   net.seq,
 		epoch: ls.epoch,
+		cause: sendSpan,
 		msg:   msg,
 		from:  e.self,
 		to:    ar.node,
 		link:  ar.link,
+		depth: sendDepth,
 		kind:  evDeliver,
 		fault: fault,
 	})
 	if dec.Duplicate {
 		net.stats.FaultDups++
-		net.emit(TraceFaultDup, e.self, to, msg)
+		net.emitSpan(TraceFaultDup, e.self, to, msg, sendSpan, sendDepth)
 		net.seq++
 		net.pq.push(event{
 			at:    net.now + ls.delay + dec.DupJitter,
 			seq:   net.seq,
 			epoch: ls.epoch,
+			cause: sendSpan,
 			msg:   msg,
 			from:  e.self,
 			to:    ar.node,
 			link:  ar.link,
+			depth: sendDepth,
 			kind:  evDeliver,
 		})
 	}
@@ -674,8 +757,11 @@ func (e *nodeEnv) Send(to routing.NodeID, msg Message) {
 func (e *nodeEnv) After(d time.Duration, fn func()) {
 	net := e.net
 	net.seq++
+	// The timer captures the active cause: an MRAI or retransmit timer
+	// armed while handling a delivery keeps that delivery's causality,
+	// so sends it makes later still chain back to the root event.
 	net.pq.push(event{at: net.now + d, seq: net.seq, fn: fn, kind: evNodeTimer,
-		to: e.pos, epoch: e.gen})
+		to: e.pos, epoch: e.gen, cause: net.curCause, depth: net.curDepth})
 }
 
 // noteRetransmit, noteDupSuppressed, and noteAbandoned fold the
@@ -692,25 +778,73 @@ func (e *nodeEnv) noteAbandoned()     { e.net.stats.TransportAbandoned++ }
 // unlike the transportNoter methods, which sim's own adapter asserts.
 func (e *nodeEnv) NotePLFalsePositive(dest routing.NodeID) {
 	e.net.stats.PLFalsePositives++
-	e.net.emit(TracePLFalsePositive, e.self, dest, nil)
+	e.net.emitSpan(TracePLFalsePositive, e.self, dest, nil, e.net.curCause, e.net.curDepth)
 }
 
 func (e *nodeEnv) RouteChanged(dest routing.NodeID) {
+	e.routeChanged(dest, routing.None, routing.None, false)
+}
+
+// RouteChangedVia is RouteChanged additionally carrying the old and new
+// next hop of the changed route (routing.None = no route), which the
+// trace records on the route event (schema v2's oh/nh fields). Protocol
+// packages reach it through the sim.RouteChangedVia helper, which
+// type-asserts the Env and falls back to plain RouteChanged.
+func (e *nodeEnv) RouteChangedVia(dest, oldNext, newNext routing.NodeID) {
+	e.routeChanged(dest, oldNext, newNext, true)
+}
+
+func (e *nodeEnv) routeChanged(dest, oldNext, newNext routing.NodeID, hasVia bool) {
 	net := e.net
 	net.stats.RouteChanges++
 	if p := net.idx.Pos(dest); p >= 0 {
 		net.routeChangedAt[p] = net.now
 		net.routeChangedSet[p] = true
 	}
-	net.emit(TraceRouteChange, e.self, dest, nil)
+	if net.trace == nil {
+		if net.prov {
+			net.spanSeq++ // keep span IDs independent of trace presence
+		}
+		return
+	}
+	ev := TraceEvent{Kind: TraceRouteChange, At: net.now, From: e.self, To: dest,
+		OldNext: oldNext, NewNext: newNext, HasVia: hasVia}
+	if net.prov {
+		net.spanSeq++
+		ev.Span = net.spanSeq
+		ev.Parent = net.curCause
+		ev.Depth = net.curDepth
+	}
+	net.trace(ev)
+}
+
+// RouteChangedVia reports a best-route change like Env.RouteChanged but
+// with the old and new next hop attached, so provenance traces can
+// follow per-destination forwarding state (churn and oscillation
+// analysis need the state sequence, not just the fact of a change).
+// Environments that cannot record next hops — and wrappers that predate
+// the method — fall back to the plain report, so protocols call this
+// unconditionally. Use routing.None for "no route".
+func RouteChangedVia(env Env, dest, oldNext, newNext routing.NodeID) {
+	type viaReporter interface {
+		RouteChangedVia(dest, oldNext, newNext routing.NodeID)
+	}
+	if v, ok := env.(viaReporter); ok {
+		v.RouteChangedVia(dest, oldNext, newNext)
+		return
+	}
+	env.RouteChanged(dest)
 }
 
 // schedule enqueues a closure event after the given delay. Protocol
 // timers (Env.After) and tests use it; the steady-state message cycle
-// goes through the allocation-free tagged kinds instead.
+// goes through the allocation-free tagged kinds instead. The closure
+// captures the active cause, which is what parents a fault plan's
+// nested restores to the fail that scheduled them.
 func (n *Network) schedule(after time.Duration, fn func()) {
 	n.seq++
-	n.pq.push(event{at: n.now + after, seq: n.seq, fn: fn, kind: evFunc})
+	n.pq.push(event{at: n.now + after, seq: n.seq, fn: fn, kind: evFunc,
+		cause: n.curCause, depth: n.curDepth})
 }
 
 // push enqueues a tagged event at the current time plus ev.at, assigning
@@ -774,7 +908,8 @@ func (n *Network) CrashNode(id routing.NodeID) bool {
 	}
 	n.nodeDown[i] = true
 	n.envs[i].gen++
-	n.emit(TraceCrash, id, id, nil)
+	crash := n.emitSpan(TraceCrash, id, id, nil, n.rootCause, 0)
+	n.curCause, n.curDepth = crash, 0
 	for _, ar := range n.envs[i].adj {
 		ls := &n.links[ar.link]
 		if !ls.up {
@@ -782,8 +917,8 @@ func (n *Network) CrashNode(id routing.NodeID) bool {
 		}
 		ls.up = false
 		ls.epoch++
-		n.emit(TraceLinkDown, id, ar.id, nil)
-		n.push(event{kind: evLinkDown, to: ar.node, from: id})
+		span := n.emitSpan(TraceLinkDown, id, ar.id, nil, crash, 0)
+		n.push(event{kind: evLinkDown, to: ar.node, from: id, cause: span})
 	}
 	return true
 }
@@ -803,16 +938,17 @@ func (n *Network) RestartNode(id routing.NodeID) bool {
 	}
 	n.nodeDown[i] = false
 	n.nodes[i] = n.build(&n.envs[i])
-	n.emit(TraceRestart, id, id, nil)
-	n.push(event{kind: evStart, to: int32(i)})
+	restart := n.emitSpan(TraceRestart, id, id, nil, n.rootCause, 0)
+	n.curCause, n.curDepth = restart, 0
+	n.push(event{kind: evStart, to: int32(i), cause: restart})
 	for _, ar := range n.envs[i].adj {
 		ls := &n.links[ar.link]
 		if ls.up || n.nodeDown[ar.node] {
 			continue
 		}
 		ls.up = true
-		n.emit(TraceLinkUp, id, ar.id, nil)
-		n.push(event{kind: evLinkUp, to: ar.node, from: id})
+		span := n.emitSpan(TraceLinkUp, id, ar.id, nil, restart, 0)
+		n.push(event{kind: evLinkUp, to: ar.node, from: id, cause: span})
 	}
 	return true
 }
@@ -878,9 +1014,10 @@ func (n *Network) FailLink(a, b routing.NodeID) bool {
 	}
 	n.links[li].up = false
 	n.links[li].epoch++
-	n.emit(TraceLinkDown, a, b, nil)
-	n.push(event{kind: evLinkDown, to: int32(n.idx.Pos(a)), from: b})
-	n.push(event{kind: evLinkDown, to: int32(n.idx.Pos(b)), from: a})
+	span := n.emitSpan(TraceLinkDown, a, b, nil, n.rootCause, 0)
+	n.curCause, n.curDepth = span, 0
+	n.push(event{kind: evLinkDown, to: int32(n.idx.Pos(a)), from: b, cause: span})
+	n.push(event{kind: evLinkDown, to: int32(n.idx.Pos(b)), from: a, cause: span})
 	return true
 }
 
@@ -898,9 +1035,10 @@ func (n *Network) RestoreLink(a, b routing.NodeID) bool {
 		return false
 	}
 	n.links[li].up = true
-	n.emit(TraceLinkUp, a, b, nil)
-	n.push(event{kind: evLinkUp, to: int32(n.idx.Pos(a)), from: b})
-	n.push(event{kind: evLinkUp, to: int32(n.idx.Pos(b)), from: a})
+	span := n.emitSpan(TraceLinkUp, a, b, nil, n.rootCause, 0)
+	n.curCause, n.curDepth = span, 0
+	n.push(event{kind: evLinkUp, to: int32(n.idx.Pos(a)), from: b, cause: span})
+	n.push(event{kind: evLinkUp, to: int32(n.idx.Pos(b)), from: a, cause: span})
 	return true
 }
 
@@ -925,19 +1063,24 @@ func (n *Network) Run(maxEvents int64) (processed int64, quiesced bool) {
 		}
 		ev := n.pq.pop()
 		n.now = ev.at
+		// Load the event's captured causality into the active registers
+		// before its handler runs; rootCause stays fixed for the whole
+		// event while curCause may advance (deliveries, root operations).
+		n.curCause, n.curDepth, n.rootCause = ev.cause, ev.depth, ev.cause
 		switch ev.kind {
 		case evDeliver:
 			ls := &n.links[ev.link]
 			switch {
 			case !ls.up || ls.epoch != ev.epoch:
 				n.stats.Dropped++
-				n.emit(TraceDrop, ev.from, n.idx.ID(int(ev.to)), ev.msg)
+				n.emitSpan(TraceDrop, ev.from, n.idx.ID(int(ev.to)), ev.msg, ev.cause, ev.depth)
 			case ev.fault&faultDrop != 0:
 				n.stats.Dropped++
 				n.stats.FaultDrops++
-				n.emit(TraceDropFault, ev.from, n.idx.ID(int(ev.to)), ev.msg)
+				n.emitSpan(TraceDropFault, ev.from, n.idx.ID(int(ev.to)), ev.msg, ev.cause, ev.depth)
 			default:
-				n.emit(TraceDeliver, ev.from, n.idx.ID(int(ev.to)), ev.msg)
+				span := n.emitSpan(TraceDeliver, ev.from, n.idx.ID(int(ev.to)), ev.msg, ev.cause, ev.depth)
+				n.curCause = span
 				n.nodes[ev.to].Handle(ev.from, ev.msg)
 			}
 		case evFunc:
@@ -958,6 +1101,10 @@ func (n *Network) Run(maxEvents int64) (processed int64, quiesced bool) {
 		processed++
 		n.events++
 	}
+	// Quiesced: clear the registers so operations driven from outside the
+	// event loop (the flip harness calling FailLink between runs) start a
+	// fresh parentless root instead of inheriting a stale cause.
+	n.curCause, n.curDepth, n.rootCause = 0, 0, 0
 	return processed, true
 }
 

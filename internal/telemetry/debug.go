@@ -4,6 +4,7 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"net"
@@ -42,10 +43,13 @@ func publishExpvar(r *Registry) {
 //     "cmdline"
 //   - /debug/pprof/... — the standard pprof profiles (heap, profile,
 //     goroutine, trace, ...)
+//   - /telemetryz — the live registry snapshot alone, as indented JSON
+//     (the same object /debug/vars nests under "telemetry"; handier for
+//     curl | jq and dashboards that poll one metric tree)
 //
 // It returns the bound address (useful with ":0") and a stop function
 // that closes the listener. The registry may be nil, in which case the
-// "telemetry" var renders null.
+// "telemetry" var and /telemetryz render null.
 func ServeDebug(addr string, r *Registry) (string, func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -54,6 +58,16 @@ func ServeDebug(addr string, r *Registry) (string, func(), error) {
 	publishExpvar(r)
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/telemetryz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		data, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		data = append(data, '\n')
+		w.Write(data) //nolint:errcheck // best-effort debug endpoint
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -17,6 +17,43 @@
 // within a chunk), k the event kind, f/o the from/to node IDs, and for
 // message events m/u/b the message kind, unit count, and wire bytes.
 // ValidateTrace checks exactly this schema.
+//
+// # Schema v2: causal provenance
+//
+// A collector created with NewTraceCollectorV2 emits schema version 2,
+// which layers causal provenance on the v1 format. The chunk header
+// gains a "v" field and events gain span/parent/depth fields:
+//
+//	{"chunk":3,"v":2,"label":"fig6.centaur","seed":12}
+//	{"t":1300000,"k":"link-down","f":3,"o":9,"c":41,"d":0}
+//	{"t":1300000,"k":"send","f":3,"o":5,"m":"bgp.update","u":1,"b":34,"c":42,"p":41,"d":1}
+//	{"t":1410000,"k":"route","f":7,"o":9,"c":57,"p":55,"d":3,"oh":3,"nh":8}
+//
+//	c  span ID: trace-unique within the chunk, dense from 1 in emission
+//	   order (so strictly increasing down the chunk).
+//	p  parent span: the span of the event that caused this one. Omitted
+//	   when the cause is simulation startup (no root event). A parent
+//	   always precedes its children within the chunk.
+//	d  causal depth: message hops from the root link/node event (root
+//	   events are depth 0; a send is its cause's depth + 1; a delivery
+//	   and any fault records inherit the send's depth).
+//	oh/nh  on "route" events from protocols that report next hops
+//	   (BGP, Centaur): the old and new next-hop node IDs, 0 meaning no
+//	   route. Omitted together when the protocol doesn't report them
+//	   (OSPF — SPF is lazy, so next hops aren't known at update time).
+//
+// Depth rules by kind, checked by ValidateTrace: link-down, link-up,
+// crash and restart are roots (d=0; p, when present, is the root
+// operation that batched them — e.g. a crash's adjacency link-downs
+// parent to the crash). A send has d = parent depth + 1 (d=1 when p is
+// omitted). deliver, fault-loss, fault-dup, fault-jitter and drop-fault
+// require p and d equal to the parent's depth. route and pl-fp carry
+// their cause's depth (d=0 when p is omitted). drop has two shapes — a
+// refused send (d = cause depth + 1) and an in-flight loss (d = send
+// depth) — so only its parent reference is checked.
+//
+// v1 chunks must not carry any provenance field; a trace may mix v1 and
+// v2 chunks (each chunk declares its own version).
 
 package telemetry
 
@@ -38,11 +75,18 @@ import (
 // hands out nil chunks, whose Observe is a no-op.
 type TraceCollector struct {
 	mu     sync.Mutex
+	prov   bool
 	chunks []*TraceChunk
 }
 
-// NewTraceCollector returns an empty collector.
+// NewTraceCollector returns an empty collector emitting schema v1.
 func NewTraceCollector() *TraceCollector { return &TraceCollector{} }
+
+// NewTraceCollectorV2 returns an empty collector emitting schema v2
+// (causal provenance). Its chunks report Provenance() true; wire that
+// into sim.Config.Provenance so the simulator populates the span
+// fields — a v2 chunk fed events without spans fails ValidateTrace.
+func NewTraceCollectorV2() *TraceCollector { return &TraceCollector{prov: true} }
 
 // Chunk appends a new chunk labeled with the job's series name and seed
 // and returns it. The header line is emitted immediately. Returns nil on
@@ -53,9 +97,12 @@ func (tc *TraceCollector) Chunk(label string, seed int64) *TraceChunk {
 	}
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
-	c := &TraceChunk{}
+	c := &TraceChunk{prov: tc.prov}
 	c.buf = append(c.buf, `{"chunk":`...)
 	c.buf = strconv.AppendInt(c.buf, int64(len(tc.chunks)), 10)
+	if tc.prov {
+		c.buf = append(c.buf, `,"v":2`...)
+	}
 	c.buf = append(c.buf, `,"label":`...)
 	c.buf = strconv.AppendQuote(c.buf, label)
 	c.buf = append(c.buf, `,"seed":`...)
@@ -103,8 +150,14 @@ func (tc *TraceCollector) Bytes() []byte {
 // (the simulator is single-threaded, so wiring it via sim.Config.Trace
 // satisfies this). A nil chunk no-ops.
 type TraceChunk struct {
-	buf []byte
+	prov bool
+	buf  []byte
 }
+
+// Provenance reports whether this chunk expects schema-v2 provenance
+// fields; callers mirror it into sim.Config.Provenance. False on a nil
+// chunk.
+func (c *TraceChunk) Provenance() bool { return c != nil && c.prov }
 
 // Observe appends one simulator event as a JSONL line.
 func (c *TraceChunk) Observe(ev sim.TraceEvent) {
@@ -132,6 +185,22 @@ func (c *TraceChunk) Observe(ev sim.TraceEvent) {
 		}
 		b = strconv.AppendInt(b, int64(wireBytes), 10)
 	}
+	if c.prov {
+		b = append(b, `,"c":`...)
+		b = strconv.AppendUint(b, ev.Span, 10)
+		if ev.Parent != 0 {
+			b = append(b, `,"p":`...)
+			b = strconv.AppendUint(b, ev.Parent, 10)
+		}
+		b = append(b, `,"d":`...)
+		b = strconv.AppendInt(b, int64(ev.Depth), 10)
+		if ev.HasVia {
+			b = append(b, `,"oh":`...)
+			b = strconv.AppendInt(b, int64(ev.OldNext), 10)
+			b = append(b, `,"nh":`...)
+			b = strconv.AppendInt(b, int64(ev.NewNext), 10)
+		}
+	}
 	b = append(b, "}\n"...)
 	c.buf = b
 }
@@ -142,12 +211,21 @@ type TraceSummary struct {
 	Events int
 	// ByKind counts events per kind ("send", "deliver", ...).
 	ByKind map[string]int
+	// ProvenanceChunks counts chunks declaring schema v2.
+	ProvenanceChunks int
+	// UnconsumedLossDecisions counts fault-loss decisions left unpaired
+	// with a drop-fault at their chunk's end. Nonzero is legal — a link
+	// flap can beat the fault to the delivery, which then traces as a
+	// plain "drop" — but a large count relative to drop-fault events
+	// suggests the loss plumbing is miswired.
+	UnconsumedLossDecisions int
 }
 
 // traceLine is the decoded superset of both line shapes; pointer fields
 // distinguish absent from zero.
 type traceLine struct {
 	Chunk *int64  `json:"chunk"`
+	V     *int64  `json:"v"`
 	Label *string `json:"label"`
 	Seed  *int64  `json:"seed"`
 	T     *int64  `json:"t"`
@@ -157,6 +235,11 @@ type traceLine struct {
 	M     *string `json:"m"`
 	U     *int64  `json:"u"`
 	B     *int64  `json:"b"`
+	C     *int64  `json:"c"`
+	P     *int64  `json:"p"`
+	D     *int64  `json:"d"`
+	OH    *int64  `json:"oh"`
+	NH    *int64  `json:"nh"`
 }
 
 // traceKinds is the closed set of event kinds and whether each carries a
@@ -177,6 +260,16 @@ var traceKinds = map[string]bool{
 	"pl-fp":        false,
 }
 
+// rootKinds are the event kinds that originate causal chains: their
+// depth is 0 and their parent, when present, is the root operation that
+// batched them (a crash parents its adjacency link-downs).
+var rootKinds = map[string]bool{
+	"link-down": true,
+	"link-up":   true,
+	"crash":     true,
+	"restart":   true,
+}
+
 // ValidateTrace checks a JSONL trace against the golden schema: every
 // line parses, chunk headers carry chunk/label/seed with sequential
 // chunk ids, events carry t/k/f/o (plus m/u/b for message kinds) with a
@@ -186,9 +279,16 @@ var traceKinds = map[string]bool{
 // event (the delivery-time drop) must consume a preceding "fault-loss"
 // record (the send-time decision) for the same (from, to, message kind)
 // within its chunk. Leftover decisions are legal — a link flap can beat
-// the fault to the delivery, which then traces as a plain "drop". It
-// returns a summary of the valid trace or an error naming the offending
-// line.
+// the fault to the delivery, which then traces as a plain "drop" — and
+// are tallied in TraceSummary.UnconsumedLossDecisions.
+//
+// Chunks declaring schema v2 additionally have their provenance checked
+// for referential integrity: span IDs strictly increase within the
+// chunk, every parent reference resolves to an earlier span of the same
+// chunk (a parent precedes its children), and depths obey the per-kind
+// rules in the package comment. v1 chunks must not carry provenance
+// fields. It returns a summary of the valid trace or an error naming
+// the offending line.
 func ValidateTrace(r io.Reader) (TraceSummary, error) {
 	sum := TraceSummary{ByKind: make(map[string]int)}
 	sc := bufio.NewScanner(r)
@@ -196,7 +296,16 @@ func ValidateTrace(r io.Reader) (TraceSummary, error) {
 	lineNo := 0
 	lastT := int64(-1)
 	inChunk := false
+	chunkProv := false
+	lastSpan := int64(0)
 	lossDecisions := make(map[string]int) // per-chunk (f,o,m) → pending decisions
+	spanDepth := make(map[int64]int64)    // per-chunk span → depth, for parent checks
+	flushLoss := func() {
+		for _, n := range lossDecisions {
+			sum.UnconsumedLossDecisions += n
+		}
+		clear(lossDecisions)
+	}
 	for sc.Scan() {
 		lineNo++
 		line := sc.Bytes()
@@ -217,10 +326,19 @@ func ValidateTrace(r io.Reader) (TraceSummary, error) {
 			if *tl.Chunk != int64(sum.Chunks) {
 				return sum, fmt.Errorf("trace line %d: chunk id %d, want %d", lineNo, *tl.Chunk, sum.Chunks)
 			}
+			if tl.V != nil && *tl.V != 1 && *tl.V != 2 {
+				return sum, fmt.Errorf("trace line %d: unknown trace schema version %d", lineNo, *tl.V)
+			}
+			chunkProv = tl.V != nil && *tl.V == 2
+			if chunkProv {
+				sum.ProvenanceChunks++
+			}
 			sum.Chunks++
 			lastT = -1
+			lastSpan = 0
 			inChunk = true
-			clear(lossDecisions)
+			flushLoss()
+			clear(spanDepth)
 			continue
 		}
 		if tl.T == nil || tl.K == nil || tl.F == nil || tl.O == nil {
@@ -248,6 +366,9 @@ func ValidateTrace(r io.Reader) (TraceSummary, error) {
 				return sum, fmt.Errorf("trace line %d: negative units/bytes", lineNo)
 			}
 		}
+		if err := validateProvenance(&tl, chunkProv, &lastSpan, spanDepth); err != nil {
+			return sum, fmt.Errorf("trace line %d: %w", lineNo, err)
+		}
 		switch *tl.K {
 		case "fault-loss":
 			lossDecisions[lossKey(*tl.F, *tl.O, *tl.M)]++
@@ -264,7 +385,87 @@ func ValidateTrace(r io.Reader) (TraceSummary, error) {
 	if err := sc.Err(); err != nil {
 		return sum, fmt.Errorf("trace: %w", err)
 	}
+	flushLoss()
 	return sum, nil
+}
+
+// validateProvenance checks one event's schema-v2 fields (or their
+// absence, in a v1 chunk) and records its span for later parent
+// references. lastSpan and spanDepth are per-chunk state owned by
+// ValidateTrace.
+func validateProvenance(tl *traceLine, chunkProv bool, lastSpan *int64, spanDepth map[int64]int64) error {
+	if !chunkProv {
+		if tl.C != nil || tl.P != nil || tl.D != nil || tl.OH != nil || tl.NH != nil {
+			return fmt.Errorf("provenance fields in a v1 chunk")
+		}
+		return nil
+	}
+	if tl.C == nil || tl.D == nil {
+		return fmt.Errorf("%s event in a v2 chunk missing c/d", *tl.K)
+	}
+	if *tl.C <= *lastSpan {
+		return fmt.Errorf("span %d not after previous span %d", *tl.C, *lastSpan)
+	}
+	*lastSpan = *tl.C
+	if *tl.D < 0 {
+		return fmt.Errorf("negative depth %d", *tl.D)
+	}
+	parentDepth := int64(-1) // -1: no parent
+	if tl.P != nil {
+		pd, ok := spanDepth[*tl.P]
+		if !ok {
+			return fmt.Errorf("parent span %d does not precede span %d", *tl.P, *tl.C)
+		}
+		parentDepth = pd
+	}
+	k := *tl.K
+	switch {
+	case rootKinds[k]:
+		if *tl.D != 0 {
+			return fmt.Errorf("root %s event with depth %d, want 0", k, *tl.D)
+		}
+	case k == "send":
+		want := int64(1)
+		if tl.P != nil {
+			want = parentDepth + 1
+		}
+		if *tl.D != want {
+			return fmt.Errorf("send depth %d, want %d (parent depth + 1)", *tl.D, want)
+		}
+	case k == "deliver" || k == "fault-loss" || k == "fault-dup" ||
+		k == "fault-jitter" || k == "drop-fault":
+		if tl.P == nil {
+			return fmt.Errorf("%s event without a parent send span", k)
+		}
+		if *tl.D != parentDepth {
+			return fmt.Errorf("%s depth %d, want parent's %d", k, *tl.D, parentDepth)
+		}
+	case k == "route" || k == "pl-fp":
+		want := int64(0)
+		if tl.P != nil {
+			want = parentDepth
+		}
+		if *tl.D != want {
+			return fmt.Errorf("%s depth %d, want cause's %d", k, *tl.D, want)
+		}
+	case k == "drop":
+		// Two legal shapes (refused send: cause depth + 1; in-flight
+		// loss: the send's depth) — only the parent reference above is
+		// checked.
+	}
+	if tl.OH != nil != (tl.NH != nil) {
+		return fmt.Errorf("oh/nh must appear together")
+	}
+	if tl.OH != nil {
+		if k != "route" {
+			return fmt.Errorf("oh/nh on a %s event (route only)", k)
+		}
+		if *tl.OH < 0 || *tl.NH < 0 {
+			return fmt.Errorf("negative next hop")
+		}
+	}
+	spanDepth[*tl.C] = *tl.D
+	return nil
 }
 
 // lossKey identifies a fault-loss decision for pairing with its drop.

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"centaur/internal/routing"
 	"centaur/internal/sim"
 )
 
@@ -156,5 +157,125 @@ func TestValidateTraceFaultKindsAndPairing(t *testing.T) {
 	cross := header + loss + `{"chunk":1,"label":"y","seed":8}` + "\n" + drop
 	if _, err := ValidateTrace(strings.NewReader(cross)); err == nil {
 		t.Fatal("decision must not pair across chunks")
+	}
+}
+
+func TestUnconsumedLossDecisions(t *testing.T) {
+	header := `{"chunk":0,"label":"rel.bgp","seed":7}` + "\n"
+	loss := `{"t":1,"k":"fault-loss","f":3,"o":9,"m":"bgp.update","u":1,"b":34}` + "\n"
+	drop := `{"t":2,"k":"drop-fault","f":3,"o":9,"m":"bgp.update","u":1,"b":34}` + "\n"
+
+	sum, err := ValidateTrace(strings.NewReader(header + loss + drop))
+	if err != nil || sum.UnconsumedLossDecisions != 0 {
+		t.Fatalf("paired decision: unconsumed=%d err=%v", sum.UnconsumedLossDecisions, err)
+	}
+	// A leftover at end of trace and one at a chunk boundary both count.
+	in := header + loss + `{"chunk":1,"label":"y","seed":8}` + "\n" + loss
+	sum, err = ValidateTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.UnconsumedLossDecisions != 2 {
+		t.Fatalf("unconsumed = %d, want 2", sum.UnconsumedLossDecisions)
+	}
+}
+
+func TestTraceV2RoundTrip(t *testing.T) {
+	tc := NewTraceCollectorV2()
+	c := tc.Chunk("fig6.centaur", 42)
+	if !c.Provenance() {
+		t.Fatal("v2 chunk must report Provenance()")
+	}
+	var nilChunk *TraceChunk
+	if nilChunk.Provenance() {
+		t.Fatal("nil chunk must not report Provenance()")
+	}
+	msg := fakeMsg{kind: "centaur.update", units: 1, bytes: 40}
+	c.Observe(sim.TraceEvent{Kind: sim.TraceLinkDown, At: 10, From: 1, To: 2, Span: 1, Depth: 0})
+	c.Observe(sim.TraceEvent{Kind: sim.TraceSend, At: 10, From: 1, To: 3, Msg: msg, Span: 2, Parent: 1, Depth: 1})
+	c.Observe(sim.TraceEvent{Kind: sim.TraceFaultLoss, At: 10, From: 1, To: 3, Msg: msg, Span: 3, Parent: 2, Depth: 1})
+	c.Observe(sim.TraceEvent{Kind: sim.TraceDropFault, At: 12, From: 1, To: 3, Msg: msg, Span: 4, Parent: 2, Depth: 1})
+	c.Observe(sim.TraceEvent{Kind: sim.TraceSend, At: 13, From: 1, To: 3, Msg: msg, Span: 5, Parent: 1, Depth: 1})
+	c.Observe(sim.TraceEvent{Kind: sim.TraceDeliver, At: 15, From: 1, To: 3, Msg: msg, Span: 6, Parent: 5, Depth: 1})
+	c.Observe(sim.TraceEvent{Kind: sim.TraceRouteChange, At: 15, From: 3, To: 2, Span: 7, Parent: 6, Depth: 1,
+		OldNext: 2, NewNext: routing.None, HasVia: true})
+
+	out := string(tc.Bytes())
+	if !strings.Contains(out, `{"chunk":0,"v":2,"label":"fig6.centaur","seed":42}`) {
+		t.Fatalf("v2 header not rendered:\n%s", out)
+	}
+	if !strings.Contains(out, `"c":2,"p":1,"d":1`) {
+		t.Fatalf("span fields not rendered:\n%s", out)
+	}
+	if !strings.Contains(out, `"oh":2,"nh":0`) {
+		t.Fatalf("next-hop fields not rendered:\n%s", out)
+	}
+	if strings.Contains(out, `"p":0`) {
+		t.Fatalf("zero parent must be omitted:\n%s", out)
+	}
+
+	sum, err := ValidateTrace(bytes.NewReader(tc.Bytes()))
+	if err != nil {
+		t.Fatalf("v2 trace does not validate: %v\n%s", err, out)
+	}
+	if sum.ProvenanceChunks != 1 || sum.Chunks != 1 || sum.Events != 7 {
+		t.Fatalf("summary = %+v", sum)
+	}
+}
+
+func TestValidateTraceV2Rejects(t *testing.T) {
+	h2 := `{"chunk":0,"v":2,"label":"x","seed":1}` + "\n"
+	h1 := `{"chunk":0,"label":"x","seed":1}` + "\n"
+	down := `{"t":1,"k":"link-down","f":1,"o":2,"c":1,"d":0}` + "\n"
+	cases := map[string]string{
+		"unknown version":        `{"chunk":0,"v":3,"label":"x","seed":1}` + "\n",
+		"provenance in v1 chunk": h1 + down,
+		"missing c/d in v2":      h2 + `{"t":1,"k":"link-down","f":1,"o":2}` + "\n",
+		"span not increasing": h2 + down +
+			`{"t":2,"k":"link-up","f":1,"o":2,"c":1,"d":0}` + "\n",
+		"unknown parent": h2 + down +
+			`{"t":1,"k":"send","f":1,"o":3,"m":"a","u":1,"b":1,"c":2,"p":9,"d":1}` + "\n",
+		"root with nonzero depth": h2 + `{"t":1,"k":"link-down","f":1,"o":2,"c":1,"d":2}` + "\n",
+		"send depth not parent+1": h2 + down +
+			`{"t":1,"k":"send","f":1,"o":3,"m":"a","u":1,"b":1,"c":2,"p":1,"d":3}` + "\n",
+		"orphan send depth not 1": h2 + `{"t":1,"k":"send","f":1,"o":3,"m":"a","u":1,"b":1,"c":1,"d":2}` + "\n",
+		"deliver without parent":  h2 + `{"t":1,"k":"deliver","f":1,"o":3,"m":"a","u":1,"b":1,"c":1,"d":1}` + "\n",
+		"deliver depth mismatch": h2 + down +
+			`{"t":1,"k":"send","f":1,"o":3,"m":"a","u":1,"b":1,"c":2,"p":1,"d":1}` + "\n" +
+			`{"t":2,"k":"deliver","f":1,"o":3,"m":"a","u":1,"b":1,"c":3,"p":2,"d":2}` + "\n",
+		"route depth mismatch": h2 + down +
+			`{"t":1,"k":"route","f":2,"o":5,"c":2,"p":1,"d":1}` + "\n",
+		"oh without nh": h2 + down +
+			`{"t":1,"k":"route","f":2,"o":5,"c":2,"p":1,"d":0,"oh":3}` + "\n",
+		"oh on non-route": h2 + down +
+			`{"t":1,"k":"send","f":1,"o":3,"m":"a","u":1,"b":1,"c":2,"p":1,"d":1,"oh":3,"nh":4}` + "\n",
+		"negative next hop": h2 + down +
+			`{"t":1,"k":"route","f":2,"o":5,"c":2,"p":1,"d":0,"oh":-1,"nh":4}` + "\n",
+		"negative depth": h2 + `{"t":1,"k":"send","f":1,"o":3,"m":"a","u":1,"b":1,"c":1,"d":-1}` + "\n",
+	}
+	for name, in := range cases {
+		if _, err := ValidateTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: validated but should fail:\n%s", name, in)
+		}
+	}
+
+	// A well-formed v2 chunk may follow a v1 chunk; each declares its own
+	// version and the provenance state resets per chunk.
+	mixed := h1 + `{"t":1,"k":"route","f":0,"o":1}` + "\n" +
+		`{"chunk":1,"v":2,"label":"y","seed":2}` + "\n" +
+		`{"t":1,"k":"link-down","f":1,"o":2,"c":1,"d":0}` + "\n" +
+		`{"t":1,"k":"send","f":1,"o":3,"m":"a","u":1,"b":1,"c":2,"p":1,"d":1}` + "\n" +
+		`{"t":2,"k":"deliver","f":1,"o":3,"m":"a","u":1,"b":1,"c":3,"p":2,"d":1}` + "\n" +
+		`{"t":2,"k":"route","f":3,"o":9,"c":4,"p":3,"d":1,"oh":0,"nh":1}` + "\n"
+	sum, err := ValidateTrace(strings.NewReader(mixed))
+	if err != nil {
+		t.Fatalf("mixed v1/v2 trace rejected: %v", err)
+	}
+	if sum.Chunks != 2 || sum.ProvenanceChunks != 1 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	// A v1 explicit version marker is accepted.
+	if _, err := ValidateTrace(strings.NewReader(`{"chunk":0,"v":1,"label":"x","seed":1}` + "\n")); err != nil {
+		t.Fatalf("explicit v1 header rejected: %v", err)
 	}
 }
