@@ -43,6 +43,7 @@ import (
 	"centaur/internal/ospf"
 	"centaur/internal/pgraph"
 	"centaur/internal/policy"
+	"centaur/internal/solver"
 	"centaur/internal/telemetry"
 )
 
@@ -67,7 +68,11 @@ type benchReport struct {
 	Seed         int64       `json:"seed"`
 	Quick        bool        `json:"quick"`
 	Workers      int         `json:"workers"`
-	GoMaxProcs   int         `json:"gomaxprocs"`
+	// DeriveWorkers is the per-node recompute fan-out
+	// (centaur.Config.DeriveWorkers); omitted when serial so default
+	// runs stay byte-identical to builds predating the knob.
+	DeriveWorkers int `json:"derive_workers,omitempty"`
+	GoMaxProcs    int `json:"gomaxprocs"`
 	Steps        []benchStep `json:"steps"`
 	TotalSeconds float64     `json:"total_seconds"`
 	// ColdStartsAvoided counts trial chunks served by forking a shared
@@ -108,7 +113,9 @@ func run() error {
 		faultSeed = flag.Int64("fault-seed", 10_000, "reliability step: fault-plan seed (same seed ⇒ same faults)")
 		bloomPL   = flag.Bool("bloom-pl", false, "measure Bloom-compressed Permission Lists: adds the PL-overhead step and switches the reliability centaur series to compressed lists")
 		plFPRate  = flag.Float64("pl-fp-rate", 0, "per-filter false-positive target for -bloom-pl (0 = protocol default)")
-		scaling   = flag.Bool("scaling", false, "add the solver scaling step: cold solve vs incremental flips at 1k/4k/16k nodes (quick: 300/600), verified byte-identical")
+		scaling    = flag.Bool("scaling", false, "add the solver scaling step: cold solve vs incremental flips at 1k/4k/16k nodes (quick: 300/600), verified answer-identical")
+		scalingMax = flag.Int("scaling-max-nodes", 16000, "scaling step: largest sweep tier (75000 adds the real-AS-scale point on the sharded table layout)")
+		deriveWork = flag.Int("derive-workers", 0, "goroutines per centaur node's recompute round (0/1 = serial; results identical at any setting)")
 	)
 	flag.Parse()
 
@@ -125,6 +132,7 @@ func run() error {
 	ospf.SetTelemetry(reg)
 	centaur.SetTelemetry(reg)
 	pgraph.SetTelemetry(reg)
+	solver.SetTelemetry(reg)
 	if *debugAddr != "" {
 		addr, stopDebug, err := telemetry.ServeDebug(*debugAddr, reg)
 		if err != nil {
@@ -154,6 +162,7 @@ func run() error {
 	fig6.Workers, fig7.Workers, fig8.Workers = *workers, *workers, *workers
 	fig6.TrialsPerNetwork, fig7.TrialsPerNetwork, fig8.TrialsPerNetwork = *trialsPer, *trialsPer, *trialsPer
 	fig6.NoCheckpoint, fig7.NoCheckpoint, fig8.NoCheckpoint = *noCheckpt, *noCheckpt, *noCheckpt
+	fig6.DeriveWorkers, fig7.DeriveWorkers, fig8.DeriveWorkers = *deriveWork, *deriveWork, *deriveWork
 	fig6.Telemetry, fig7.Telemetry, fig8.Telemetry = reg, reg, reg
 
 	// Opt-in like -bloom-pl: without -trace the report and stdout stay
@@ -176,9 +185,10 @@ func run() error {
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		Nodes:      sc.Nodes,
 		Seed:       *seed,
-		Quick:      *quick,
-		Workers:    *workers,
-		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Quick:         *quick,
+		Workers:       *workers,
+		DeriveWorkers: *deriveWork,
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
 	}
 	fmt.Printf("Centaur reproduction report (scale: %d nodes, seed %d)\n", sc.Nodes, *seed)
 	fmt.Printf("generated: %s\n\n", report.Generated)
@@ -312,8 +322,20 @@ func run() error {
 	// Opt-in: the 16k cold solve takes about a minute per pass (two with
 	// verification) on top of the sweep itself.
 	if *scaling {
-		scCfg := experiments.ScalingConfig{Seed: *seed, TieBreak: policy.TieHashed, Verify: true}
-		if *quick {
+		scCfg := experiments.ScalingConfig{
+			Sizes: experiments.ScalingSizesUpTo(*scalingMax),
+			Seed:  *seed, TieBreak: policy.TieHashed, Verify: true,
+		}
+		scalingMaxSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "scaling-max-nodes" {
+				scalingMaxSet = true
+			}
+		})
+		// -quick shrinks the sweep unless the caller explicitly asked for
+		// a tier ceiling (e.g. a quick bench that still wants the 75k
+		// point and nothing else slow).
+		if *quick && !scalingMaxSet {
 			scCfg.Sizes = []int{300, 600}
 		}
 		if err := step("scaling", func() (fmt.Stringer, error) {
@@ -395,6 +417,8 @@ func keyStats(res fmt.Stringer) map[string]any {
 			points = append(points, map[string]any{
 				"nodes":           p.Nodes,
 				"links":           p.Links,
+				"layout":          p.Layout,
+				"table_mb":        p.TableMB,
 				"cold_solve_ms":   p.ColdSolveMS,
 				"cold_alloc_mb":   p.ColdAllocMB,
 				"index_ms":        p.IndexMS,

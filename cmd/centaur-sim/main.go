@@ -15,8 +15,12 @@
 // The -scaling mode skips the simulator entirely and sweeps the solver:
 // per size it measures one cold all-destinations solve against a series
 // of incrementally re-solved link flips (Solution.Resolve), verifying
-// the warm-started tables byte-identical against a fresh cold solve
-// unless -no-verify. The figure modes accept -verify to invariant-check
+// the warm-started tables answer-identical against a fresh cold solve
+// unless -no-verify (shard-streamed above the sharded-layout cutover,
+// so verification never doubles the resident footprint). The default
+// tiers stop at 16k nodes; -scaling-max-nodes 75000 opts into the
+// real-AS-scale point, which the sharded table layout keeps under a
+// typical workstation's memory. The figure modes accept -verify to invariant-check
 // every quiesced state of every flip trial against an incrementally
 // maintained solver oracle — a correctness harness, observationally
 // free for the measured samples.
@@ -66,6 +70,7 @@ import (
 	"centaur/internal/pgraph"
 	"centaur/internal/policy"
 	"centaur/internal/sim"
+	"centaur/internal/solver"
 	"centaur/internal/telemetry"
 	"centaur/internal/topogen"
 	"centaur/internal/topology"
@@ -95,7 +100,9 @@ func run() error {
 		noCheckpt  = flag.Bool("no-checkpoint", false, "disable converged-state checkpointing; cold-start every trial chunk")
 		verify     = flag.Bool("verify", false, "figures 6-8: invariant-check every quiesced flip state against the incremental solver oracle")
 		scaling    = flag.Bool("scaling", false, "run the solver scaling sweep (cold solve vs incremental flips; -sizes, -flips, -seed apply)")
-		noVerify   = flag.Bool("no-verify", false, "scaling: skip the byte-identical check against a fresh cold solve per size")
+		scalingMax = flag.Int("scaling-max-nodes", 16000, "scaling: largest default sweep tier (75000 adds the real-AS-scale point; ignored when -sizes is set)")
+		noVerify   = flag.Bool("no-verify", false, "scaling: skip the answer-identical check against a fresh cold solve per size")
+		deriveWork = flag.Int("derive-workers", 0, "centaur: goroutines per node's recompute round (0/1 = serial; results identical at any setting)")
 		traceFile  = flag.String("trace", "", "write a structured JSONL event trace to this file")
 		prov       = flag.Bool("prov", false, "emit the trace with causal provenance (schema v2; requires -trace)")
 		debugAddr  = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
@@ -131,6 +138,7 @@ func run() error {
 		ospf.SetTelemetry(reg)
 		centaur.SetTelemetry(reg)
 		pgraph.SetTelemetry(reg)
+		solver.SetTelemetry(reg)
 	}
 	if *prov && *traceFile == "" {
 		return fmt.Errorf("-prov requires -trace (provenance rides on the event trace)")
@@ -165,7 +173,7 @@ func run() error {
 	var dispatchErr error
 	switch {
 	case *scaling:
-		dispatchErr = runScaling(*sizes, sizesSet, *flips, *seed, !*noVerify)
+		dispatchErr = runScaling(*sizes, sizesSet, *scalingMax, *flips, *seed, !*noVerify)
 	case *rel:
 		dispatchErr = runReliability(relFlags{
 			nodes: *nodes, m: *m, seed: *seed, workers: *workers,
@@ -174,7 +182,7 @@ func run() error {
 			noTransport: *noTransport, bloomPL: *bloomPL, plFPRate: *plFPRate,
 		}, reg, tc)
 	default:
-		dispatchErr = dispatch(*fig, *compare, *nodes, *m, *flips, *seed, *mrai, *sizes, *workers, *trialsPer, *noCheckpt, *verify, reg, tc)
+		dispatchErr = dispatch(*fig, *compare, *nodes, *m, *flips, *seed, *mrai, *sizes, *workers, *trialsPer, *deriveWork, *noCheckpt, *verify, reg, tc)
 	}
 	if dispatchErr != nil {
 		return dispatchErr
@@ -190,7 +198,7 @@ func run() error {
 
 // dispatch runs the selected experiment mode with the observability
 // hooks threaded through.
-func dispatch(fig string, compare bool, nodes, m, flips int, seed int64, mrai time.Duration, sizes string, workers, trialsPer int, noCheckpt, verify bool, reg *telemetry.Registry, tc *telemetry.TraceCollector) error {
+func dispatch(fig string, compare bool, nodes, m, flips int, seed int64, mrai time.Duration, sizes string, workers, trialsPer, deriveWorkers int, noCheckpt, verify bool, reg *telemetry.Registry, tc *telemetry.TraceCollector) error {
 	if compare {
 		return runCompare(nodes, m, flips, seed, mrai, workers, trialsPer, noCheckpt, reg, tc)
 	}
@@ -199,8 +207,8 @@ func dispatch(fig string, compare bool, nodes, m, flips int, seed int64, mrai ti
 	case "6":
 		res, err := experiments.Figure6(experiments.Figure6Config{
 			Nodes: nodes, LinksPerNode: m, Flips: flips, Seed: seed, MRAI: mrai,
-			TrialsPerNetwork: trialsPer, Workers: workers, NoCheckpoint: noCheckpt,
-			Verify: verify, Telemetry: reg, Trace: tc,
+			TrialsPerNetwork: trialsPer, Workers: workers, DeriveWorkers: deriveWorkers,
+			NoCheckpoint: noCheckpt, Verify: verify, Telemetry: reg, Trace: tc,
 		})
 		if err != nil {
 			return err
@@ -210,8 +218,8 @@ func dispatch(fig string, compare bool, nodes, m, flips int, seed int64, mrai ti
 	case "7":
 		res, err := experiments.Figure7(experiments.Figure7Config{
 			Nodes: nodes, LinksPerNode: m, Flips: flips, Seed: seed,
-			TrialsPerNetwork: trialsPer, Workers: workers, NoCheckpoint: noCheckpt,
-			Verify: verify, Telemetry: reg, Trace: tc,
+			TrialsPerNetwork: trialsPer, Workers: workers, DeriveWorkers: deriveWorkers,
+			NoCheckpoint: noCheckpt, Verify: verify, Telemetry: reg, Trace: tc,
 		})
 		if err != nil {
 			return err
@@ -225,8 +233,8 @@ func dispatch(fig string, compare bool, nodes, m, flips int, seed int64, mrai ti
 		}
 		res, err := experiments.Figure8(experiments.Figure8Config{
 			Sizes: sz, LinksPerNode: m, FlipsPerSize: flips, Seed: seed,
-			TrialsPerNetwork: trialsPer, Workers: workers, NoCheckpoint: noCheckpt,
-			Verify: verify, Telemetry: reg, Trace: tc,
+			TrialsPerNetwork: trialsPer, Workers: workers, DeriveWorkers: deriveWorkers,
+			NoCheckpoint: noCheckpt, Verify: verify, Telemetry: reg, Trace: tc,
 		})
 		if err != nil {
 			return err
@@ -241,14 +249,17 @@ func dispatch(fig string, compare bool, nodes, m, flips int, seed int64, mrai ti
 
 // runScaling runs the solver scaling sweep (no simulator involved). The
 // -sizes default targets figure 8; unless the flag was set explicitly
-// the sweep uses experiments.DefaultScalingSizes.
-func runScaling(sizesFlag string, sizesSet bool, flips int, seed int64, verify bool) error {
+// the sweep uses the standard tiers up to -scaling-max-nodes (75000
+// opts into the real-AS-scale point).
+func runScaling(sizesFlag string, sizesSet bool, maxNodes, flips int, seed int64, verify bool) error {
 	var sz []int
 	if sizesSet {
 		var err error
 		if sz, err = parseSizes(sizesFlag); err != nil {
 			return err
 		}
+	} else {
+		sz = experiments.ScalingSizesUpTo(maxNodes)
 	}
 	res, err := experiments.Scaling(experiments.ScalingConfig{
 		Sizes: sz, Flips: flips, Seed: seed,

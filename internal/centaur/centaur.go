@@ -104,6 +104,15 @@ type Config struct {
 	// PLFPRate is the per-group Bloom filter false-positive target used
 	// when BloomPL is on; zero means DefaultPLFPRate.
 	PLFPRate float64
+	// DeriveWorkers fans the per-destination candidate ranking of a
+	// recompute round out across this many goroutines (<= 1 means
+	// serial). Results are identical at any setting and any GOMAXPROCS:
+	// ranking only reads the neighbor P-graphs and the derive cache, and
+	// the route-table/cache/view writes are applied serially in ascending
+	// destination order afterwards. BloomPL rounds always run serially —
+	// Bloom false-positive hits are observed from inside the backtrace
+	// and their trace order is part of the byte-identical contract.
+	DeriveWorkers int
 }
 
 // DefaultPLFPRate is the Bloom filter sizing target used when
@@ -646,6 +655,9 @@ func (n *Node) exportable(d, b routing.NodeID) routing.Path {
 // When dirty is non-nil, every neighbor whose export view could be
 // altered by a changed route is marked in it.
 func (n *Node) solveSome(dests []routing.NodeID, dirty map[routing.NodeID]bool) []routing.NodeID {
+	if w := n.cfg.DeriveWorkers; w > 1 && !n.cfg.BloomPL && len(dests) > 1 {
+		return n.solveSomeParallel(dests, dirty, w)
+	}
 	nbs := n.neighbors()
 	var changed []routing.NodeID
 	for _, d := range dests {
@@ -678,32 +690,44 @@ func (n *Node) solveSome(dests []routing.NodeID, dirty map[routing.NodeID]bool) 
 		if len(best.Path) > 0 {
 			best.Path = best.Path.Prepend(n.self)
 		}
-		oldPath, had := n.paths[d]
-		oldClass := n.classes[d]
-		oldVia := n.vias[d] // routing.None when absent
-		newVia := routing.None
-		switch {
-		case len(best.Path) == 0 && !had:
-			continue
-		case len(best.Path) == 0:
-			delete(n.paths, d)
-			delete(n.classes, d)
-			delete(n.vias, d)
-		case had && oldPath.Equal(best.Path) && n.vias[d] == best.Via:
-			continue
-		default:
-			n.paths[d] = best.Path
-			n.classes[d] = best.Class
-			n.vias[d] = best.Via
-			newVia = best.Via
-		}
-		changed = append(changed, d)
-		sim.RouteChangedVia(n.env, d, oldVia, newVia)
-		if dirty != nil {
-			n.markDirty(dirty, d, oldClass, best)
+		if n.applyBest(d, best, dirty) {
+			changed = append(changed, d)
 		}
 	}
 	return changed
+}
+
+// applyBest installs best (already self-prepended, empty for "no route")
+// as destination d's selected route when it differs from the current
+// one, reporting whether the route changed. On a change it emits the
+// RouteChangedVia trace event and marks the dirty export views. Both
+// the serial and parallel solveSome apply through here so the two modes
+// cannot drift.
+func (n *Node) applyBest(d routing.NodeID, best policy.Candidate, dirty map[routing.NodeID]bool) bool {
+	oldPath, had := n.paths[d]
+	oldClass := n.classes[d]
+	oldVia := n.vias[d] // routing.None when absent
+	newVia := routing.None
+	switch {
+	case len(best.Path) == 0 && !had:
+		return false
+	case len(best.Path) == 0:
+		delete(n.paths, d)
+		delete(n.classes, d)
+		delete(n.vias, d)
+	case had && oldPath.Equal(best.Path) && n.vias[d] == best.Via:
+		return false
+	default:
+		n.paths[d] = best.Path
+		n.classes[d] = best.Class
+		n.vias[d] = best.Via
+		newVia = best.Via
+	}
+	sim.RouteChangedVia(n.env, d, oldVia, newVia)
+	if dirty != nil {
+		n.markDirty(dirty, d, oldClass, best)
+	}
+	return true
 }
 
 // markDirty marks every neighbor whose export view can be altered by

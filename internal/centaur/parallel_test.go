@@ -1,0 +1,105 @@
+package centaur
+
+import (
+	"fmt"
+	"testing"
+
+	"centaur/internal/policy"
+	"centaur/internal/routing"
+	"centaur/internal/topogen"
+)
+
+// TestDeriveWorkersMatchSerial: a parallel recompute round must be
+// indistinguishable from the serial one — identical converged routes,
+// identical announced views, identical message units — in both full and
+// incremental solver modes, across a failure/restore workload. This is
+// the DeriveWorkers determinism contract: only wall-clock may change.
+func TestDeriveWorkersMatchSerial(t *testing.T) {
+	g, err := topogen.CAIDALike(60, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type snapshot struct {
+		nodes map[routing.NodeID]*Node
+		units int64
+	}
+	run := func(workers int, incremental bool) snapshot {
+		cfg := Config{
+			Incremental:   incremental,
+			DeriveWorkers: workers,
+			Policy:        policy.GaoRexford{TieBreak: policy.TieHashed},
+		}
+		net, nodes := converge(t, g, cfg)
+		for _, ei := range []int{3, 9} {
+			e := g.Edges()[ei]
+			net.FailLink(e.A, e.B)
+			if _, _, err := net.RunToConvergence(50_000_000); err != nil {
+				t.Fatal(err)
+			}
+			net.RestoreLink(e.A, e.B)
+			if _, _, err := net.RunToConvergence(50_000_000); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return snapshot{nodes: nodes, units: net.Stats().Units}
+	}
+	for _, incremental := range []bool{false, true} {
+		t.Run(fmt.Sprintf("incremental=%v", incremental), func(t *testing.T) {
+			serial := run(0, incremental)
+			for _, workers := range []int{2, 8} {
+				par := run(workers, incremental)
+				if par.units != serial.units {
+					t.Fatalf("workers=%d: message units %d, serial %d", workers, par.units, serial.units)
+				}
+				for _, id := range g.Nodes() {
+					for _, to := range g.Nodes() {
+						ps, pp := serial.nodes[id].BestPath(to), par.nodes[id].BestPath(to)
+						if !ps.Equal(pp) {
+							t.Fatalf("workers=%d: route %v->%v differs: serial %v vs parallel %v", workers, id, to, ps, pp)
+						}
+					}
+					for _, nb := range g.Neighbors(id) {
+						vs, vp := serial.nodes[id].ExportedView(nb.ID), par.nodes[id].ExportedView(nb.ID)
+						if len(vs) != len(vp) {
+							t.Fatalf("workers=%d: view %v->%v length differs: %d vs %d", workers, id, nb.ID, len(vs), len(vp))
+						}
+						for i := range vs {
+							if !vs[i].Equal(vp[i]) {
+								t.Fatalf("workers=%d: view %v->%v differs at %d: %v vs %v", workers, id, nb.ID, i, vs[i], vp[i])
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDeriveWorkersBloomPLStaysSerial: BloomPL rounds must take the
+// serial path regardless of DeriveWorkers (the false-positive trace
+// order is part of the byte-identical contract), and still converge to
+// the same routes as the explicit-PL serial run.
+func TestDeriveWorkersBloomPLStaysSerial(t *testing.T) {
+	g, err := topogen.CAIDALike(40, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, serial := converge(t, g, Config{BloomPL: true})
+	netP, par := converge(t, g, Config{BloomPL: true, DeriveWorkers: 8})
+	e := g.Edges()[2]
+	netP.FailLink(e.A, e.B)
+	if _, _, err := netP.RunToConvergence(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	netP.RestoreLink(e.A, e.B)
+	if _, _, err := netP.RunToConvergence(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range g.Nodes() {
+		for _, to := range g.Nodes() {
+			if !serial[id].BestPath(to).Equal(par[id].BestPath(to)) {
+				t.Fatalf("route %v->%v differs under BloomPL with workers set", id, to)
+			}
+		}
+	}
+}

@@ -41,7 +41,26 @@ type ScalingConfig struct {
 
 // DefaultScalingSizes spans the previous experiment ceiling (1k/4k) and
 // the first internet-order size (16k).
-func DefaultScalingSizes() []int { return []int{1000, 4000, 16000} }
+func DefaultScalingSizes() []int { return ScalingSizesUpTo(16000) }
+
+// ScalingSizesUpTo returns the sweep tiers up to and including max
+// nodes: {1k, 4k, 16k, 75k}. The 75k tier is the real-AS-graph scale
+// (CAIDA's AS topology is ~75k ASes); it is opt-in via max because a
+// cold solve there takes on the order of an hour on one core even in
+// the sharded layout.
+func ScalingSizesUpTo(max int) []int {
+	all := []int{1000, 4000, 16000, 75000}
+	sizes := make([]int, 0, len(all))
+	for _, n := range all {
+		if n <= max {
+			sizes = append(sizes, n)
+		}
+	}
+	if len(sizes) == 0 {
+		sizes = append(sizes, all[0])
+	}
+	return sizes
+}
 
 // ScalingPoint is one sweep point. Times are wall clock; allocation
 // figures are process TotalAlloc deltas (transient scratch included),
@@ -69,9 +88,18 @@ type ScalingPoint struct {
 	// Speedup is the cold solve time over the mean single-phase
 	// incremental resolve time.
 	Speedup float64
-	// Verified reports the byte-identical check against a fresh cold
-	// solve (always true when ScalingConfig.Verify ran; false means the
-	// check was skipped).
+	// Layout is the table layout the solver picked for this size
+	// ("dense" below the auto-shard cutover, "sharded" above it).
+	Layout string
+	// TableMB is the live footprint of the converged table
+	// (Solution.MemoryBytes) — the resident cost of holding the answer,
+	// as opposed to ColdAllocMB's cumulative churn.
+	TableMB float64
+	// Verified reports the answer-identical check after the flip series
+	// (always true when ScalingConfig.Verify ran; false means the check
+	// was skipped). Dense points compare against a second cold solve;
+	// sharded points use the shard-streamed cold solve so verification
+	// never doubles the resident footprint.
 	Verified bool
 }
 
@@ -110,6 +138,8 @@ func Scaling(cfg ScalingConfig) (*ScalingResult, error) {
 		}
 		pt.ColdSolveMS = msSince(t0)
 		pt.ColdAllocMB = float64(totalAlloc()-a0) / (1 << 20)
+		pt.Layout = sol.Layout().String()
+		pt.TableMB = float64(sol.MemoryBytes()) / (1 << 20)
 
 		a0 = totalAlloc()
 		t0 = time.Now()
@@ -159,12 +189,25 @@ func Scaling(cfg ScalingConfig) (*ScalingResult, error) {
 			pt.Speedup = pt.ColdSolveMS * 1000 / mean
 		}
 		if cfg.Verify {
-			cold, err := solver.SolveOpts(g, solver.Options{TieBreak: cfg.TieBreak})
-			if err != nil {
-				return nil, fmt.Errorf("experiments: scaling n=%d verify solve: %w", n, err)
-			}
-			if !sol.Equal(cold) {
-				return nil, fmt.Errorf("experiments: scaling n=%d: incremental tables diverged from cold solve after %d flips", n, len(edges))
+			if sol.Layout() == solver.LayoutSharded {
+				// Stream the cold side shard by shard: the check never
+				// holds a second full table, so it stays affordable at
+				// exactly the sizes where sharding matters.
+				ok, err := solver.StreamEqual(g, solver.Options{TieBreak: cfg.TieBreak}, sol)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: scaling n=%d verify stream: %w", n, err)
+				}
+				if !ok {
+					return nil, fmt.Errorf("experiments: scaling n=%d: incremental tables diverged from streamed cold solve after %d flips", n, len(edges))
+				}
+			} else {
+				cold, err := solver.SolveOpts(g, solver.Options{TieBreak: cfg.TieBreak})
+				if err != nil {
+					return nil, fmt.Errorf("experiments: scaling n=%d verify solve: %w", n, err)
+				}
+				if !sol.Equal(cold) {
+					return nil, fmt.Errorf("experiments: scaling n=%d: incremental tables diverged from cold solve after %d flips", n, len(edges))
+				}
 			}
 			pt.Verified = true
 		}
@@ -187,16 +230,16 @@ func usSince(t time.Time) float64 { return float64(time.Since(t)) / float64(time
 func (r *ScalingResult) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Scaling. Incremental warm-start solver vs cold re-solve (CAIDA-like, %v tie-break).\n", r.TieBreak)
-	fmt.Fprintf(&b, "%8s %8s %11s %10s %10s %9s %20s %20s %10s %8s %9s %9s\n",
-		"nodes", "links", "cold-solve", "cold-MB", "index-ms", "index-MB",
+	fmt.Fprintf(&b, "%8s %8s %8s %11s %10s %9s %20s %20s %10s %8s %9s %9s\n",
+		"nodes", "links", "layout", "cold-solve", "cold-MB", "table-MB",
 		"fail-us(mean/p95)", "rest-us(mean/p95)", "alloc/flip", "dirty", "speedup", "verified")
 	for _, p := range r.Points {
 		verified := "-"
 		if p.Verified {
 			verified = "yes"
 		}
-		fmt.Fprintf(&b, "%8d %8d %10.0fms %9.1f %10.1f %9.1f %11.0f /%7.0f %11.0f /%7.0f %8.1fkB %8.1f %8.0fx %9s\n",
-			p.Nodes, p.Links, p.ColdSolveMS, p.ColdAllocMB, p.IndexMS, p.IndexMB,
+		fmt.Fprintf(&b, "%8d %8d %8s %10.0fms %9.1f %9.1f %11.0f /%7.0f %11.0f /%7.0f %8.1fkB %8.1f %8.0fx %9s\n",
+			p.Nodes, p.Links, p.Layout, p.ColdSolveMS, p.ColdAllocMB, p.TableMB,
 			p.FailMeanUS, p.FailP95US, p.RestoreMeanUS, p.RestoreP95US,
 			p.FlipAllocKB, p.MeanDirty, p.Speedup, verified)
 	}

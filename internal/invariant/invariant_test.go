@@ -190,3 +190,59 @@ func TestNoRIBIsReported(t *testing.T) {
 		t.Fatalf("want one no-rib violation per node, got %v", vs)
 	}
 }
+
+// TestCheckStreamedMatchesCheck: the shard-streamed oracle must agree
+// with the materialized one — zero violations on a clean convergence
+// (with a shard size small enough to force several windows), and the
+// same corruption detected when a RIB lies.
+func TestCheckStreamedMatchesCheck(t *testing.T) {
+	g, err := topogen.BRITE(40, 2, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := solver.Options{Layout: solver.LayoutSharded, ShardDests: 7}
+	net := converge(t, g, centaur.New(centaur.Config{}))
+	vs, err := invariant.CheckStreamed(net, g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("%d streamed violations on a clean convergence, first: %v", len(vs), vs[0])
+	}
+
+	chain, err := topogen.Chain(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liars, err := sim.NewNetwork(sim.Config{
+		Topology: chain,
+		Build:    func(env sim.Env) sim.Protocol { return &liarNode{self: env.Self(), via: 2} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	liars.Run(0)
+	want := invariant.Check(liars, solve(t, chain))
+	got, err := invariant.CheckStreamed(liars, chain, solver.Options{Layout: solver.LayoutSharded, ShardDests: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("streamed check must flag fabricated paths")
+	}
+	wantKinds, gotKinds := map[string]int{}, map[string]int{}
+	for _, v := range want {
+		wantKinds[v.Kind]++
+	}
+	for _, v := range got {
+		gotKinds[v.Kind]++
+	}
+	if len(wantKinds) != len(gotKinds) {
+		t.Fatalf("violation kinds differ: materialized %v vs streamed %v", wantKinds, gotKinds)
+	}
+	for k, n := range wantKinds {
+		if gotKinds[k] != n {
+			t.Fatalf("kind %q: materialized %d vs streamed %d", k, n, gotKinds[k])
+		}
+	}
+}

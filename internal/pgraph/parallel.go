@@ -1,0 +1,70 @@
+package pgraph
+
+import (
+	"slices"
+	"sync"
+
+	"centaur/internal/routing"
+)
+
+// DeriveAllParallel is DeriveAllInto fanned out across a bounded worker
+// pool: destinations are sorted, split into contiguous chunks, and each
+// worker backtraces its chunk with its own scratch buffer. Per-
+// destination derivations are independent reads of the graph, so the
+// result is identical to DeriveAllInto at any worker count or
+// GOMAXPROCS — each destination's path depends only on the graph, and
+// the merge into out is the same map either way. Telemetry totals are
+// also preserved (the counters are atomic; only increment order, which
+// counters cannot observe, differs).
+//
+// Falls back to the serial DeriveAllInto when workers <= 1, when the
+// destination set is trivial, or when a false-positive observer is
+// installed — observers emit ordered trace events from inside the
+// backtrace, and those events' order is part of the byte-identical
+// trace contract.
+func (g *Graph) DeriveAllParallel(workers int, out map[routing.NodeID]routing.Path) map[routing.NodeID]routing.Path {
+	if workers > len(g.dests) {
+		workers = len(g.dests)
+	}
+	if workers <= 1 || g.fpObserver != nil {
+		return g.DeriveAllInto(out)
+	}
+	if out == nil {
+		out = make(map[routing.NodeID]routing.Path, len(g.dests))
+	} else {
+		clear(out)
+	}
+	dests := make([]routing.NodeID, 0, len(g.dests))
+	for d := range g.dests {
+		dests = append(dests, d)
+	}
+	slices.Sort(dests)
+	results := make([]routing.Path, len(dests)) // nil = no derivable path
+	var wg sync.WaitGroup
+	chunk := (len(dests) + workers - 1) / workers
+	for lo := 0; lo < len(dests); lo += chunk {
+		hi := lo + chunk
+		if hi > len(dests) {
+			hi = len(dests)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var scratch routing.Path
+			for i := lo; i < hi; i++ {
+				var p routing.Path
+				var ok bool
+				if p, ok, scratch = g.derivePath(dests[i], nil, scratch); ok {
+					results[i] = p
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	for i, d := range dests {
+		if results[i] != nil {
+			out[d] = results[i]
+		}
+	}
+	return out
+}

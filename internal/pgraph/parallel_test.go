@@ -1,0 +1,61 @@
+package pgraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"centaur/internal/routing"
+)
+
+// TestDeriveAllParallelMatchesSerial: any worker count must reproduce
+// DeriveAllInto exactly — same keys, same paths, stale buffer entries
+// cleared — across randomized path sets.
+func TestDeriveAllParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	buf := map[routing.NodeID]routing.Path{99: {99}} // junk that must be cleared
+	for trial := 0; trial < 20; trial++ {
+		paths := randomPathSet(rng, 1)
+		g, err := Build(1, paths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := g.DeriveAllInto(nil)
+		for _, workers := range []int{1, 2, 4, 16} {
+			buf = g.DeriveAllParallel(workers, buf)
+			if len(buf) != len(want) {
+				t.Fatalf("trial %d workers %d: %d paths, want %d", trial, workers, len(buf), len(want))
+			}
+			for d, p := range want {
+				if !buf[d].Equal(p) {
+					t.Fatalf("trial %d workers %d: [%v] = %v, want %v", trial, workers, d, buf[d], p)
+				}
+			}
+		}
+	}
+}
+
+// TestDeriveAllParallelObserverFallsBack: with a false-positive
+// observer installed the parallel form must take the serial path (trace
+// event order is part of the contract) and still produce the same map.
+func TestDeriveAllParallelObserverFallsBack(t *testing.T) {
+	paths := pathMap(
+		routing.Path{1, 2},
+		routing.Path{1, 2, 3},
+		routing.Path{1, 4},
+	)
+	g, err := Build(1, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SetFPObserver(func(l routing.Link, dest, next routing.NodeID) {})
+	want := g.DeriveAllInto(nil)
+	got := g.DeriveAllParallel(8, nil)
+	if len(got) != len(want) {
+		t.Fatalf("observer fallback: %d paths, want %d", len(got), len(want))
+	}
+	for d, p := range want {
+		if !got[d].Equal(p) {
+			t.Fatalf("observer fallback: [%v] = %v, want %v", d, got[d], p)
+		}
+	}
+}

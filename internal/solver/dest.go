@@ -1,0 +1,118 @@
+package solver
+
+import (
+	"fmt"
+
+	"centaur/internal/policy"
+	"centaur/internal/routing"
+	"centaur/internal/topology"
+)
+
+// DestRows is the dense-slice result of a single-destination solve,
+// indexed by the solver's dense node positions (DestSolver.Index). A
+// DestRows is reusable: SolveInto grows the slices once and overwrites
+// them on every call, so a loop over destinations allocates nothing
+// after the first iteration.
+type DestRows struct {
+	// Next[v] is node v's next hop toward the destination, routing.None
+	// when unreachable, and the destination itself at the destination.
+	Next []routing.NodeID
+	// Class[v] is the class of v's best route (0 when unreachable).
+	Class []policy.RouteClass
+	// Dist[v] is the hop count of v's best route (0 when unreachable
+	// or at the destination).
+	Dist []uint16
+}
+
+// DestSolver answers single-destination solves against one topology
+// without re-deriving the index and adjacency per call — the
+// alternative to a full Θ(N²) Solution on very large inputs, and to
+// the map-allocating SolveDest in any loop.
+type DestSolver struct {
+	idx *topology.Index
+	adj *adjacency
+	st  *destState
+}
+
+// NewDestSolver prepares a reusable single-destination solver for g.
+// The solver snapshots g's links at construction time; it is not safe
+// for concurrent use (hold one per goroutine).
+func NewDestSolver(g *topology.Graph, opts Options) (*DestSolver, error) {
+	idx := topology.NewIndex(g)
+	if idx.Len() == 0 {
+		return nil, fmt.Errorf("solver: empty topology")
+	}
+	adj := buildAdjacency(g, idx, opts)
+	return &DestSolver{idx: idx, adj: adj, st: newDestState(adj)}, nil
+}
+
+// Index returns the dense node index DestRows slices are expressed in.
+func (ds *DestSolver) Index() *topology.Index { return ds.idx }
+
+// SolveInto runs the converged fixpoint for dest and writes every
+// node's route into rows, reusing its backing slices.
+func (ds *DestSolver) SolveInto(dest routing.NodeID, rows *DestRows) error {
+	d := ds.idx.Pos(dest)
+	if d < 0 {
+		return fmt.Errorf("solver: destination %v not in topology", dest)
+	}
+	if err := ds.st.solve(d); err != nil {
+		return err
+	}
+	n := ds.adj.n
+	if cap(rows.Next) < n {
+		rows.Next = make([]routing.NodeID, n)
+		rows.Class = make([]policy.RouteClass, n)
+		rows.Dist = make([]uint16, n)
+	}
+	rows.Next = rows.Next[:n]
+	rows.Class = rows.Class[:n]
+	rows.Dist = rows.Dist[:n]
+	for v := 0; v < n; v++ {
+		rows.Class[v] = policy.RouteClass(ds.st.class[v])
+		if ds.st.class[v] == 0 {
+			rows.Next[v] = routing.None
+			rows.Dist[v] = 0
+			continue
+		}
+		rows.Dist[v] = uint16(len(ds.st.path[v]) - 1)
+		if v == d {
+			rows.Next[v] = dest
+		} else {
+			rows.Next[v] = ds.idx.ID(int(ds.st.path[v][1]))
+		}
+	}
+	return nil
+}
+
+// SolveDest computes the converged routes toward a single destination,
+// for callers that cannot afford the Θ(N²) full solution. The returned
+// maps give each node's next hop and route class toward dest. Callers
+// querying many destinations should hold a DestSolver and use SolveInto
+// instead — this convenience form allocates two maps per call.
+func SolveDest(g *topology.Graph, dest routing.NodeID) (map[routing.NodeID]routing.NodeID, map[routing.NodeID]policy.RouteClass, error) {
+	return SolveDestOpts(g, dest, Options{})
+}
+
+// SolveDestOpts is SolveDest with explicit policy options.
+func SolveDestOpts(g *topology.Graph, dest routing.NodeID, opts Options) (map[routing.NodeID]routing.NodeID, map[routing.NodeID]policy.RouteClass, error) {
+	ds, err := NewDestSolver(g, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rows DestRows
+	if err := ds.SolveInto(dest, &rows); err != nil {
+		return nil, nil, err
+	}
+	d := ds.idx.Pos(dest)
+	next := make(map[routing.NodeID]routing.NodeID, ds.idx.Len())
+	class := make(map[routing.NodeID]policy.RouteClass, ds.idx.Len())
+	for i := 0; i < ds.idx.Len(); i++ {
+		if rows.Class[i] == 0 || i == d {
+			continue
+		}
+		next[ds.idx.ID(i)] = rows.Next[i]
+		class[ds.idx.ID(i)] = rows.Class[i]
+	}
+	return next, class, nil
+}

@@ -4,17 +4,29 @@
 //
 //   - Removing (or downgrading) a link dirties exactly the destinations
 //     whose best-route trees traverse it. A tree toward d uses link a—b
-//     iff next[d][a] == b or next[d][b] == a, so the dirty set is two
-//     lookups in the reverse next-hop index (Solution.rev), which maps
-//     each directed adjacency slot to the bitmap of destinations routed
-//     over it.
+//     iff next[d][a] == b or next[d][b] == a; the dense layout answers
+//     that with two lookups in the reverse next-hop index (Solution.rev),
+//     the sharded layout with two packed column scans (the index's
+//     bitmaps would be Θ(E·N) at that scale).
 //   - Adding (or upgrading) a link dirties at most the destinations for
 //     which the candidate route over the new link would outrank one
-//     endpoint's current best. That test needs only the dense tables
+//     endpoint's current best. That test needs only the stored tables
 //     (class, dist, next) and the shared better() ranking — no paths —
 //     so it is O(1) per destination. It over-approximates (the receiver-
 //     side loop check is skipped), which is sound: a spuriously dirty
 //     destination re-runs its fixpoint and converges to the same state.
+//
+// Resolve runs in two passes: removals and relationship changes first
+// (pass 1, always patched into the adjacency in place), link additions
+// second (pass 2, in place for restored links, via one adjacency rebuild
+// for brand-new ones). Each pass is a complete incremental step for its
+// own flip subset, so the composition converges to the cold solution of
+// the final graph (unique stable state). The split is what keeps the
+// sharded layout sound across a rebuild: its encoding is slot-relative,
+// and re-encoding it under the rebuilt adjacency is only possible when
+// no stored entry still references a removed link's slot — which pass 1
+// guarantees by re-running every removal-dirty destination before any
+// rebuild happens.
 //
 // Each dirty destination's fixpoint is warm-started from the previous
 // assignment with only the flipped links' endpoints activated. Soundness
@@ -27,11 +39,19 @@
 // re-activates the changer's neighbors.
 //
 // The warm start is lazy: per-node class and path seeds materialize from
-// the old dense rows on first touch (epoch-stamped scratch, no O(N)
-// clearing per destination), and materialized paths are interned in a
-// per-solve arena so the cascade allocates nothing per node. A flip that
-// leaves routing untouched therefore costs a few bitmap words, and a
-// typical single-link failure re-runs a handful of localized cascades.
+// the old rows on first touch (epoch-stamped scratch, no O(N) clearing
+// per destination), and materialized paths are interned in a per-solve
+// arena so the cascade allocates nothing per node. A flip that leaves
+// routing untouched therefore costs a few bitmap words, and a typical
+// single-link failure re-runs a handful of localized cascades.
+//
+// Sharded-layout seeds read their route class through Solution.patched
+// during pass 1: the packed table derives classes from the adjacency's
+// classIn, which pass 1 just rewrote, and the seeds must reflect the
+// state the stored routes were computed under. The map holds each
+// patched slot's pre-patch class and dies with the pass — by then every
+// entry that selected a patched slot has been re-resolved (it belonged
+// to a pass-1-dirty destination by construction).
 package solver
 
 import (
@@ -61,7 +81,9 @@ type Flip struct {
 
 // ResolveStats reports what a Resolve call had to do.
 type ResolveStats struct {
-	// Dirty is the number of destinations whose fixpoint was re-run.
+	// Dirty is the number of destination fixpoints re-run. A destination
+	// dirtied by both a removal and an addition in the same batch is
+	// counted once per pass.
 	Dirty int
 	// Changed is the number of (destination, node) table rows rewritten.
 	Changed int
@@ -71,19 +93,28 @@ type ResolveStats struct {
 	Rebuilt bool
 }
 
-// slotPatch is a pending in-place adjacency edit (kill or resurrect).
+// slotPatch is a pending in-place adjacency edit (kill, resurrect, or
+// reclassify).
 type slotPatch struct {
 	s       int32
 	classIn uint8
 	expRel  uint8
 }
 
+// addFlip is a link addition deferred to Resolve's second pass.
+type addFlip struct {
+	va, vb   int32
+	rel      topology.Relationship
+	sAB, sBA int32 // existing slots, -1 when the link is brand-new
+}
+
 // Resolve re-converges the solution in place after the given link flips,
 // which must already be applied to the solution's topology graph. It
 // computes the dirty destination set, re-runs the warm-started fixpoint
-// for those destinations only, and updates the dense tables (and the
-// reverse next-hop index) in place. The result is identical to a cold
-// SolveOpts of the mutated graph under the same options.
+// for those destinations only, and updates the tables (and, under the
+// dense layout, the reverse next-hop index) in place. The result is
+// identical to a cold SolveOpts of the mutated graph under the same
+// options, whatever the layout.
 //
 // Resolve mutates the solution and is not safe to call concurrently with
 // any other method of the same Solution.
@@ -95,11 +126,13 @@ func (s *Solution) Resolve(flips []Flip) (ResolveStats, error) {
 	a := s.adj
 	n := a.n
 	words := (n + 63) / 64
-	dirty := make([]uint64, words)
 	var (
-		seeds   []int32
-		patches []slotPatch
-		rebuild bool
+		p1dirty   []uint64
+		p1patches []slotPatch
+		p1seeds   []int32
+		adds      []addFlip
+		addSeeds  []int32
+		rebuild   bool
 	)
 	type pair struct{ lo, hi int32 }
 	seen := make(map[pair]bool, len(flips))
@@ -132,76 +165,143 @@ func (s *Solution) Resolve(flips []Flip) (ResolveStats, error) {
 		case !wasUp && !nowUp:
 			continue // removed twice (or never existed): no-op flip
 		case wasUp && !nowUp: // removal
-			s.ensureRev()
-			orBits(dirty, s.rev[sAB])
-			orBits(dirty, s.rev[sBA])
-			patches = append(patches,
+			if p1dirty == nil {
+				p1dirty = make([]uint64, words)
+			}
+			s.removalDirty(p1dirty, sAB, sBA, va, vb)
+			p1patches = append(p1patches,
 				slotPatch{sAB, 0, relDead},
 				slotPatch{sBA, 0, relDead})
+			p1seeds = append(p1seeds, va, vb)
 		case !wasUp && nowUp: // addition (restore or brand-new link)
-			s.additionDirty(dirty, va, vb, rel)
 			if sAB < 0 {
 				rebuild = true
-			} else {
-				patches = append(patches,
-					slotPatch{sAB, uint8(policy.ClassOf(rel)), uint8(rel.Invert())},
-					slotPatch{sBA, uint8(policy.ClassOf(rel.Invert())), uint8(rel)})
 			}
+			adds = append(adds, addFlip{va, vb, rel, sAB, sBA})
+			addSeeds = append(addSeeds, va, vb)
 		default: // relationship change on a live link: removal + addition
-			s.ensureRev()
-			orBits(dirty, s.rev[sAB])
-			orBits(dirty, s.rev[sBA])
-			s.additionDirty(dirty, va, vb, rel)
-			patches = append(patches,
+			if p1dirty == nil {
+				p1dirty = make([]uint64, words)
+			}
+			s.removalDirty(p1dirty, sAB, sBA, va, vb)
+			s.additionDirty(p1dirty, va, vb, rel)
+			p1patches = append(p1patches,
 				slotPatch{sAB, uint8(policy.ClassOf(rel)), uint8(rel.Invert())},
 				slotPatch{sBA, uint8(policy.ClassOf(rel.Invert())), uint8(rel)})
+			p1seeds = append(p1seeds, va, vb)
 		}
-		seeds = append(seeds, va, vb)
 	}
-	if len(seeds) == 0 {
+	if len(p1seeds) == 0 && len(addSeeds) == 0 {
 		return stats, nil
 	}
-	// Fold the flips into the dense adjacency: in place when every
-	// touched pair still has its slots, otherwise one rebuild whose slot
-	// renumbering the reverse index is remapped onto.
-	if rebuild {
-		old := a
-		a = buildAdjacency(s.topo, s.idx, s.opts)
-		s.rev = remapRev(old, a, s.rev)
-		s.adj = a
-		stats.Rebuilt = true
-	} else {
-		for _, p := range patches {
+
+	// Pass 1: removals and relationship changes, patched into the
+	// adjacency in place (slot numbering is untouched). The packed
+	// layout keeps the pre-patch classes visible through s.patched
+	// until every affected destination has been re-resolved.
+	if len(p1seeds) > 0 {
+		if s.pk != nil {
+			s.patched = make(map[int32]uint8, len(p1patches))
+			for _, p := range p1patches {
+				s.patched[p.s] = a.classIn[p.s]
+			}
+		}
+		for _, p := range p1patches {
 			a.classIn[p.s] = p.classIn
 			a.expRel[p.s] = p.expRel
 		}
+		err := s.runDirty(p1dirty, p1seeds, &stats)
+		s.patched = nil
+		if err != nil {
+			return stats, err
+		}
 	}
+
+	// Pass 2: additions. The dirty prefilter ranks the new links'
+	// candidate routes against the pass-1 tables (computed before the
+	// rebuild below, while the stored encoding and the adjacency still
+	// agree); restores patch slots back to life in place, a brand-new
+	// link rebuilds the adjacency — remapping the dense reverse index,
+	// or re-encoding the packed table under the new slot numbering.
+	if len(addSeeds) > 0 {
+		p2dirty := make([]uint64, words)
+		for _, ad := range adds {
+			s.additionDirty(p2dirty, ad.va, ad.vb, ad.rel)
+		}
+		if rebuild {
+			old := a
+			a = buildAdjacency(s.topo, s.idx, s.opts)
+			if s.pk != nil {
+				s.pk = s.pk.reencode(old, a)
+			} else {
+				s.rev = remapRev(old, a, s.rev)
+			}
+			s.adj = a
+			stats.Rebuilt = true
+		} else {
+			for _, ad := range adds {
+				a.classIn[ad.sAB] = uint8(policy.ClassOf(ad.rel))
+				a.expRel[ad.sAB] = uint8(ad.rel.Invert())
+				a.classIn[ad.sBA] = uint8(policy.ClassOf(ad.rel.Invert()))
+				a.expRel[ad.sBA] = uint8(ad.rel)
+			}
+		}
+		if err := s.runDirty(p2dirty, addSeeds, &stats); err != nil {
+			return stats, err
+		}
+	}
+	reportTableBytes(s.MemoryBytes())
+	return stats, nil
+}
+
+// runDirty re-runs the warm-started fixpoint of every destination set in
+// dirty (ascending), seeded at the flipped endpoints, and writes the
+// results back in place.
+func (s *Solution) runDirty(dirty []uint64, seeds []int32, stats *ResolveStats) error {
 	if s.inc == nil {
-		s.inc = newIncState(n)
+		s.inc = newIncState(s.adj.n)
 	}
 	st := s.inc
 	st.sol = s
-	st.adj = a
-	for w := 0; w < words; w++ {
-		word := dirty[w]
+	st.adj = s.adj
+	for w, word := range dirty {
 		for word != 0 {
 			b := bits.TrailingZeros64(word)
 			word &^= 1 << uint(b)
 			d := w*64 + b
 			stats.Dirty++
 			if err := st.resolveDest(d, seeds); err != nil {
-				return stats, err
+				return err
 			}
 			stats.Changed += st.writeBack(d)
 		}
 	}
-	return stats, nil
+	return nil
+}
+
+// removalDirty marks every destination whose best-route tree traverses
+// the live link at slots sAB/sBA (endpoints va/vb). The dense layout
+// reads the reverse next-hop index; the sharded layout scans the two
+// packed columns instead (an O(N) pass over two entries per
+// destination), trading the index's Θ(E·N) bitmaps for scan time.
+func (s *Solution) removalDirty(dirty []uint64, sAB, sBA, va, vb int32) {
+	if s.pk != nil {
+		for d := 0; d < s.adj.n; d++ {
+			if s.pk.nextAt(s.adj, d, va) == vb || s.pk.nextAt(s.adj, d, vb) == va {
+				dirty[d>>6] |= 1 << (uint(d) & 63)
+			}
+		}
+		return
+	}
+	s.ensureRev()
+	orBits(dirty, s.rev[sAB])
+	orBits(dirty, s.rev[sBA])
 }
 
 // additionDirty marks every destination for which the candidate route
 // over the new (or upgraded) link va—vb could outrank an endpoint's
 // current best. rel is vb's relationship from va's perspective. The test
-// mirrors reselect's ranking on the dense tables alone; skipping the
+// mirrors reselect's ranking on the stored tables alone; skipping the
 // loop check only over-approximates the dirty set.
 func (s *Solution) additionDirty(dirty []uint64, va, vb int32, rel topology.Relationship) {
 	relBA := rel.Invert()
@@ -216,39 +316,49 @@ func (s *Solution) additionDirty(dirty []uint64, va, vb int32, rel topology.Rela
 
 // candidateBeats reports whether the route v would learn from u (class
 // cIn, export-checked against expRel) could outrank v's current best
-// toward destination d, judging from the dense tables only.
+// toward destination d, judging from the stored tables only.
 func (s *Solution) candidateBeats(d int, v, u int32, cIn, expRel uint8) bool {
 	if int(v) == d {
 		return false // the destination's own route never changes
 	}
-	cu := s.class[d][u]
+	cu := s.classPos(d, u)
 	if cu == 0 || !exportOK(cu, expRel) {
 		return false
 	}
-	bc := s.class[d][v]
+	bc := s.classPos(d, v)
 	if bc == 0 {
 		return true // currently unreachable: any candidate wins
 	}
-	plen := int(s.dist[d][u]) + 2
-	bl := int(s.dist[d][v]) + 1
-	return s.adj.better(v, d, cIn, plen, u, bc, bl, s.next[d][v])
+	plen := int(s.distPos(d, u)) + 2
+	bl := int(s.distPos(d, v)) + 1
+	return s.adj.better(v, d, cIn, plen, u, bc, bl, s.nextPos(d, v))
 }
 
 // DestsVia returns the destinations that from currently routes through
 // neighbor via (including via itself when the direct link is the best
-// route), in ascending dense-index order. It answers from the reverse
-// next-hop index, so after the first call it costs one bitmap scan.
-// Returns nil when from and via are not adjacent.
+// route), in ascending dense-index order. The dense layout answers from
+// the reverse next-hop index (one bitmap scan after the first call);
+// the sharded layout scans the packed column. Returns nil when from and
+// via are not adjacent.
 func (s *Solution) DestsVia(from, via routing.NodeID) []routing.NodeID {
 	f, u := s.idx.Pos(from), s.idx.Pos(via)
 	if f < 0 || u < 0 {
 		return nil
 	}
-	s.ensureRev()
 	slot := s.adj.slot(int32(f), int32(u))
 	if slot < 0 {
 		return nil
 	}
+	if s.pk != nil {
+		var out []routing.NodeID
+		for d := 0; d < s.adj.n; d++ {
+			if d != f && s.pk.nextAt(s.adj, d, int32(f)) == int32(u) {
+				out = append(out, s.idx.ID(d))
+			}
+		}
+		return out
+	}
+	s.ensureRev()
 	var out []routing.NodeID
 	for w, word := range s.rev[slot] {
 		for word != 0 {
@@ -263,8 +373,11 @@ func (s *Solution) DestsVia(from, via routing.NodeID) []routing.NodeID {
 // CloneOn returns an independent deep copy of the solution re-anchored
 // on g, which must be topologically identical to the solution's current
 // graph (e.g. its Clone). The copy shares no mutable state with the
-// original, so each side can Resolve its own flip sequence against its
-// own graph; lazy caches (reverse index, scratch) start empty.
+// original — including the adjacency, which is cloned rather than
+// rebuilt so the copy keeps the original's slot numbering (and its dead
+// slots: the packed encoding is slot-relative, and preserved dead slots
+// also let either side restore a removed link in place). Lazy caches
+// (reverse index, scratch) start empty.
 func (s *Solution) CloneOn(g *topology.Graph) (*Solution, error) {
 	if g.NumNodes() != s.idx.Len() || g.NumEdges() != s.topo.NumEdges() {
 		return nil, fmt.Errorf("solver: CloneOn graph shape mismatch: %d nodes/%d edges vs %d/%d",
@@ -272,31 +385,40 @@ func (s *Solution) CloneOn(g *topology.Graph) (*Solution, error) {
 	}
 	n := s.idx.Len()
 	c := &Solution{
-		topo:  g,
-		idx:   s.idx, // immutable, and the node set is fixed across flips
-		opts:  s.opts,
-		next:  make([][]int32, n),
-		class: make([][]uint8, n),
-		dist:  make([][]uint16, n),
+		topo: g,
+		idx:  s.idx, // immutable, and the node set is fixed across flips
+		opts: s.opts,
+		adj:  s.adj.clone(),
 	}
+	if s.pk != nil {
+		c.pk = s.pk.clone()
+		return c, nil
+	}
+	c.next = make([][]int32, n)
+	c.class = make([][]uint8, n)
+	c.dist = make([][]uint16, n)
 	for d := 0; d < n; d++ {
-		c.next[d] = append([]int32(nil), s.next[d]...)
-		c.class[d] = append([]uint8(nil), s.class[d]...)
-		c.dist[d] = append([]uint16(nil), s.dist[d]...)
+		c.next[d] = slices.Clone(s.next[d])
+		c.class[d] = slices.Clone(s.class[d])
+		c.dist[d] = slices.Clone(s.dist[d])
 	}
-	c.adj = buildAdjacency(g, s.idx, s.opts)
 	return c, nil
 }
 
-// PrimeReverseIndex eagerly builds the reverse next-hop index that
-// Resolve and DestsVia otherwise build on first use, letting callers
-// (benchmarks, latency-sensitive steady-state loops) move the one-time
-// cost off their hot path.
+// PrimeReverseIndex eagerly builds the reverse next-hop index that the
+// dense layout's Resolve and DestsVia otherwise build on first use,
+// letting callers (benchmarks, latency-sensitive steady-state loops)
+// move the one-time cost off their hot path. The sharded layout has no
+// reverse index (it scans packed columns instead), so this is a no-op
+// there.
 func (s *Solution) PrimeReverseIndex() { s.ensureRev() }
 
-// Equal reports whether o encodes exactly the same dense tables (next
-// hop, class, distance) over the same node index — the byte-identical
-// bar the incremental path is held to against a cold solve.
+// Equal reports whether o encodes exactly the same routing tables (next
+// hop, class, distance for every pair) over the same node index — the
+// byte-identical bar the incremental path is held to against a cold
+// solve. Layouts may differ: two solutions are compared by answers, with
+// fast paths (row compare, packed word compare) when the
+// representations line up.
 func (s *Solution) Equal(o *Solution) bool {
 	if o == nil || s.idx.Len() != o.idx.Len() {
 		return false
@@ -307,11 +429,33 @@ func (s *Solution) Equal(o *Solution) bool {
 			return false
 		}
 	}
+	if s.pk == nil && o.pk == nil {
+		for d := 0; d < n; d++ {
+			if !slices.Equal(s.next[d], o.next[d]) ||
+				!slices.Equal(s.class[d], o.class[d]) ||
+				!slices.Equal(s.dist[d], o.dist[d]) {
+				return false
+			}
+		}
+		return true
+	}
+	if s.pk != nil && o.pk != nil && s.patched == nil && o.patched == nil &&
+		slices.Equal(s.adj.off, o.adj.off) &&
+		slices.Equal(s.adj.nbr, o.adj.nbr) &&
+		slices.Equal(s.adj.classIn, o.adj.classIn) {
+		// Same slot numbering and classes: the packed encoding is
+		// canonical, so equality is a word compare.
+		return s.pk.equalWindows(o.pk)
+	}
+	// Mixed layouts, or packed tables under differently numbered
+	// adjacencies (e.g. one side carries dead slots): compare answers.
 	for d := 0; d < n; d++ {
-		if !slices.Equal(s.next[d], o.next[d]) ||
-			!slices.Equal(s.class[d], o.class[d]) ||
-			!slices.Equal(s.dist[d], o.dist[d]) {
-			return false
+		for v := int32(0); v < int32(n); v++ {
+			if s.nextPos(d, v) != o.nextPos(d, v) ||
+				s.classPos(d, v) != o.classPos(d, v) ||
+				s.distPos(d, v) != o.distPos(d, v) {
+				return false
+			}
 		}
 	}
 	return true
@@ -320,8 +464,13 @@ func (s *Solution) Equal(o *Solution) bool {
 // ensureRev builds the reverse next-hop index on first use: one bitmap
 // per directed adjacency slot, bit d set iff the slot's owner routes to
 // d through the slot's neighbor. The incremental write-back keeps it
-// consistent afterwards.
+// consistent afterwards. Dense layout only — the sharded layout answers
+// the same queries by column scan (the bitmaps are Θ(E·N/8) bytes,
+// ~3 GB at 75k nodes, which would cancel the packed table's savings).
 func (s *Solution) ensureRev() {
+	if s.pk != nil {
+		return
+	}
 	s.revOnce.Do(func() {
 		a := s.adj
 		words := (a.n + 63) / 64
@@ -348,8 +497,8 @@ func (s *Solution) ensureRev() {
 // present in both keep their bitmaps (moved, not copied), brand-new
 // slots start empty (no destination can route over a link that did not
 // exist), and dropped slots' bitmaps are discarded — any destination
-// still routed over a dropped link is in the dirty set by construction
-// and rewrites its row before the index is read again.
+// still routed over a dropped link was re-resolved by pass 1 before the
+// rebuild, so its row no longer references the slot.
 func remapRev(old, cur *adjacency, rev [][]uint64) [][]uint64 {
 	if rev == nil {
 		return nil
@@ -410,14 +559,16 @@ type incState struct {
 	adj *adjacency
 	sol *Solution
 	d   int
-	// oldNext/oldClass/oldDist alias the destination's dense rows. They
-	// are immutable during the fixpoint (writeBack mutates them after).
+	// oldNext/oldClass/oldDist alias the destination's dense rows
+	// (immutable during the fixpoint; writeBack mutates them after).
+	// All nil under the sharded layout, where the oldNxt/oldCls/oldDst
+	// accessors decode the packed row instead.
 	oldNext  []int32
 	oldClass []uint8
 	oldDist  []uint16
 	epoch    uint32
 	// class[v] is v's current route class, valid iff clsEp[v] == epoch;
-	// stale entries read through to oldClass.
+	// stale entries read through to the old row.
 	clsEp []uint32
 	class []uint8
 	// path[v] is v's current route, valid iff pathEp[v] == epoch; stale
@@ -449,6 +600,32 @@ func newIncState(n int) *incState {
 	}
 }
 
+// oldCls reads v's stored route class toward the current destination
+// (packed reads go through Solution.patched so pass-1 seeds see
+// pre-patch classes).
+func (st *incState) oldCls(v int32) uint8 {
+	if st.oldClass != nil {
+		return st.oldClass[v]
+	}
+	return st.sol.pk.classAt(st.adj, st.sol.patched, st.d, v)
+}
+
+// oldNxt reads v's stored next hop toward the current destination.
+func (st *incState) oldNxt(v int32) int32 {
+	if st.oldNext != nil {
+		return st.oldNext[v]
+	}
+	return st.sol.pk.nextAt(st.adj, st.d, v)
+}
+
+// oldDst reads v's stored hop distance toward the current destination.
+func (st *incState) oldDst(v int32) uint16 {
+	if st.oldDist != nil {
+		return st.oldDist[v]
+	}
+	return st.sol.pk.distAt(st.d, v)
+}
+
 // resolveDest re-runs the best-response fixpoint for destination d,
 // seeded from the old assignment with only the flipped links' endpoints
 // activated. The run loop mirrors destState.solve exactly (budget,
@@ -456,9 +633,13 @@ func newIncState(n int) *incState {
 func (st *incState) resolveDest(d int, seeds []int32) error {
 	st.epoch++
 	st.d = d
-	st.oldNext = st.sol.next[d]
-	st.oldClass = st.sol.class[d]
-	st.oldDist = st.sol.dist[d]
+	if st.sol.pk == nil {
+		st.oldNext = st.sol.next[d]
+		st.oldClass = st.sol.class[d]
+		st.oldDist = st.sol.dist[d]
+	} else {
+		st.oldNext, st.oldClass, st.oldDist = nil, nil, nil
+	}
 	st.arena = st.arena[:0]
 	st.queue = st.queue[:0]
 	st.head = 0
@@ -504,8 +685,8 @@ func (st *incState) activateNeighbors(v int32) {
 }
 
 // reselect is destState.reselect with lazy seeding: neighbor classes and
-// paths read through to the old dense rows until first modified. The
-// candidate scan, ranking, and loop check are otherwise identical — the
+// paths read through to the old rows until first modified. The candidate
+// scan, ranking, and loop check are otherwise identical — the
 // equivalence tests hold the two implementations together.
 func (st *incState) reselect(v int32) bool {
 	adj := st.adj
@@ -558,7 +739,7 @@ func (st *incState) reselect(v int32) bool {
 func (st *incState) cls(v int32) uint8 {
 	if st.clsEp[v] != st.epoch {
 		st.clsEp[v] = st.epoch
-		st.class[v] = st.oldClass[v]
+		st.class[v] = st.oldCls(v)
 	}
 	return st.class[v]
 }
@@ -571,12 +752,12 @@ func (st *incState) cls(v int32) uint8 {
 func (st *incState) pathOf(v int32) []int32 {
 	if st.pathEp[v] != st.epoch {
 		st.pathEp[v] = st.epoch
-		n := int(st.oldDist[v]) + 1
+		n := int(st.oldDst(v)) + 1
 		p := st.alloc(n)
 		cur := v
 		for i := 0; i < n-1; i++ {
 			p[i] = cur
-			cur = st.oldNext[cur]
+			cur = st.oldNxt(cur)
 		}
 		p[n-1] = cur
 		st.path[v] = p
@@ -611,11 +792,11 @@ func (st *incState) alloc(n int) []int32 {
 	return st.arena[off : off+n : off+n]
 }
 
-// writeBack folds destination d's re-converged assignment into the dense
-// tables in place, keeping the reverse index consistent, and returns how
-// many rows actually changed. A node that changed during the cascade but
-// settled back on a route with identical (class, next, dist) leaves its
-// row — and the index — untouched.
+// writeBack folds destination d's re-converged assignment into the
+// tables in place — dense rows plus the reverse index, or packed
+// entries — and returns how many rows actually changed. A node that
+// changed during the cascade but settled back on a route with identical
+// (class, next, dist) leaves its row untouched.
 func (st *incState) writeBack(d int) int {
 	s := st.sol
 	adj := st.adj
@@ -629,7 +810,16 @@ func (st *incState) writeBack(d int) int {
 			newN = p[1] // v != d: the destination is never reselected
 			newD = uint16(len(p) - 1)
 		}
-		if newC == st.oldClass[v] && newN == st.oldNext[v] && newD == st.oldDist[v] {
+		if newC == st.oldCls(v) && newN == st.oldNxt(v) && newD == st.oldDst(v) {
+			continue
+		}
+		if s.pk != nil {
+			if newC == 0 {
+				s.pk.setNoRoute(d, v)
+			} else {
+				s.pk.setVia(adj, d, v, adj.slot(v, newN), newD)
+			}
+			changed++
 			continue
 		}
 		if s.rev != nil {

@@ -17,8 +17,10 @@ var tieBreakModes = []policy.TieBreakMode{
 	policy.TieLowestVia, policy.TieHashed, policy.TieHashedPreferred, policy.TieOverride,
 }
 
-// assertTablesEqual fails unless got's dense tables are byte-identical
-// to want's (the ISSUE's correctness bar for the incremental path).
+// assertTablesEqual fails unless got's tables answer identically to
+// want's (the ISSUE's correctness bar for the incremental path). It
+// compares through the positional accessors, so any mix of dense and
+// sharded layouts is held to the same bar.
 func assertTablesEqual(t *testing.T, ctx string, got, want *Solution) {
 	t.Helper()
 	n := want.idx.Len()
@@ -26,15 +28,15 @@ func assertTablesEqual(t *testing.T, ctx string, got, want *Solution) {
 		t.Fatalf("%s: index sizes differ: %d vs %d", ctx, got.idx.Len(), n)
 	}
 	for d := 0; d < n; d++ {
-		for v := 0; v < n; v++ {
-			if got.next[d][v] != want.next[d][v] ||
-				got.class[d][v] != want.class[d][v] ||
-				got.dist[d][v] != want.dist[d][v] {
+		for v := int32(0); v < int32(n); v++ {
+			if got.nextPos(d, v) != want.nextPos(d, v) ||
+				got.classPos(d, v) != want.classPos(d, v) ||
+				got.distPos(d, v) != want.distPos(d, v) {
 				t.Fatalf("%s: tables differ at dest %v node %v: next %d vs %d, class %d vs %d, dist %d vs %d",
-					ctx, want.idx.ID(d), want.idx.ID(v),
-					got.next[d][v], want.next[d][v],
-					got.class[d][v], want.class[d][v],
-					got.dist[d][v], want.dist[d][v])
+					ctx, want.idx.ID(d), want.idx.ID(int(v)),
+					got.nextPos(d, v), want.nextPos(d, v),
+					got.classPos(d, v), want.classPos(d, v),
+					got.distPos(d, v), want.distPos(d, v))
 			}
 		}
 	}

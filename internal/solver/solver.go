@@ -26,11 +26,21 @@
 // semantics; under Gao–Rexford policies the stable solution is unique
 // (preferences are strict via the deterministic tie-break), so the
 // fixpoint converges to the same state BGP and Centaur converge to.
+//
+// Storage comes in two layouts (Options.Layout). The dense layout keeps
+// flat next/class/dist rows per destination — fastest to read, Θ(N²)
+// at 7 bytes per entry. The sharded layout (packed.go) bit-packs
+// entries into per-shard arenas and derives the class from the
+// adjacency, cutting ~39 GB to ~6 GB at 75k nodes; LayoutAuto switches
+// to it at autoShardNodes. Both layouts answer every query and every
+// incremental Resolve identically — the layout is a storage choice,
+// never a semantic one.
 package solver
 
 import (
 	"fmt"
 	"runtime"
+	"slices"
 	"sync"
 
 	"centaur/internal/policy"
@@ -42,21 +52,55 @@ import (
 // next-hop tables.
 const noRoute = int32(-1)
 
+// Layout selects the Solution's table storage.
+type Layout uint8
+
+const (
+	// LayoutAuto picks LayoutDense below autoShardNodes nodes and
+	// LayoutSharded at or above it.
+	LayoutAuto Layout = iota
+	// LayoutDense stores flat per-destination next/class/dist rows.
+	LayoutDense
+	// LayoutSharded stores bit-packed rows in per-shard arenas
+	// (packed.go) — ~7x smaller on AS-like graphs, same answers.
+	LayoutSharded
+)
+
+func (l Layout) String() string {
+	switch l {
+	case LayoutDense:
+		return "dense"
+	case LayoutSharded:
+		return "sharded"
+	default:
+		return "auto"
+	}
+}
+
 // Solution holds converged best routes for every (node, destination)
-// pair: next hops, route classes, and hop distances. Memory is Θ(N²);
-// see SolveDest for a per-destination alternative on very large inputs.
+// pair: next hops, route classes, and hop distances. See SolveDest for
+// a per-destination alternative when even the sharded layout is too
+// large.
 type Solution struct {
 	topo *topology.Graph
 	idx  *topology.Index
 	opts Options
-	// next[d][v] is the dense position of v's next hop toward
-	// destination d, noRoute if unreachable, or v itself when v == d.
-	next [][]int32
-	// class[d][v] is the policy.RouteClass of v's best route to d
-	// (0 when unreachable).
+	// Dense layout: next[d][v] is the dense position of v's next hop
+	// toward destination d, noRoute if unreachable, or v itself when
+	// v == d; class[d][v] is the policy.RouteClass of v's best route
+	// (0 when unreachable); dist[d][v] is its hop count. All nil under
+	// the sharded layout.
+	next  [][]int32
 	class [][]uint8
-	// dist[d][v] is the hop count of v's best route to d.
-	dist [][]uint16
+	dist  [][]uint16
+	// pk is the sharded packed table; nil under the dense layout.
+	pk *packedTable
+	// patched is non-nil only inside a Resolve pass: it maps adjacency
+	// slots whose classIn was just patched to their pre-patch value, so
+	// packed class reads reflect the state the stored routes were
+	// computed under (the dense layout stores classes and needs none of
+	// this).
+	patched map[int32]uint8
 	// adj is the dense adjacency the tables were computed against. The
 	// incremental path (Resolve, incremental.go) keeps it in sync with
 	// topo as links flip.
@@ -64,18 +108,48 @@ type Solution struct {
 	// rev is the reverse next-hop index: rev[s] is a destination bitmap
 	// with bit d set iff next[d][v] == adj.nbr[s] for the slot's owner v.
 	// Built lazily by ensureRev, maintained by the incremental write-back.
+	// Dense layout only: at sharded scale the bitmaps would cost Θ(E·N/8)
+	// (~3 GB at 75k nodes), so the sharded path answers the same queries
+	// with packed column scans instead.
 	rev     [][]uint64
 	revOnce sync.Once
 	// inc is the reusable incremental-solve scratch (see incremental.go).
 	inc *incState
 }
 
-// Options parameterizes the solver's policy details.
+// Options parameterizes the solver's policy details and table storage.
 type Options struct {
 	// TieBreak selects the within-class preference model; it must match
 	// the policy.GaoRexford the protocols run so converged states are
 	// comparable.
 	TieBreak policy.TieBreakMode
+	// Layout selects the table storage; the zero value (LayoutAuto)
+	// picks dense below autoShardNodes and sharded at or above.
+	Layout Layout
+	// ShardDests is the number of destination rows per shard arena in
+	// the sharded layout; 0 means defaultShardDests.
+	ShardDests int
+}
+
+// sharded reports whether the options select the packed layout for an
+// n-node graph.
+func (o Options) sharded(n int) bool {
+	switch o.Layout {
+	case LayoutDense:
+		return false
+	case LayoutSharded:
+		return true
+	default:
+		return n >= autoShardNodes
+	}
+}
+
+// shardDests returns the effective shard size.
+func (o Options) shardDests() int {
+	if o.ShardDests > 0 {
+		return o.ShardDests
+	}
+	return defaultShardDests
 }
 
 // Solve computes the full converged routing solution of g under the
@@ -95,20 +169,59 @@ func SolveOpts(g *topology.Graph, opts Options) (*Solution, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("solver: empty topology")
 	}
-	s := &Solution{
-		topo:  g,
-		idx:   idx,
-		opts:  opts,
-		next:  make([][]int32, n),
-		class: make([][]uint8, n),
-		dist:  make([][]uint16, n),
-	}
 	adj := buildAdjacency(g, idx, opts)
-	s.adj = adj
+	s := &Solution{topo: g, idx: idx, opts: opts, adj: adj}
+	if opts.sharded(n) {
+		s.pk = newPackedTable(adj, 0, n, opts.shardDests())
+	} else {
+		s.next = make([][]int32, n)
+		s.class = make([][]uint8, n)
+		s.dist = make([][]uint16, n)
+	}
+	if err := solveRange(adj, 0, n, s.emitRow); err != nil {
+		return nil, err
+	}
+	reportTableBytes(s.MemoryBytes())
+	return s, nil
+}
 
+// emitRow stores destination d's converged fixpoint into the solution's
+// table. Rows of distinct destinations never share memory (packed rows
+// are word-aligned), so concurrent workers emit without locks.
+func (s *Solution) emitRow(d int, st *destState) {
+	if s.pk != nil {
+		s.pk.setRow(s.adj, d, st)
+		return
+	}
+	nextRow := make([]int32, s.adj.n)
+	classRow := make([]uint8, s.adj.n)
+	distRow := make([]uint16, s.adj.n)
+	for v := 0; v < s.adj.n; v++ {
+		classRow[v] = st.class[v]
+		if st.class[v] == 0 {
+			nextRow[v] = noRoute
+			continue
+		}
+		distRow[v] = uint16(len(st.path[v]) - 1)
+		if v == d {
+			nextRow[v] = int32(d)
+		} else {
+			nextRow[v] = st.path[v][1]
+		}
+	}
+	s.next[d] = nextRow
+	s.class[d] = classRow
+	s.dist[d] = distRow
+}
+
+// solveRange runs the per-destination fixpoint for destination
+// positions [lo, hi) across all CPU cores and hands each converged
+// scratch to emit. emit may be called concurrently for distinct
+// destinations.
+func solveRange(adj *adjacency, lo, hi int, emit func(d int, st *destState)) error {
 	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
+	if workers > hi-lo {
+		workers = hi - lo
 	}
 	var (
 		wg       sync.WaitGroup
@@ -126,37 +239,16 @@ func SolveOpts(g *topology.Graph, opts Options) (*Solution, error) {
 					errOnce.Do(func() { firstErr = err })
 					continue
 				}
-				nextRow := make([]int32, adj.n)
-				classRow := make([]uint8, adj.n)
-				distRow := make([]uint16, adj.n)
-				for v := 0; v < adj.n; v++ {
-					classRow[v] = st.class[v]
-					if st.class[v] == 0 {
-						nextRow[v] = noRoute
-						continue
-					}
-					distRow[v] = uint16(len(st.path[v]) - 1)
-					if v == d {
-						nextRow[v] = int32(d)
-					} else {
-						nextRow[v] = st.path[v][1]
-					}
-				}
-				s.next[d] = nextRow
-				s.class[d] = classRow
-				s.dist[d] = distRow
+				emit(d, st)
 			}
 		}()
 	}
-	for d := 0; d < n; d++ {
+	for d := lo; d < hi; d++ {
 		tasks <- d
 	}
 	close(tasks)
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return s, nil
+	return firstErr
 }
 
 // adjacency is the dense CSR-style neighbor representation shared
@@ -205,6 +297,18 @@ func buildAdjacency(g *topology.Graph, idx *topology.Index, opts Options) *adjac
 	return a
 }
 
+// clone deep-copies the adjacency, so a forked Solution's incremental
+// patches never leak into its parent.
+func (a *adjacency) clone() *adjacency {
+	c := *a
+	c.off = slices.Clone(a.off)
+	c.nbr = slices.Clone(a.nbr)
+	c.ids = slices.Clone(a.ids)
+	c.classIn = slices.Clone(a.classIn)
+	c.expRel = slices.Clone(a.expRel)
+	return &c
+}
+
 // exportOK mirrors policy.GaoRexford.Export on dense relationship codes.
 func exportOK(cl uint8, rel uint8) bool {
 	switch topology.Relationship(rel) {
@@ -226,7 +330,11 @@ type destState struct {
 	// arrays are reused across route changes and destinations.
 	path [][]int32
 	// class[v] is the class of v's current best route (0 = none).
-	class   []uint8
+	class []uint8
+	// slot[v] is the absolute adjacency slot of v's selected next hop,
+	// valid only while class[v] != 0 and v is not the destination. The
+	// packed layout encodes rows from it without neighbor searches.
+	slot    []int32
 	inQueue []bool
 	// queue[head:] holds the pending activations; popping advances head
 	// so the backing array keeps its capacity across pushes.
@@ -239,6 +347,7 @@ func newDestState(adj *adjacency) *destState {
 		adj:     adj,
 		path:    make([][]int32, adj.n),
 		class:   make([]uint8, adj.n),
+		slot:    make([]int32, adj.n),
 		inQueue: make([]bool, adj.n),
 		queue:   make([]int32, 0, adj.n),
 	}
@@ -293,6 +402,7 @@ func (st *destState) reselect(v int32, dest int) bool {
 		bestClass uint8
 		bestLen   int
 		bestNbr   int32
+		bestSlot  int32
 		bestPath  []int32
 	)
 	for s := adj.off[v]; s < adj.off[v+1]; s++ {
@@ -313,7 +423,7 @@ func (st *destState) reselect(v int32, dest int) bool {
 		if containsNode(up, v) {
 			continue
 		}
-		bestClass, bestLen, bestNbr, bestPath = c, plen, u, up
+		bestClass, bestLen, bestNbr, bestSlot, bestPath = c, plen, u, s, up
 	}
 	if bestPath == nil {
 		if st.class[v] == 0 {
@@ -330,6 +440,7 @@ func (st *destState) reselect(v int32, dest int) bool {
 	np := append(st.path[v][:0], v)
 	st.path[v] = append(np, bestPath...)
 	st.class[v] = bestClass
+	st.slot[v] = bestSlot
 	return true
 }
 
@@ -410,11 +521,65 @@ func (st *destState) activateNeighbors(v int32) {
 	}
 }
 
+// nextPos returns the dense position of v's next hop toward destination
+// position d (noRoute when unreachable, v itself when v is d),
+// regardless of layout.
+func (s *Solution) nextPos(d int, v int32) int32 {
+	if s.pk != nil {
+		return s.pk.nextAt(s.adj, d, v)
+	}
+	return s.next[d][v]
+}
+
+// classPos returns the class code of v's best route toward destination
+// position d (0 when unreachable), regardless of layout.
+func (s *Solution) classPos(d int, v int32) uint8 {
+	if s.pk != nil {
+		return s.pk.classAt(s.adj, s.patched, d, v)
+	}
+	return s.class[d][v]
+}
+
+// distPos returns the hop count of v's best route toward destination
+// position d (0 when unreachable or v == d), regardless of layout.
+func (s *Solution) distPos(d int, v int32) uint16 {
+	if s.pk != nil {
+		return s.pk.distAt(d, v)
+	}
+	return s.dist[d][v]
+}
+
 // Index returns the dense node index the solution is expressed in.
 func (s *Solution) Index() *topology.Index { return s.idx }
 
 // Options returns the policy options the solution was computed under.
 func (s *Solution) Options() Options { return s.opts }
+
+// Layout returns the storage layout actually in use (never LayoutAuto).
+func (s *Solution) Layout() Layout {
+	if s.pk != nil {
+		return LayoutSharded
+	}
+	return LayoutDense
+}
+
+// MemoryBytes reports the resident size of the routing tables (and the
+// reverse index, once built) — the quantity the solver.bytes telemetry
+// gauge tracks.
+func (s *Solution) MemoryBytes() int64 {
+	var b int64
+	if s.pk != nil {
+		b = s.pk.bytes()
+	} else {
+		for d := range s.next {
+			b += int64(len(s.next[d]))*4 + int64(len(s.class[d])) + int64(len(s.dist[d]))*2
+		}
+	}
+	for _, w := range s.rev {
+		b += int64(len(w)) * 8
+	}
+	return b
+}
 
 // Policy returns the policy.GaoRexford instance matching the solution's
 // options, for callers that need to replay ranking decisions.
@@ -432,7 +597,7 @@ func (s *Solution) NextHop(from, dest routing.NodeID) routing.NodeID {
 	if f < 0 || d < 0 {
 		return routing.None
 	}
-	nh := s.next[d][f]
+	nh := s.nextPos(d, int32(f))
 	if nh == noRoute {
 		return routing.None
 	}
@@ -446,7 +611,7 @@ func (s *Solution) Class(from, dest routing.NodeID) policy.RouteClass {
 	if f < 0 || d < 0 {
 		return 0
 	}
-	return policy.RouteClass(s.class[d][f])
+	return policy.RouteClass(s.classPos(d, int32(f)))
 }
 
 // Dist returns the hop count of from's best route to dest; 0 means
@@ -456,7 +621,7 @@ func (s *Solution) Dist(from, dest routing.NodeID) int {
 	if f < 0 || d < 0 {
 		return 0
 	}
-	return int(s.dist[d][f])
+	return int(s.distPos(d, int32(f)))
 }
 
 // Path materializes from's best path to dest by following next hops. The
@@ -469,14 +634,14 @@ func (s *Solution) Path(from, dest routing.NodeID) (routing.Path, bool) {
 	if f == d {
 		return routing.Path{from}, true
 	}
-	if s.next[d][f] == noRoute {
+	if s.nextPos(d, int32(f)) == noRoute {
 		return nil, false
 	}
-	p := make(routing.Path, 0, int(s.dist[d][f])+1)
+	p := make(routing.Path, 0, int(s.distPos(d, int32(f)))+1)
 	cur := int32(f)
 	for cur != int32(d) {
 		p = append(p, s.idx.ID(int(cur)))
-		cur = s.next[d][cur]
+		cur = s.nextPos(d, cur)
 		if len(p) > s.idx.Len() {
 			// Defensive: a loop here would mean the fixpoint failed.
 			return nil, false
@@ -508,35 +673,4 @@ func (s *Solution) Reachable(from, dest routing.NodeID) bool {
 		return true
 	}
 	return s.NextHop(from, dest) != routing.None
-}
-
-// SolveDest computes the converged routes toward a single destination,
-// for callers that cannot afford the Θ(N²) full solution. The returned
-// maps give each node's next hop and route class toward dest.
-func SolveDest(g *topology.Graph, dest routing.NodeID) (map[routing.NodeID]routing.NodeID, map[routing.NodeID]policy.RouteClass, error) {
-	return SolveDestOpts(g, dest, Options{})
-}
-
-// SolveDestOpts is SolveDest with explicit policy options.
-func SolveDestOpts(g *topology.Graph, dest routing.NodeID, opts Options) (map[routing.NodeID]routing.NodeID, map[routing.NodeID]policy.RouteClass, error) {
-	idx := topology.NewIndex(g)
-	d := idx.Pos(dest)
-	if d < 0 {
-		return nil, nil, fmt.Errorf("solver: destination %v not in topology", dest)
-	}
-	adj := buildAdjacency(g, idx, opts)
-	st := newDestState(adj)
-	if err := st.solve(d); err != nil {
-		return nil, nil, err
-	}
-	next := make(map[routing.NodeID]routing.NodeID, idx.Len())
-	class := make(map[routing.NodeID]policy.RouteClass, idx.Len())
-	for i := 0; i < idx.Len(); i++ {
-		if st.class[i] == 0 || i == d {
-			continue
-		}
-		next[idx.ID(i)] = idx.ID(int(st.path[i][1]))
-		class[idx.ID(i)] = policy.RouteClass(st.class[i])
-	}
-	return next, class, nil
 }

@@ -1,0 +1,206 @@
+// Streaming-shard solving. SolveShards runs the same per-destination
+// fixpoints as SolveOpts but materializes only one destination shard at
+// a time, handing each window to a callback before reusing the memory —
+// O(N·shard) residency instead of O(N²). The scaling sweep's cold-side
+// verification, SolveTable3-style per-destination consumers, and the
+// invariant checker's streamed mode are the intended callers: anything
+// that can consume destinations a window at a time without ever holding
+// the whole table.
+package solver
+
+import (
+	"errors"
+	"fmt"
+
+	"centaur/internal/policy"
+	"centaur/internal/routing"
+	"centaur/internal/topology"
+)
+
+// ShardView is a read-only window over the converged routes toward the
+// destinations [Lo, Hi) (dense positions). It is valid only during the
+// SolveShards callback that delivered it; the backing memory is reused
+// for the next shard.
+type ShardView struct {
+	idx *topology.Index
+	adj *adjacency
+	pk  *packedTable
+	lo  int
+	hi  int
+}
+
+// Index returns the dense node index the view is expressed in.
+func (w *ShardView) Index() *topology.Index { return w.idx }
+
+// Lo returns the first destination position covered by the view.
+func (w *ShardView) Lo() int { return w.lo }
+
+// Hi returns one past the last destination position covered.
+func (w *ShardView) Hi() int { return w.hi }
+
+// Contains reports whether dest's routes are answerable by this view.
+func (w *ShardView) Contains(dest routing.NodeID) bool {
+	d := w.idx.Pos(dest)
+	return d >= w.lo && d < w.hi
+}
+
+// NextHop returns from's next hop toward dest (which must be inside the
+// window), routing.None when unreachable.
+func (w *ShardView) NextHop(from, dest routing.NodeID) routing.NodeID {
+	f, d := w.idx.Pos(from), w.pos(dest)
+	if f < 0 {
+		return routing.None
+	}
+	nh := w.pk.nextAt(w.adj, d, int32(f))
+	if nh == noRoute {
+		return routing.None
+	}
+	return w.idx.ID(int(nh))
+}
+
+// Class returns the route class of from's best route to dest (inside
+// the window), 0 when unreachable.
+func (w *ShardView) Class(from, dest routing.NodeID) policy.RouteClass {
+	f, d := w.idx.Pos(from), w.pos(dest)
+	if f < 0 {
+		return 0
+	}
+	return policy.RouteClass(w.pk.classAt(w.adj, nil, d, int32(f)))
+}
+
+// Dist returns the hop count of from's best route to dest (inside the
+// window); 0 means from == dest or unreachable.
+func (w *ShardView) Dist(from, dest routing.NodeID) int {
+	f, d := w.idx.Pos(from), w.pos(dest)
+	if f < 0 {
+		return 0
+	}
+	return int(w.pk.distAt(d, int32(f)))
+}
+
+// Path materializes from's best path to dest (inside the window) by
+// following next hops; false when unreachable.
+func (w *ShardView) Path(from, dest routing.NodeID) (routing.Path, bool) {
+	f, d := w.idx.Pos(from), w.pos(dest)
+	if f < 0 {
+		return nil, false
+	}
+	if f == d {
+		return routing.Path{from}, true
+	}
+	if w.pk.nextAt(w.adj, d, int32(f)) == noRoute {
+		return nil, false
+	}
+	p := make(routing.Path, 0, w.pk.distAt(d, int32(f))+1)
+	cur := int32(f)
+	for cur != int32(d) {
+		p = append(p, w.idx.ID(int(cur)))
+		cur = w.pk.nextAt(w.adj, d, cur)
+		if len(p) > w.idx.Len() {
+			return nil, false // a loop here would mean the fixpoint failed
+		}
+	}
+	p = append(p, dest)
+	return p, true
+}
+
+// Reachable reports whether from has a policy-compliant route to dest
+// (inside the window).
+func (w *ShardView) Reachable(from, dest routing.NodeID) bool {
+	if from == dest {
+		return true
+	}
+	return w.NextHop(from, dest) != routing.None
+}
+
+// pos maps dest to its dense position, panicking when it is outside the
+// window — a view query outside its shard is always a caller bug, and
+// silently answering "unreachable" would corrupt whatever consumes it.
+func (w *ShardView) pos(dest routing.NodeID) int {
+	d := w.idx.Pos(dest)
+	if d < w.lo || d >= w.hi {
+		panic(fmt.Sprintf("solver: ShardView query for destination %v outside window [%d,%d)", dest, w.lo, w.hi))
+	}
+	return d
+}
+
+// SolveShards solves g destination-shard by destination-shard, invoking
+// fn with a view of each converged window in ascending destination
+// order. Only one window (O(N · ShardDests) packed bits) is resident at
+// a time. fn returning a non-nil error stops the sweep and returns that
+// error. The per-window fixpoints still fan out across all CPU cores.
+func SolveShards(g *topology.Graph, opts Options, fn func(*ShardView) error) error {
+	idx := topology.NewIndex(g)
+	n := idx.Len()
+	if n == 0 {
+		return fmt.Errorf("solver: empty topology")
+	}
+	adj := buildAdjacency(g, idx, opts)
+	shard := opts.shardDests()
+	view := &ShardView{idx: idx, adj: adj}
+	for lo := 0; lo < n; lo += shard {
+		hi := lo + shard
+		if hi > n {
+			hi = n
+		}
+		if view.pk == nil || view.pk.nd != hi-lo {
+			view.pk = newPackedTable(adj, lo, hi-lo, hi-lo)
+		} else {
+			view.pk.dbase = lo
+			for i := range view.pk.overflow {
+				view.pk.overflow[i] = nil
+			}
+		}
+		view.lo, view.hi = lo, hi
+		pk := view.pk
+		if err := solveRange(adj, lo, hi, func(d int, st *destState) {
+			pk.setRow(adj, d, st)
+		}); err != nil {
+			return err
+		}
+		reportTableBytes(pk.bytes())
+		if err := fn(view); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// errStreamMismatch is StreamEqual's early-stop sentinel.
+var errStreamMismatch = errors.New("solver: stream mismatch")
+
+// StreamEqual reports whether sol's answers match a cold shard-streamed
+// solve of g under opts — the memory-bounded form of the
+// cold-vs-incremental verification: the cold side never materializes a
+// full table, so it works at sizes where a second Θ(N²) Solution (even
+// a sharded one) would not fit. Layouts and slot numberings are
+// irrelevant; answers are compared. Stops at the first mismatching
+// shard.
+func StreamEqual(g *topology.Graph, opts Options, sol *Solution) (bool, error) {
+	if sol.idx.Len() != topology.NewIndex(g).Len() {
+		return false, nil
+	}
+	n := sol.idx.Len()
+	err := SolveShards(g, opts, func(w *ShardView) error {
+		for d := w.Lo(); d < w.Hi(); d++ {
+			if sol.idx.ID(d) != w.idx.ID(d) {
+				return errStreamMismatch
+			}
+			for v := int32(0); v < int32(n); v++ {
+				if sol.nextPos(d, v) != w.pk.nextAt(w.adj, d, v) ||
+					sol.classPos(d, v) != w.pk.classAt(w.adj, nil, d, v) ||
+					sol.distPos(d, v) != w.pk.distAt(d, v) {
+					return errStreamMismatch
+				}
+			}
+		}
+		return nil
+	})
+	if err == errStreamMismatch {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}

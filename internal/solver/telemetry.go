@@ -1,0 +1,26 @@
+package solver
+
+import "centaur/internal/telemetry"
+
+// tele holds the package's telemetry handles. The zero value no-ops
+// (nil-receiver handles), so uninstrumented callers pay one nil check.
+var tele struct {
+	// bytes is a high-water gauge of routing-table residency: every
+	// solve and every incremental resolve reports its table size, and
+	// the gauge keeps the peak — the number BENCH_report.json surfaces
+	// as solver.bytes.
+	bytes telemetry.Gauge
+}
+
+// SetTelemetry (re)binds the package's metrics to a registry; pass nil
+// to disable. Like the other protocol packages, call it before solving
+// — it is not synchronized with in-flight solves.
+func SetTelemetry(r *telemetry.Registry) {
+	tele.bytes = r.Gauge("solver.bytes")
+}
+
+// reportTableBytes records a solution's current table residency on the
+// peak gauge.
+func reportTableBytes(b int64) {
+	tele.bytes.SetMax(b)
+}
