@@ -40,6 +40,8 @@ import (
 	"centaur/internal/bgp"
 	"centaur/internal/centaur"
 	"centaur/internal/experiments"
+	"centaur/internal/forward"
+	"centaur/internal/liveness"
 	"centaur/internal/ospf"
 	"centaur/internal/pgraph"
 	"centaur/internal/policy"
@@ -111,6 +113,8 @@ func run() error {
 		churn     = flag.String("churn", "0,10", "reliability step: comma-separated link-flap rates (flaps per simulated second)")
 		crashes   = flag.Int("crashes", 1, "reliability step: node crash/restart cycles per trial")
 		faultSeed = flag.Int64("fault-seed", 10_000, "reliability step: fault-plan seed (same seed ⇒ same faults)")
+		flows     = flag.Int("flows", 64, "user-impact step: tracked src→dst flows (quick: halved; 0 skips the step)")
+		detect    = flag.String("detect", "2ms,10ms,50ms", "user-impact step: comma-separated BFD detection transmit intervals swept against the oracle point")
 		bloomPL   = flag.Bool("bloom-pl", false, "measure Bloom-compressed Permission Lists: adds the PL-overhead step and switches the reliability centaur series to compressed lists")
 		plFPRate  = flag.Float64("pl-fp-rate", 0, "per-filter false-positive target for -bloom-pl (0 = protocol default)")
 		scaling    = flag.Bool("scaling", false, "add the solver scaling step: cold solve vs incremental flips at 1k/4k/16k nodes (quick: 300/600), verified answer-identical")
@@ -133,6 +137,8 @@ func run() error {
 	centaur.SetTelemetry(reg)
 	pgraph.SetTelemetry(reg)
 	solver.SetTelemetry(reg)
+	forward.SetTelemetry(reg)
+	liveness.SetTelemetry(reg)
 	if *debugAddr != "" {
 		addr, stopDebug, err := telemetry.ServeDebug(*debugAddr, reg)
 		if err != nil {
@@ -302,6 +308,30 @@ func run() error {
 		return err
 	}
 
+	// User impact: the same fault machinery, but measured from the data
+	// plane — blackhole-seconds and loop packets integrated over tracked
+	// flows, swept across failure-detection latency (oracle vs BFD-style
+	// sessions at each -detect interval).
+	if *flows > 0 {
+		detects, err := parseDetects(*detect)
+		if err != nil {
+			return fmt.Errorf("-detect: %w", err)
+		}
+		impCfg := relCfg
+		impCfg.LossRates = []float64{0, 0.1}
+		impCfg.ChurnRates = []float64{0, 10}
+		impCfg.Flows, impCfg.FlowSeed = *flows, 42
+		if *quick {
+			impCfg.Flows = (*flows + 1) / 2
+		}
+		impCfg.DetectIntervals = append([]time.Duration{0}, detects...)
+		if err := step("user impact", func() (fmt.Stringer, error) {
+			return experiments.RunReliability(impCfg)
+		}); err != nil {
+			return err
+		}
+	}
+
 	// Extensions beyond the paper's evaluation (DESIGN.md §6).
 	if err := step("multipath extension", func() (fmt.Stringer, error) {
 		return experiments.MultipathExtension(solved[0].Sol, 3, 200, *seed)
@@ -464,14 +494,85 @@ func keyStats(res fmt.Stringer) map[string]any {
 		if len(r.Samples) == 0 {
 			return nil
 		}
-		return map[string]any{
+		stats := map[string]any{
 			"trials_ok":             okTrials,
 			"trials":                len(r.Samples),
 			"mean_delivery_success": delivery / float64(len(r.Samples)),
 			"retransmits":           rexmit,
 		}
+		if r.HasImpact {
+			stats["impact"] = impactStats(r)
+		}
+		return stats
 	}
 	return nil
+}
+
+// impactStats aggregates the data-plane and detection accounting per
+// (protocol, detection interval) for the JSON report, in first-seen
+// (grid) order.
+func impactStats(r *experiments.ReliabilityResult) []map[string]any {
+	type key struct {
+		proto  string
+		detect time.Duration
+	}
+	type agg struct {
+		imp forward.Impact
+		bfd liveness.SessionStats
+	}
+	var order []key
+	byKey := make(map[key]*agg)
+	for _, s := range r.Samples {
+		k := key{s.Protocol, s.DetectInterval}
+		a := byKey[k]
+		if a == nil {
+			a = &agg{}
+			byKey[k] = a
+			order = append(order, k)
+		}
+		a.imp.Add(s.Impact)
+		a.bfd.Add(s.BFD)
+	}
+	rows := make([]map[string]any, 0, len(order))
+	for _, k := range order {
+		a := byKey[k]
+		row := map[string]any{
+			"series":            k.proto,
+			"detect_ms":         num(float64(k.detect) / float64(time.Millisecond)),
+			"blackhole_seconds": num(a.imp.BlackholeSec),
+			"loop_packets":      num(a.imp.LoopPackets),
+			"valley_deliveries": num(a.imp.ValleyDeliveries),
+			"stuck_flows":       a.imp.FinalBlackholed + a.imp.FinalLooping,
+		}
+		if k.detect > 0 {
+			row["detections"] = a.bfd.Detections
+			row["mean_detect_ms"] = num(float64(a.bfd.MeanDetect()) / float64(time.Millisecond))
+			row["false_downs"] = a.bfd.FalseDowns
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// parseDetects parses a comma-separated list of positive BFD transmit
+// intervals.
+func parseDetects(s string) ([]time.Duration, error) {
+	var out []time.Duration
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		d, err := time.ParseDuration(tok)
+		if err != nil {
+			return nil, err
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("interval %q must be positive (the oracle point is always included)", tok)
+		}
+		out = append(out, d)
+	}
+	return out, nil
 }
 
 // parseRates parses a comma-separated list of nonnegative rates.

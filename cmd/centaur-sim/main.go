@@ -66,6 +66,8 @@ import (
 	"centaur/internal/bgp"
 	"centaur/internal/centaur"
 	"centaur/internal/experiments"
+	"centaur/internal/forward"
+	"centaur/internal/liveness"
 	"centaur/internal/ospf"
 	"centaur/internal/pgraph"
 	"centaur/internal/policy"
@@ -119,6 +121,13 @@ func run() error {
 		noTransport = flag.Bool("no-transport", false, "reliability: run protocols raw, without the reliable-transport adapter")
 		bloomPL     = flag.Bool("bloom-pl", false, "reliability: centaur sends Bloom-compressed Permission Lists")
 		plFPRate    = flag.Float64("pl-fp-rate", 0, "reliability: per-filter false-positive target for -bloom-pl (0 = protocol default)")
+
+		flows        = flag.Int("flows", 0, "data plane: src→dst traffic aggregates walked through the live RIBs (0 = off); figures 6/7 and -rel")
+		flowSeed     = flag.Int64("flow-seed", 42, "data plane: flow sampling seed")
+		flowRate     = flag.Float64("flow-rate", 0, "data plane: packets per second per flow for packet-equivalent metrics (0 = 1000)")
+		detectIntv   = flag.String("detect-interval", "", "liveness: BFD transmit interval(s) — one duration for figures 6/7, a comma-separated sweep for -rel (empty = oracle detection)")
+		detectMult   = flag.Int("detect-mult", 0, "liveness: detection multiplier (0 = default 3)")
+		oracleDetect = flag.Bool("oracle-detect", false, "liveness: -rel only, add the oracle (instantaneous detection) point to a -detect-interval sweep")
 	)
 	flag.Parse()
 
@@ -139,6 +148,8 @@ func run() error {
 		centaur.SetTelemetry(reg)
 		pgraph.SetTelemetry(reg)
 		solver.SetTelemetry(reg)
+		forward.SetTelemetry(reg)
+		liveness.SetTelemetry(reg)
 	}
 	if *prov && *traceFile == "" {
 		return fmt.Errorf("-prov requires -trace (provenance rides on the event trace)")
@@ -170,6 +181,10 @@ func run() error {
 		}
 	})
 
+	dp := dataPlaneFlags{
+		flows: *flows, flowSeed: *flowSeed, flowRate: *flowRate,
+		detectIntervals: *detectIntv, detectMult: *detectMult, oracleDetect: *oracleDetect,
+	}
 	var dispatchErr error
 	switch {
 	case *scaling:
@@ -180,9 +195,10 @@ func run() error {
 			loss: *loss, dup: *dup, jitter: *jitter, churn: *churn,
 			crashes: *crashes, faultSeed: *faultSeed, trials: *trials,
 			noTransport: *noTransport, bloomPL: *bloomPL, plFPRate: *plFPRate,
+			dp: dp,
 		}, reg, tc)
 	default:
-		dispatchErr = dispatch(*fig, *compare, *nodes, *m, *flips, *seed, *mrai, *sizes, *workers, *trialsPer, *deriveWork, *noCheckpt, *verify, reg, tc)
+		dispatchErr = dispatch(*fig, *compare, *nodes, *m, *flips, *seed, *mrai, *sizes, *workers, *trialsPer, *deriveWork, *noCheckpt, *verify, dp, reg, tc)
 	}
 	if dispatchErr != nil {
 		return dispatchErr
@@ -196,11 +212,55 @@ func run() error {
 	return nil
 }
 
+// dataPlaneFlags bundles the forwarding/liveness flag values shared by
+// the figure modes and -rel.
+type dataPlaneFlags struct {
+	flows           int
+	flowSeed        int64
+	flowRate        float64
+	detectIntervals string
+	detectMult      int
+	oracleDetect    bool
+}
+
+// single parses the flag set for a figure run, which takes at most one
+// detection interval (the -rel sweep form is rejected).
+func (f dataPlaneFlags) single() (time.Duration, error) {
+	ds, err := parseDetects(f.detectIntervals)
+	if err != nil {
+		return 0, err
+	}
+	if len(ds) > 1 {
+		return 0, fmt.Errorf("-detect-interval: figure modes take a single interval, got %q", f.detectIntervals)
+	}
+	if len(ds) == 0 {
+		return 0, nil
+	}
+	return ds[0], nil
+}
+
+// sweep parses the flag set for -rel: every listed interval, plus the
+// oracle point when -oracle-detect asks for it.
+func (f dataPlaneFlags) sweep() ([]time.Duration, error) {
+	ds, err := parseDetects(f.detectIntervals)
+	if err != nil {
+		return nil, err
+	}
+	if f.oracleDetect && len(ds) > 0 {
+		ds = append([]time.Duration{0}, ds...)
+	}
+	return ds, nil
+}
+
 // dispatch runs the selected experiment mode with the observability
 // hooks threaded through.
-func dispatch(fig string, compare bool, nodes, m, flips int, seed int64, mrai time.Duration, sizes string, workers, trialsPer, deriveWorkers int, noCheckpt, verify bool, reg *telemetry.Registry, tc *telemetry.TraceCollector) error {
+func dispatch(fig string, compare bool, nodes, m, flips int, seed int64, mrai time.Duration, sizes string, workers, trialsPer, deriveWorkers int, noCheckpt, verify bool, dp dataPlaneFlags, reg *telemetry.Registry, tc *telemetry.TraceCollector) error {
 	if compare {
 		return runCompare(nodes, m, flips, seed, mrai, workers, trialsPer, noCheckpt, reg, tc)
+	}
+	detect, err := dp.single()
+	if err != nil {
+		return err
 	}
 
 	switch fig {
@@ -209,6 +269,8 @@ func dispatch(fig string, compare bool, nodes, m, flips int, seed int64, mrai ti
 			Nodes: nodes, LinksPerNode: m, Flips: flips, Seed: seed, MRAI: mrai,
 			TrialsPerNetwork: trialsPer, Workers: workers, DeriveWorkers: deriveWorkers,
 			NoCheckpoint: noCheckpt, Verify: verify, Telemetry: reg, Trace: tc,
+			Flows: dp.flows, FlowSeed: dp.flowSeed, FlowRate: dp.flowRate,
+			DetectInterval: detect, DetectMult: dp.detectMult,
 		})
 		if err != nil {
 			return err
@@ -220,6 +282,8 @@ func dispatch(fig string, compare bool, nodes, m, flips int, seed int64, mrai ti
 			Nodes: nodes, LinksPerNode: m, Flips: flips, Seed: seed,
 			TrialsPerNetwork: trialsPer, Workers: workers, DeriveWorkers: deriveWorkers,
 			NoCheckpoint: noCheckpt, Verify: verify, Telemetry: reg, Trace: tc,
+			Flows: dp.flows, FlowSeed: dp.flowSeed, FlowRate: dp.flowRate,
+			DetectInterval: detect, DetectMult: dp.detectMult,
 		})
 		if err != nil {
 			return err
@@ -286,6 +350,7 @@ type relFlags struct {
 	noTransport bool
 	bloomPL     bool
 	plFPRate    float64
+	dp          dataPlaneFlags
 }
 
 // runReliability runs the fault-injection sweep and prints the
@@ -301,6 +366,10 @@ func runReliability(f relFlags, reg *telemetry.Registry, tc *telemetry.TraceColl
 	if err != nil {
 		return fmt.Errorf("-churn: %w", err)
 	}
+	detects, err := f.dp.sweep()
+	if err != nil {
+		return err
+	}
 	cfg := experiments.ReliabilityConfig{
 		Nodes: f.nodes, LinksPerNode: f.m,
 		LossRates: lossRates, ChurnRates: churnRates,
@@ -309,6 +378,8 @@ func runReliability(f relFlags, reg *telemetry.Registry, tc *telemetry.TraceColl
 		NoTransport: f.noTransport, BloomPL: f.bloomPL, PLFPRate: f.plFPRate,
 		Workers:   f.workers,
 		Telemetry: reg, Trace: tc,
+		Flows: f.dp.flows, FlowSeed: f.dp.flowSeed, FlowRate: f.dp.flowRate,
+		DetectIntervals: detects, DetectMult: f.dp.detectMult,
 	}
 	if f.noTransport {
 		// Raw protocols under faults usually quiesce into a wrong state
@@ -329,9 +400,37 @@ func runReliability(f relFlags, reg *telemetry.Registry, tc *telemetry.TraceColl
 		if s.Converged {
 			why = fmt.Sprintf("%d invariant violations, e.g. %s", s.Violations, s.FirstViolation)
 		}
+		if res.HasDetect {
+			fmt.Printf("  FAILED %s detect=%v loss=%.2f churn=%.1f trial=%d: %s\n", s.Protocol, s.DetectInterval, s.Loss, s.Churn, s.Trial, why)
+			continue
+		}
 		fmt.Printf("  FAILED %s loss=%.2f churn=%.1f trial=%d: %s\n", s.Protocol, s.Loss, s.Churn, s.Trial, why)
 	}
 	return nil
+}
+
+// parseDetects parses the -detect-interval list: comma-separated Go
+// durations, with "0" or "oracle" naming the instantaneous-detection
+// point. Empty means no liveness sweep at all (oracle only).
+func parseDetects(s string) ([]time.Duration, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]time.Duration, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "0" || p == "oracle" {
+			out = append(out, 0)
+			continue
+		}
+		d, err := time.ParseDuration(p)
+		if err != nil || d < 0 {
+			return nil, fmt.Errorf("-detect-interval: bad interval %q", p)
+		}
+		out = append(out, d)
+	}
+	return out, nil
 }
 
 // parseRates parses a comma-separated list of nonnegative rates.

@@ -427,6 +427,16 @@ func (n *Node) BestPath(dest routing.NodeID) routing.Path {
 	return n.best[dest].Path.Clone()
 }
 
+// NextHopTo returns the first hop of the selected route to dest without
+// cloning the path (routing.None when no route is selected) — the
+// allocation-free read the data-plane forwarding walker takes per hop.
+func (n *Node) NextHopTo(dest routing.NodeID) routing.NodeID {
+	if p := n.best[dest].Path; len(p) >= 2 {
+		return p[1]
+	}
+	return routing.None
+}
+
 // BestClass returns the class of the node's selected route to dest (0
 // when it has no route).
 func (n *Node) BestClass(dest routing.NodeID) policy.RouteClass {

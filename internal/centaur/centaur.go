@@ -798,6 +798,16 @@ func (n *Node) BestPath(dest routing.NodeID) routing.Path {
 	return n.paths[dest].Clone()
 }
 
+// NextHopTo returns the first hop of the selected route to dest without
+// cloning the path (routing.None when no route is selected) — the
+// allocation-free read the data-plane forwarding walker takes per hop.
+func (n *Node) NextHopTo(dest routing.NodeID) routing.NodeID {
+	if p := n.paths[dest]; len(p) >= 2 {
+		return p[1]
+	}
+	return routing.None
+}
+
 // BestClass returns the class of the selected route to dest (0 if none).
 func (n *Node) BestClass(dest routing.NodeID) policy.RouteClass {
 	if dest == n.self {

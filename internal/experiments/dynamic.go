@@ -12,7 +12,9 @@ import (
 
 	"centaur/internal/bgp"
 	"centaur/internal/centaur"
+	"centaur/internal/forward"
 	"centaur/internal/invariant"
+	"centaur/internal/liveness"
 	"centaur/internal/metrics"
 	"centaur/internal/ospf"
 	"centaur/internal/routing"
@@ -51,6 +53,11 @@ type FlipSample struct {
 	// DownBytes/UpBytes are the encoded wire bytes sent during each
 	// phase (internal/wire), the unit-free cost metric.
 	DownBytes, UpBytes int64
+	// DownImpact/UpImpact are the integrated data-plane outcomes of each
+	// phase — blackhole/loop flow-seconds and packet equivalents from
+	// the fault (or restore) instant to quiescence. Zero unless
+	// FlipConfig.Flows is set.
+	DownImpact, UpImpact forward.Impact
 }
 
 // FlipConfig parameterizes a link-flip experiment run.
@@ -112,6 +119,21 @@ type FlipConfig struct {
 	// step), so the concatenated trace is byte-identical for every
 	// worker count.
 	Trace *telemetry.TraceCollector
+	// Flows enables per-phase data-plane accounting: each flow is
+	// re-walked through the live RIBs on every control-plane change, and
+	// every flip sample carries the integrated user impact of its down
+	// and up phase. Empty leaves the run bit-for-bit what it was before
+	// the data plane existed. FlowRate converts outcome-seconds to
+	// packet equivalents (0 = forward's default, 1000/s).
+	Flows    []forward.Flow
+	FlowRate float64
+	// Liveness, when Liveness.TxInterval > 0, replaces oracle link-down
+	// notification with BFD-style sessions at that transmit interval:
+	// every phase's convergence time then includes the detection latency,
+	// and its message counts include the session control frames. The
+	// wrapper is not snapshottable, so a liveness run never forks
+	// checkpoints (each chunk cold-starts, like NoCheckpoint).
+	Liveness liveness.Config
 }
 
 // flipJob is one independent unit of simulation work: a fresh network
@@ -133,6 +155,10 @@ type flipJob struct {
 	// verify, when non-nil, is the series' shared converged base
 	// solution; see FlipConfig.Verify.
 	verify *solver.Solution
+	// flows/flowRate install a data-plane tracker on the job's network;
+	// see FlipConfig.Flows.
+	flows    []forward.Flow
+	flowRate float64
 }
 
 // verifySolution cold-solves g under the shared hashed-tie-break policy
@@ -146,6 +172,30 @@ func verifySolution(g *topology.Graph, verify bool) (*solver.Solution, error) {
 		return nil, fmt.Errorf("experiments: verification solve: %w", err)
 	}
 	return sol, nil
+}
+
+// sampleReachableFlows draws up to n seeded flows whose pairs the
+// policy solver can route, so steady-state data-plane accounting
+// measures convergence transients rather than permanent policy holes.
+// sol, when non-nil, is reused for the filter (the verification
+// solution fits — same policy); otherwise one solve is run here.
+func sampleReachableFlows(g *topology.Graph, n int, seed int64, sol *solver.Solution) ([]forward.Flow, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if sol == nil {
+		var err error
+		if sol, err = verifySolution(g, true); err != nil {
+			return nil, err
+		}
+	}
+	var out []forward.Flow
+	for _, f := range forward.SampleFlows(g, n, seed) {
+		if _, ok := sol.Path(f.Src, f.Dst); ok {
+			out = append(out, f)
+		}
+	}
+	return out, nil
 }
 
 // flipEdges returns the flip schedule for cfg: all edges, or a
@@ -178,14 +228,21 @@ func flipJobs(cfg FlipConfig, label string, out []FlipSample) []flipJob {
 	if series == "" {
 		series = "flips"
 	}
+	build := cfg.Build
+	livenessOn := cfg.Liveness.TxInterval > 0 && cfg.Liveness.Enabled()
+	if livenessOn {
+		build = liveness.Wrap(build, cfg.Liveness)
+	}
 	// Checkpointing pays off only when several chunks would each repeat
 	// the cold start; tracing needs every chunk's own cold-start events
 	// in its trace, so it keeps the historical path (see
-	// FlipConfig.NoCheckpoint).
+	// FlipConfig.NoCheckpoint). The liveness wrapper is not
+	// snapshottable, so those runs skip the fork source rather than
+	// cold-start it just to fail the snapshot.
 	var fork *forkSource
-	if !cfg.NoCheckpoint && cfg.Trace == nil && len(edges) > chunk {
+	if !cfg.NoCheckpoint && cfg.Trace == nil && len(edges) > chunk && !livenessOn {
 		fork = &forkSource{
-			cfg:  sim.Config{Topology: cfg.Topology, Build: cfg.Build, DelaySeed: cfg.Seed},
+			cfg:  sim.Config{Topology: cfg.Topology, Build: build, DelaySeed: cfg.Seed},
 			tele: cfg.Telemetry,
 		}
 	}
@@ -200,7 +257,7 @@ func flipJobs(cfg FlipConfig, label string, out []FlipSample) []flipJob {
 			label:     label,
 			series:    series,
 			topo:      cfg.Topology,
-			build:     cfg.Build,
+			build:     build,
 			edges:     edges[start:end],
 			delaySeed: delaySeed,
 			out:       out[start:end],
@@ -208,6 +265,8 @@ func flipJobs(cfg FlipConfig, label string, out []FlipSample) []flipJob {
 			chunk:     cfg.Trace.Chunk(series, delaySeed),
 			fork:      fork,
 			verify:    cfg.Verify,
+			flows:     cfg.Flows,
+			flowRate:  cfg.FlowRate,
 		})
 	}
 	return jobs
@@ -219,6 +278,14 @@ func (j flipJob) run() error {
 	net, err := j.network()
 	if err != nil {
 		return err
+	}
+	// The data-plane tracker attaches to the already-converged network,
+	// so each phase's Window integrates exactly from its flip instant to
+	// its quiescence — the cold start is not in any window.
+	var tracker *forward.Tracker
+	if len(j.flows) > 0 {
+		tracker = forward.NewTracker(net, forward.Config{Flows: j.flows, PacketRate: j.flowRate})
+		tracker.Install()
 	}
 	// The verification oracle: a private fork of the series' base
 	// solution on a private graph clone, advanced edge-by-edge with the
@@ -250,6 +317,9 @@ func (j flipJob) run() error {
 		if st.Messages > 0 {
 			s.DownTime = st.LastSend - start
 		}
+		if tracker != nil {
+			s.DownImpact = tracker.Window(net.Now())
+		}
 		j.recordPhase("down", st, s.DownTime, net, start)
 		if vsol != nil {
 			if !vg.RemoveEdge(e.A, e.B) {
@@ -273,6 +343,9 @@ func (j flipJob) run() error {
 		s.UpBytes = st.Bytes
 		if st.Messages > 0 {
 			s.UpTime = st.LastSend - start
+		}
+		if tracker != nil {
+			s.UpImpact = tracker.Window(net.Now())
 		}
 		j.recordPhase("up", st, s.UpTime, net, start)
 		if vsol != nil {
@@ -456,6 +529,21 @@ type Figure6Config struct {
 	// "fig6.bgp_mrai", and "fig6.bgp".
 	Telemetry *telemetry.Registry
 	Trace     *telemetry.TraceCollector
+	// Flows enables the user-impact variant: that many seeded,
+	// policy-reachable src→dst flows are re-walked through the live RIBs
+	// during every flip phase, and the result carries each series'
+	// aggregated blackhole/loop impact. 0 = classic Figure 6.
+	Flows    int
+	FlowSeed int64
+	// FlowRate converts outcome-seconds to packet equivalents (0 =
+	// forward's default, 1000/s).
+	FlowRate float64
+	// DetectInterval > 0 additionally runs every series under BFD-style
+	// liveness detection at that transmit interval (DetectMult 0 =
+	// liveness's default, 3) instead of oracle link-down notification:
+	// reconvergence times then include failure-detection latency.
+	DetectInterval time.Duration
+	DetectMult     int
 }
 
 // DefaultFigure6Config is the paper's setup with a link sample large
@@ -480,6 +568,13 @@ type Figure6Result struct {
 	// delay, phases without path exploration end at the identical
 	// instant under both protocols.
 	FractionCentaurNotSlower float64
+	// HasImpact marks a user-impact run (Figure6Config.Flows > 0); the
+	// Impact fields below then sum each series' per-phase data-plane
+	// outcomes over the whole flip workload.
+	HasImpact       bool
+	CentaurImpact   forward.Impact
+	BGPImpact       forward.Impact
+	BGPNoMRAIImpact forward.Impact
 }
 
 // Figure6 runs the paper's convergence-time comparison: identical
@@ -495,10 +590,16 @@ func Figure6(cfg Figure6Config) (*Figure6Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	flows, err := sampleReachableFlows(g, cfg.Flows, cfg.FlowSeed, verify)
+	if err != nil {
+		return nil, err
+	}
 	flip := func(b sim.Builder, series string) FlipConfig {
 		return FlipConfig{Topology: g, Build: b, Flips: cfg.Flips, Seed: cfg.Seed,
 			TrialsPerNetwork: cfg.TrialsPerNetwork, NoCheckpoint: cfg.NoCheckpoint,
-			Verify: verify, Series: series, Telemetry: cfg.Telemetry, Trace: cfg.Trace}
+			Verify: verify, Series: series, Telemetry: cfg.Telemetry, Trace: cfg.Trace,
+			Flows: flows, FlowRate: cfg.FlowRate,
+			Liveness: liveness.Config{TxInterval: cfg.DetectInterval, DetectMult: cfg.DetectMult}}
 	}
 	nFlips := len(flipEdges(flip(nil, "")))
 	cent := make([]FlipSample, nFlips)
@@ -541,6 +642,17 @@ func Figure6(cfg Figure6Config) (*Figure6Result, error) {
 		res.FractionCentaurFaster = float64(faster) / float64(total)
 		res.FractionCentaurNotSlower = float64(notSlower) / float64(total)
 	}
+	if len(flows) > 0 {
+		res.HasImpact = true
+		for i := range cent {
+			res.CentaurImpact.Add(cent[i].DownImpact)
+			res.CentaurImpact.Add(cent[i].UpImpact)
+			res.BGPImpact.Add(bgpr[i].DownImpact)
+			res.BGPImpact.Add(bgpr[i].UpImpact)
+			res.BGPNoMRAIImpact.Add(bgpFast[i].DownImpact)
+			res.BGPNoMRAIImpact.Add(bgpFast[i].UpImpact)
+		}
+	}
 	return res, nil
 }
 
@@ -553,12 +665,24 @@ func (r *Figure6Result) String() string {
 	fmt.Fprintf(&b, "  BGP (no MRAI):  %s\n", r.BGPNoMRAI.Summary())
 	fmt.Fprintf(&b, "  Centaur strictly faster than BGP in %.1f%% of flip phases (not slower in %.1f%%)\n",
 		100*r.FractionCentaurFaster, 100*r.FractionCentaurNotSlower)
+	if r.HasImpact {
+		b.WriteString("  User impact over all flip phases (blackhole flow-seconds / loop packets / stuck flows):\n")
+		fmt.Fprintf(&b, "    centaur:    %s\n", impactLine(r.CentaurImpact))
+		fmt.Fprintf(&b, "    bgp-mrai:   %s\n", impactLine(r.BGPImpact))
+		fmt.Fprintf(&b, "    bgp-nomrai: %s\n", impactLine(r.BGPNoMRAIImpact))
+	}
 	b.WriteString(renderCDFs(25, []namedDist{
 		{"centaur", r.Centaur},
 		{"bgp-mrai", r.BGP},
 		{"bgp-nomrai", r.BGPNoMRAI},
 	}))
 	return b.String()
+}
+
+// impactLine renders one series' aggregated data-plane impact.
+func impactLine(i forward.Impact) string {
+	return fmt.Sprintf("bh=%.4fs loop=%.0fpkt valley=%.0fpkt stuck=%d",
+		i.BlackholeSec, i.LoopPackets, i.ValleyDeliveries, i.FinalBlackholed+i.FinalLooping)
 }
 
 // Figure7Config parameterizes the convergence-load comparison against
@@ -581,6 +705,13 @@ type Figure7Config struct {
 	// "fig7.centaur" and "fig7.ospf".
 	Telemetry *telemetry.Registry
 	Trace     *telemetry.TraceCollector
+	// Flows/FlowSeed/FlowRate and DetectInterval/DetectMult enable the
+	// user-impact and liveness-detection variants; see Figure6Config.
+	Flows          int
+	FlowSeed       int64
+	FlowRate       float64
+	DetectInterval time.Duration
+	DetectMult     int
 }
 
 // DefaultFigure7Config mirrors the paper's 500-node setup.
@@ -606,6 +737,11 @@ type Figure7Result struct {
 	// FractionCentaurFewer is the share of flip phases where Centaur
 	// sent strictly fewer units than OSPF (the paper reports 82%).
 	FractionCentaurFewer float64
+	// HasImpact marks a user-impact run (Figure7Config.Flows > 0); the
+	// Impact fields sum each series' per-phase data-plane outcomes.
+	HasImpact     bool
+	CentaurImpact forward.Impact
+	OSPFImpact    forward.Impact
 }
 
 // Figure7 runs the paper's convergence-load comparison: identical
@@ -619,10 +755,16 @@ func Figure7(cfg Figure7Config) (*Figure7Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	flows, err := sampleReachableFlows(g, cfg.Flows, cfg.FlowSeed, verify)
+	if err != nil {
+		return nil, err
+	}
 	flip := func(b sim.Builder, series string) FlipConfig {
 		return FlipConfig{Topology: g, Build: b, Flips: cfg.Flips, Seed: cfg.Seed,
 			TrialsPerNetwork: cfg.TrialsPerNetwork, NoCheckpoint: cfg.NoCheckpoint,
-			Verify: verify, Series: series, Telemetry: cfg.Telemetry, Trace: cfg.Trace}
+			Verify: verify, Series: series, Telemetry: cfg.Telemetry, Trace: cfg.Trace,
+			Flows: flows, FlowRate: cfg.FlowRate,
+			Liveness: liveness.Config{TxInterval: cfg.DetectInterval, DetectMult: cfg.DetectMult}}
 	}
 	nFlips := len(flipEdges(flip(nil, "")))
 	cent := make([]FlipSample, nFlips)
@@ -671,6 +813,15 @@ func Figure7(cfg Figure7Config) (*Figure7Result, error) {
 	if total > 0 {
 		res.FractionCentaurFewer = float64(fewer) / float64(total)
 	}
+	if len(flows) > 0 {
+		res.HasImpact = true
+		for i := range cent {
+			res.CentaurImpact.Add(cent[i].DownImpact)
+			res.CentaurImpact.Add(cent[i].UpImpact)
+			res.OSPFImpact.Add(osp[i].DownImpact)
+			res.OSPFImpact.Add(osp[i].UpImpact)
+		}
+	}
 	return res, nil
 }
 
@@ -684,6 +835,11 @@ func (r *Figure7Result) String() string {
 	fmt.Fprintf(&b, "  OSPF msgs:     %s\n", r.OSPFMsgs.Summary())
 	fmt.Fprintf(&b, "  Centaur bytes: %s\n", r.CentaurBytes.Summary())
 	fmt.Fprintf(&b, "  OSPF bytes:    %s\n", r.OSPFBytes.Summary())
+	if r.HasImpact {
+		b.WriteString("  User impact over all flip phases (blackhole flow-seconds / loop packets / stuck flows):\n")
+		fmt.Fprintf(&b, "    centaur: %s\n", impactLine(r.CentaurImpact))
+		fmt.Fprintf(&b, "    ospf:    %s\n", impactLine(r.OSPFImpact))
+	}
 	fmt.Fprintf(&b, "  Centaur fewer units in %.1f%% of flip phases (paper: 82%%)\n", 100*r.FractionCentaurFewer)
 	b.WriteString(renderCDFs(25, []namedDist{
 		{"centaur", r.Centaur},

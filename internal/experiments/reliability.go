@@ -23,7 +23,9 @@ import (
 	"centaur/internal/bgp"
 	"centaur/internal/centaur"
 	"centaur/internal/faults"
+	"centaur/internal/forward"
 	"centaur/internal/invariant"
+	"centaur/internal/liveness"
 	"centaur/internal/metrics"
 	"centaur/internal/ospf"
 	"centaur/internal/sim"
@@ -79,6 +81,28 @@ type ReliabilityConfig struct {
 	// what it was before the option existed.
 	BloomPL  bool
 	PLFPRate float64
+	// Flows enables the data-plane forwarding tracker: that many seeded
+	// src→dst traffic aggregates (restricted to policy-reachable pairs)
+	// are re-walked through the live RIBs on every control-plane change,
+	// and each sample carries the integrated user impact —
+	// blackhole-seconds, loop-packet equivalents, valley-violating
+	// deliveries — over the whole trial, cold-start convergence included.
+	// 0 leaves the sweep and its output bit-for-bit what they were
+	// before the data plane existed.
+	Flows    int
+	FlowSeed int64
+	// FlowRate converts outcome-seconds to packet equivalents (packets
+	// per second per flow; 0 = forward's default, 1000).
+	FlowRate float64
+	// DetectIntervals sweeps BFD-style failure detection: each entry runs
+	// the full (protocol × loss × churn × trial) grid with every node's
+	// links guarded by liveness sessions at that transmit interval. A 0
+	// entry is the oracle point — instantaneous link-down notification,
+	// exactly the pre-liveness simulator. Empty means oracle only.
+	DetectIntervals []time.Duration
+	// DetectMult is the liveness detection multiplier (0 = liveness's
+	// default, 3).
+	DetectMult int
 	// Workers, Telemetry, Trace as in FlipConfig. Series names are
 	// "rel.centaur", "rel.bgp", "rel.ospf".
 	Workers   int
@@ -135,15 +159,29 @@ type ReliabilitySample struct {
 	// oracle and denied — exposure, not damage). Always 0 without
 	// ReliabilityConfig.BloomPL.
 	PLFalsePositives int64
+	// DetectInterval is this trial's BFD transmit interval (0 = oracle
+	// instantaneous detection).
+	DetectInterval time.Duration
+	// Impact is the integrated data-plane outcome over the whole trial
+	// (zero when the sweep ran without flows).
+	Impact forward.Impact
+	// BFD sums the liveness sessions' accounting across all nodes (zero
+	// at oracle points).
+	BFD liveness.SessionStats
 }
 
 // OK reports a fully successful trial: quiesced and solver-verified.
 func (s ReliabilitySample) OK() bool { return s.Converged && s.Violations == 0 }
 
 // ReliabilityResult holds every trial of the sweep, in deterministic
-// (protocol, loss, churn, trial) order.
+// (protocol, detect, loss, churn, trial) order. HasImpact/HasDetect
+// record whether the sweep ran with flows resp. a liveness sweep, so
+// String renders the extra columns only when they carry data — a sweep
+// with both off prints exactly what it did before they existed.
 type ReliabilityResult struct {
-	Samples []ReliabilitySample
+	Samples   []ReliabilitySample
+	HasImpact bool
+	HasDetect bool
 }
 
 // relJob is one trial.
@@ -159,6 +197,11 @@ type relJob struct {
 	out       *ReliabilitySample
 	tele      *telemetry.Registry
 	chunk     *telemetry.TraceChunk
+	// Data-plane accounting (flows empty = no tracker installed) and
+	// liveness detection (detect 0 = oracle, no wrapper).
+	flows    []forward.Flow
+	flowRate float64
+	detect   time.Duration
 }
 
 func (j relJob) run() error {
@@ -178,6 +221,11 @@ func (j relJob) run() error {
 	}
 	if j.plan.Active() {
 		faults.Attach(net, j.plan, j.tele)
+	}
+	var tracker *forward.Tracker
+	if len(j.flows) > 0 {
+		tracker = forward.NewTracker(net, forward.Config{Flows: j.flows, PacketRate: j.flowRate})
+		tracker.Install()
 	}
 	s := j.out
 	conv, st, err := net.RunToConvergence(j.maxEvents)
@@ -199,8 +247,23 @@ func (j relJob) run() error {
 	s.DupSuppressed = st.DupSuppressed
 	s.Abandoned = st.TransportAbandoned
 	s.PLFalsePositives = st.PLFalsePositives
+	if tracker != nil {
+		// One measurement window over the whole trial, closed at the
+		// quiescence instant (or wherever the budget ran out).
+		s.Impact = tracker.Window(net.Now())
+	}
+	if j.detect > 0 {
+		s.BFD = liveness.Collect(net, j.topo.Nodes())
+	}
 	if s.Converged {
-		if vs := invariant.Check(net, j.sol); len(vs) > 0 {
+		vs := invariant.Check(net, j.sol)
+		if tracker != nil {
+			// The data-plane walker must agree with the oracle wherever the
+			// control plane does: every tracked flow checks out against the
+			// solver (path-vector) or shortest-path distances (next-hop).
+			vs = append(vs, invariant.CheckFlows(net, j.sol, j.flows)...)
+		}
+		if len(vs) > 0 {
 			s.Violations = len(vs)
 			s.FirstViolation = vs[0].String()
 		}
@@ -239,6 +302,13 @@ func (j relJob) record(st sim.Stats, conv time.Duration) {
 		r.Counter(series + ".bytes." + kind).Add(st.BytesByKind[kind])
 	}
 	r.Distribution(series + ".conv_ms").Observe(float64(conv) / float64(time.Millisecond))
+	// Registered only when the data plane ran, so a flow-less run's
+	// telemetry snapshot is byte-identical to pre-data-plane runs.
+	if imp := j.out.Impact; len(j.flows) > 0 {
+		r.Distribution(series + ".blackhole_s").Observe(imp.BlackholeSec)
+		r.Distribution(series + ".loop_pkts").Observe(imp.LoopPackets)
+		r.Distribution(series + ".valley_pkts").Observe(imp.ValleyDeliveries)
+	}
 }
 
 // reliabilityProtocols is the fixed series list, matching the Figure 6
@@ -296,45 +366,77 @@ func RunReliability(cfg ReliabilityConfig) (*ReliabilityResult, error) {
 	if budget <= 0 {
 		budget = maxEvents
 	}
+	detects := cfg.DetectIntervals
+	if len(detects) == 0 {
+		detects = []time.Duration{0}
+	}
+	// The traffic matrix is sampled once per sweep, restricted to
+	// policy-reachable pairs so steady-state blackhole time measures
+	// faults, not policy holes. (Graph-reachable ⊇ policy-reachable, so
+	// the restriction is sound for the shortest-path series too.)
+	flows, err := sampleReachableFlows(g, cfg.Flows, cfg.FlowSeed, sol)
+	if err != nil {
+		return nil, err
+	}
 
 	protos := reliabilityProtocols(cfg)
 	res := &ReliabilityResult{
-		Samples: make([]ReliabilitySample, len(protos)*len(lossRates)*len(churnRates)*trials),
+		Samples:   make([]ReliabilitySample, len(protos)*len(detects)*len(lossRates)*len(churnRates)*trials),
+		HasImpact: len(flows) > 0,
+	}
+	for _, d := range detects {
+		if d > 0 {
+			res.HasDetect = true
+		}
 	}
 	var jobs []relJob
 	for _, p := range protos {
-		build := p.build
+		base := p.build
 		if !cfg.NoTransport {
-			build = sim.Reliable(build, cfg.Transport)
+			base = sim.Reliable(base, cfg.Transport)
 		}
-		for _, loss := range lossRates {
-			for _, churn := range churnRates {
-				for trial := 0; trial < trials; trial++ {
-					i := len(jobs)
-					res.Samples[i] = ReliabilitySample{
-						Protocol: p.name, Loss: loss, Churn: churn, Trial: trial,
+		for _, detect := range detects {
+			// Liveness wraps outside the transport: it must hear raw carrier
+			// events, and its control frames must not ride the retransmitting
+			// transport.
+			build := liveness.Wrap(base, liveness.Config{
+				TxInterval: detect,
+				DetectMult: cfg.DetectMult,
+				Oracle:     detect == 0,
+			})
+			for _, loss := range lossRates {
+				for _, churn := range churnRates {
+					for trial := 0; trial < trials; trial++ {
+						i := len(jobs)
+						res.Samples[i] = ReliabilitySample{
+							Protocol: p.name, Loss: loss, Churn: churn, Trial: trial,
+							DetectInterval: detect,
+						}
+						jobs = append(jobs, relJob{
+							index:    i,
+							protocol: p.name,
+							build:    build,
+							topo:     g,
+							sol:      sol,
+							plan: faults.Plan{
+								Seed:    cfg.FaultSeed + int64(i),
+								Loss:    loss,
+								Dup:     cfg.Dup,
+								Jitter:  cfg.Jitter,
+								Churn:   churn,
+								Crashes: cfg.Crashes,
+								Window:  cfg.Window,
+							},
+							delaySeed: cfg.Seed + int64(i),
+							maxEvents: budget,
+							out:       &res.Samples[i],
+							tele:      cfg.Telemetry,
+							chunk:     cfg.Trace.Chunk("rel."+p.name, cfg.Seed+int64(i)),
+							flows:     flows,
+							flowRate:  cfg.FlowRate,
+							detect:    detect,
+						})
 					}
-					jobs = append(jobs, relJob{
-						index:    i,
-						protocol: p.name,
-						build:    build,
-						topo:     g,
-						sol:      sol,
-						plan: faults.Plan{
-							Seed:    cfg.FaultSeed + int64(i),
-							Loss:    loss,
-							Dup:     cfg.Dup,
-							Jitter:  cfg.Jitter,
-							Churn:   churn,
-							Crashes: cfg.Crashes,
-							Window:  cfg.Window,
-						},
-						delaySeed: cfg.Seed + int64(i),
-						maxEvents: budget,
-						out:       &res.Samples[i],
-						tele:      cfg.Telemetry,
-						chunk:     cfg.Trace.Chunk("rel."+p.name, cfg.Seed+int64(i)),
-					})
 				}
 			}
 		}
@@ -352,12 +454,14 @@ func RunReliability(cfg ReliabilityConfig) (*ReliabilityResult, error) {
 }
 
 // String renders per-grid-point aggregates: convergence time, delivery
-// success, transport effort, and verification outcome.
+// success, transport effort, verification outcome, and — when the
+// sweep ran them — data-plane user impact and detection latency.
 func (r *ReliabilityResult) String() string {
 	type key struct {
-		proto string
-		loss  float64
-		churn float64
+		proto  string
+		detect time.Duration
+		loss   float64
+		churn  float64
 	}
 	type agg struct {
 		conv    *metrics.Dist
@@ -366,11 +470,13 @@ func (r *ReliabilityResult) String() string {
 		plfp    int64
 		trials  int
 		ok      int
+		imp     forward.Impact
+		bfd     liveness.SessionStats
 	}
 	order := make([]key, 0)
 	points := make(map[key]*agg)
 	for _, s := range r.Samples {
-		k := key{s.Protocol, s.Loss, s.Churn}
+		k := key{s.Protocol, s.DetectInterval, s.Loss, s.Churn}
 		a := points[k]
 		if a == nil {
 			a = &agg{conv: metrics.NewDist(8)}
@@ -381,6 +487,8 @@ func (r *ReliabilityResult) String() string {
 		a.success += s.DeliverySuccess
 		a.rexmit += s.Retransmits
 		a.plfp += s.PLFalsePositives
+		a.imp.Add(s.Impact)
+		a.bfd.Add(s.BFD)
 		if s.OK() {
 			a.ok++
 			a.conv.Add(float64(s.ConvergenceTime) / float64(time.Millisecond))
@@ -388,16 +496,43 @@ func (r *ReliabilityResult) String() string {
 	}
 	var b []byte
 	b = append(b, "Reliability. Convergence under loss/churn (per grid point).\n"...)
+	var totalBlackhole float64
 	for _, k := range order {
 		a := points[k]
-		line := fmt.Sprintf("  %-8s loss=%.2f churn=%5.1f  ok %d/%d  conv %s  delivery %.3f  rexmit %d\n",
+		line := fmt.Sprintf("  %-8s loss=%.2f churn=%5.1f  ok %d/%d  conv %s  delivery %.3f  rexmit %d",
 			k.proto, k.loss, k.churn, a.ok, a.trials, a.conv.Summary(), a.success/float64(a.trials), a.rexmit)
+		if r.HasDetect {
+			line = fmt.Sprintf("  %-8s detect=%-6s loss=%.2f churn=%5.1f  ok %d/%d  conv %s  delivery %.3f  rexmit %d",
+				k.proto, detectLabel(k.detect), k.loss, k.churn, a.ok, a.trials, a.conv.Summary(), a.success/float64(a.trials), a.rexmit)
+		}
 		if a.plfp > 0 {
 			// Only Bloom-compressed runs can hit this, so runs without the
 			// option render exactly as before.
-			line = line[:len(line)-1] + fmt.Sprintf("  pl-fp %d\n", a.plfp)
+			line += fmt.Sprintf("  pl-fp %d", a.plfp)
+		}
+		if r.HasImpact {
+			totalBlackhole += a.imp.BlackholeSec
+			line += fmt.Sprintf("  bh=%.4fs loop=%.0fpkt valley=%.0fpkt stuck=%d",
+				a.imp.BlackholeSec, a.imp.LoopPackets, a.imp.ValleyDeliveries,
+				a.imp.FinalBlackholed+a.imp.FinalLooping)
+		}
+		if r.HasDetect && k.detect > 0 {
+			line += fmt.Sprintf("  det=%d/%.1fms false-down=%d",
+				a.bfd.Detections, float64(a.bfd.MeanDetect())/float64(time.Millisecond), a.bfd.FalseDowns)
 		}
 		b = append(b, line...)
+		b = append(b, '\n')
+	}
+	if r.HasImpact {
+		b = append(b, fmt.Sprintf("  total blackhole flow-seconds: %.6f\n", totalBlackhole)...)
 	}
 	return string(b)
+}
+
+// detectLabel renders a detection interval column ("oracle" for 0).
+func detectLabel(d time.Duration) string {
+	if d == 0 {
+		return "oracle"
+	}
+	return d.String()
 }

@@ -1,0 +1,19 @@
+package forward
+
+import "centaur/internal/telemetry"
+
+// tele holds the package's cached metric handles; the zero values
+// no-op. Package-level because counters are atomic and trackers of
+// every concurrent simulation share the process-wide registry.
+var tele struct {
+	evals       telemetry.Counter // forward.evals: flow re-walk rounds (dirty instants)
+	transitions telemetry.Counter // forward.transitions: per-flow outcome changes
+}
+
+// SetTelemetry points the package's counters at r (nil disables them
+// again). Call it before any simulation starts; it is not synchronized
+// against concurrently running trackers.
+func SetTelemetry(r *telemetry.Registry) {
+	tele.evals = r.Counter("forward.evals")
+	tele.transitions = r.Counter("forward.transitions")
+}

@@ -19,6 +19,7 @@ package invariant
 import (
 	"fmt"
 
+	"centaur/internal/forward"
 	"centaur/internal/routing"
 	"centaur/internal/sim"
 	"centaur/internal/solver"
@@ -194,6 +195,86 @@ func CheckStreamed(net *sim.Network, g *topology.Graph, opts solver.Options) ([]
 		out = append(out, checkNextHopsOn(net, g)...)
 	}
 	return out, nil
+}
+
+// CheckFlows verifies the data-plane walker's per-flow outcomes against
+// the solver oracle on a quiesced network: every flow whose destination
+// the solver reaches must be Delivered, and the walked path must be the
+// solver's path (path-vector sources) or take exactly the shortest-path
+// hop count (next-hop sources); flows the solver cannot route must not
+// be delivered at all. Like CheckAt, sol's topology — not the
+// simulator's construction-time graph — defines current reachability,
+// so the check is valid mid-fault-plan. Violation kinds: "flow-loop",
+// "flow-blackhole", "flow-valley", "flow-phantom" (delivered though the
+// solver has no route), "flow-mismatch" (delivered along a path that is
+// not the solver's), "flow-detour" (next-hop source delivered in more
+// hops than the shortest path).
+func CheckFlows(net *sim.Network, sol *solver.Solution, flows []forward.Flow) []Violation {
+	g := sol.Topology()
+	var out []Violation
+	dists := make(map[routing.NodeID]map[routing.NodeID]int) // per-dest BFS cache
+	distTo := func(dst routing.NodeID) map[routing.NodeID]int {
+		d := dists[dst]
+		if d == nil {
+			d = bfsDistances(g, dst)
+			dists[dst] = d
+		}
+		return d
+	}
+	for _, f := range flows {
+		path, outcome := forward.WalkFlow(net, f)
+		_, isPath := Unwrap(net.Node(f.Src)).(PathRIB)
+		// Ground truth depends on the source's RIB shape: path-vector
+		// sources answer to the policy solver, next-hop sources to plain
+		// graph reachability — the same split Check makes.
+		var want routing.Path
+		var reachable bool
+		if isPath {
+			want, reachable = sol.Path(f.Src, f.Dst)
+		} else {
+			_, reachable = distTo(f.Dst)[f.Src]
+		}
+		if !reachable {
+			if outcome == forward.Delivered || outcome == forward.ValleyDelivered {
+				out = append(out, Violation{Node: f.Src, Dest: f.Dst, Kind: "flow-phantom",
+					Detail: fmt.Sprintf("flow delivered along %v but no route should exist", path)})
+			}
+			continue
+		}
+		switch outcome {
+		case forward.Looping:
+			out = append(out, Violation{Node: f.Src, Dest: f.Dst, Kind: "flow-loop",
+				Detail: fmt.Sprintf("flow loops (walk %v exceeds hop budget)", path)})
+		case forward.Blackholed:
+			out = append(out, Violation{Node: f.Src, Dest: f.Dst, Kind: "flow-blackhole",
+				Detail: fmt.Sprintf("flow blackholed at %v after %d hops", path[len(path)-1], len(path)-1)})
+		case forward.ValleyDelivered:
+			// Shortest-path protocols do not implement Gao–Rexford; a
+			// quiesced valley crossing is a measurement for them (the
+			// tracker reports it), not a violation.
+			if isPath {
+				out = append(out, Violation{Node: f.Src, Dest: f.Dst, Kind: "flow-valley",
+					Detail: fmt.Sprintf("flow delivered across a valley along %v", path)})
+			} else if shortest := distTo(f.Dst)[f.Src]; len(path)-1 != shortest {
+				out = append(out, Violation{Node: f.Src, Dest: f.Dst, Kind: "flow-detour",
+					Detail: fmt.Sprintf("flow delivered in %d hops, shortest path is %d", len(path)-1, shortest)})
+			}
+		case forward.Delivered:
+			if isPath {
+				// The walk concatenates per-hop RIB reads; at a solver
+				// fixpoint that concatenation is exactly the source's (and the
+				// solver's) selected path — hop consistency.
+				if !path.Equal(want) {
+					out = append(out, Violation{Node: f.Src, Dest: f.Dst, Kind: "flow-mismatch",
+						Detail: fmt.Sprintf("flow walked %v, solver has %v", path, want)})
+				}
+			} else if shortest := distTo(f.Dst)[f.Src]; len(path)-1 != shortest {
+				out = append(out, Violation{Node: f.Src, Dest: f.Dst, Kind: "flow-detour",
+					Detail: fmt.Sprintf("flow delivered in %d hops, shortest path is %d", len(path)-1, shortest)})
+			}
+		}
+	}
+	return out
 }
 
 // loopCheck verifies p is a well-formed simple path from id to dest.

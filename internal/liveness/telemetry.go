@@ -1,0 +1,31 @@
+package liveness
+
+import "centaur/internal/telemetry"
+
+// tele holds the package's cached metric handles; the zero values
+// no-op. Package-level because counters are atomic and nodes of every
+// concurrent simulation share the process-wide registry.
+var tele struct {
+	established   telemetry.Counter      // bfd.sessions_established: sessions reaching up
+	sessionDowns  telemetry.Counter      // bfd.session_downs: established sessions declared down
+	detections    telemetry.Counter      // bfd.detections: steady-state carrier failures detected
+	falseDowns    telemetry.Counter      // bfd.false_downs: sessions killed by control-frame loss
+	flapsAbsorbed telemetry.Counter      // bfd.flaps_absorbed: sub-detection-window carrier flaps
+	gatedSends    telemetry.Counter      // bfd.gated_sends: protocol sends dropped at the session gate
+	gatedRecvs    telemetry.Counter      // bfd.gated_recv: protocol receives dropped at the session gate
+	detectMS      telemetry.Distribution // bfd.detect_ms: detection latency, milliseconds
+}
+
+// SetTelemetry points the package's counters at r (nil disables them
+// again). Call it before any simulation starts; it is not synchronized
+// against concurrently running nodes.
+func SetTelemetry(r *telemetry.Registry) {
+	tele.established = r.Counter("bfd.sessions_established")
+	tele.sessionDowns = r.Counter("bfd.session_downs")
+	tele.detections = r.Counter("bfd.detections")
+	tele.falseDowns = r.Counter("bfd.false_downs")
+	tele.flapsAbsorbed = r.Counter("bfd.flaps_absorbed")
+	tele.gatedSends = r.Counter("bfd.gated_sends")
+	tele.gatedRecvs = r.Counter("bfd.gated_recv")
+	tele.detectMS = r.Distribution("bfd.detect_ms")
+}

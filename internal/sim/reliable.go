@@ -41,6 +41,13 @@ type ReliableConfig struct {
 	// after that many resends is abandoned (counted in
 	// Stats.TransportAbandoned). Default 16.
 	MaxRetries int
+	// MaxRTO caps the exponential backoff. Without a cap the interval
+	// doubles every attempt, so a frame that survives a long partition
+	// can sit out seconds-to-minutes of backoff after the link returns —
+	// post-partition re-sync latency was unbounded. With the cap, the
+	// worst-case gap between the partition healing and the next
+	// retransmission is MaxRTO. Default 1 s.
+	MaxRTO time.Duration
 }
 
 func (c ReliableConfig) rto() time.Duration {
@@ -55,6 +62,13 @@ func (c ReliableConfig) maxRetries() int {
 		return c.MaxRetries
 	}
 	return 16
+}
+
+func (c ReliableConfig) maxRTO() time.Duration {
+	if c.MaxRTO > 0 {
+		return c.MaxRTO
+	}
+	return time.Second
 }
 
 // DataFrame is the adapter's sequenced envelope around one protocol
@@ -149,7 +163,7 @@ func Reliable(inner Builder, cfg ReliableConfig) Builder {
 			cfg:  cfg,
 			sess: make(map[routing.NodeID]*relSession),
 		}
-		n.noter, _ = env.(transportNoter)
+		n.noter, _ = BaseEnv(env).(transportNoter)
 		n.renv = relEnv{Env: env, n: n}
 		n.inner = inner(&n.renv)
 		return n
@@ -212,6 +226,9 @@ type relEnv struct {
 
 func (e *relEnv) Send(to routing.NodeID, msg Message) { e.n.sendData(to, msg) }
 
+// UnwrapEnv implements EnvUnwrapper.
+func (e *relEnv) UnwrapEnv() Env { return e.Env }
+
 // NotePLFalsePositive forwards compressed-Permission-List accounting to
 // the real environment. The embedded Env interface hides the concrete
 // env's extra methods, so without this forwarder a protocol running
@@ -273,7 +290,7 @@ func (n *relNode) sendData(to routing.NodeID, msg Message) {
 // session was reset or the frame was acked meanwhile; otherwise it
 // resends (even onto a down link — the send is then counted
 // undeliverable, exactly what a real timer-driven sender does) and
-// re-arms with the delay doubled.
+// re-arms with the delay doubled, capped at MaxRTO.
 func (n *relNode) armRetransmit(to routing.NodeID, gen, seq uint64, d time.Duration, attempt int) {
 	n.env.After(d, func() {
 		s := n.sess[to]
@@ -298,7 +315,11 @@ func (n *relNode) armRetransmit(to routing.NodeID, gen, seq uint64, d time.Durat
 			n.noter.noteRetransmit()
 		}
 		n.env.Send(to, p.frame)
-		n.armRetransmit(to, gen, seq, 2*d, attempt+1)
+		next := 2 * d
+		if max := n.cfg.maxRTO(); next > max {
+			next = max
+		}
+		n.armRetransmit(to, gen, seq, next, attempt+1)
 	})
 }
 

@@ -97,6 +97,26 @@ type Protocol interface {
 // valid for the lifetime of the simulation.
 type Builder func(env Env) Protocol
 
+// EnvUnwrapper is implemented by adapter environments (sim's own relEnv,
+// internal/liveness's gated env) that wrap another Env. BaseEnv follows
+// the chain, so type-asserted accounting hooks (transportNoter) reach
+// the simulator's own environment through any stack of wrappers.
+type EnvUnwrapper interface {
+	UnwrapEnv() Env
+}
+
+// BaseEnv peels EnvUnwrapper adapters until it reaches the innermost
+// environment — normally the simulator's own.
+func BaseEnv(env Env) Env {
+	for {
+		u, ok := env.(EnvUnwrapper)
+		if !ok {
+			return env
+		}
+		env = u.UnwrapEnv()
+	}
+}
+
 // Event kinds of the tagged event union. evFunc and evNodeTimer are the
 // only kinds that carry a closure; the others are dispatched inline by
 // Run so the steady-state send/deliver cycle allocates nothing per
@@ -218,6 +238,9 @@ func keyOf(a, b routing.NodeID) linkKey {
 // linkState is the dynamic state of one undirected link.
 type linkState struct {
 	delay time.Duration
+	// since is the simulated time of the last up/down transition, kept
+	// for watchdog diagnostics (LinkSession.Since).
+	since time.Duration
 	// epoch increments on every failure so in-flight messages sent
 	// before the failure are dropped at delivery time.
 	epoch uint64
@@ -513,6 +536,9 @@ type Network struct {
 	// multiple root operations in one closure (a partition's cuts)
 	// become siblings instead of a chain.
 	rootCause uint64
+	// instantHook, when non-nil, runs each time Run is about to advance
+	// the clock past a processed instant (see SetInstantHook).
+	instantHook func(now time.Duration)
 }
 
 // kindCount is one per-kind accumulator of sent messages, units, and
@@ -894,6 +920,39 @@ func (n *Network) NodeIsUp(id routing.NodeID) bool {
 	return i >= 0 && !n.nodeDown[i]
 }
 
+// LinkIsUp reports whether the undirected link a—b exists and is
+// currently up. The data-plane forwarding walker consults it per hop:
+// a RIB may still point over a link whose carrier already dropped.
+func (n *Network) LinkIsUp(a, b routing.NodeID) bool {
+	li, ok := n.linkAt[keyOf(a, b)]
+	return ok && n.links[li].up
+}
+
+// AddObserver chains fn in front of the currently installed trace
+// observer (fn runs first, then the prior observer, so an existing
+// trace-chunk collector sees the identical event stream). It lets
+// post-construction instrumentation — the forwarding tracker — ride the
+// trace path on networks whose Config-time observer is already fixed,
+// including forked ones.
+func (n *Network) AddObserver(fn func(TraceEvent)) {
+	prev := n.trace
+	if prev == nil {
+		n.trace = fn
+		return
+	}
+	n.trace = func(ev TraceEvent) { fn(ev); prev(ev) }
+}
+
+// SetInstantHook installs fn (nil removes it) to run whenever Run is
+// about to advance the simulated clock past a processed instant, with
+// that instant as argument. All state mutations of the instant have been
+// applied and nothing at a later time has run yet, so the hook sees each
+// distinct simulated time exactly once, in order, at its end — the
+// flush point the forwarding tracker uses to attribute outcome time
+// exactly. The final instant before quiescence gets no call (nothing
+// advances past it); callers flush it explicitly at Now().
+func (n *Network) SetInstantHook(fn func(now time.Duration)) { n.instantHook = fn }
+
 // CrashNode takes node id down at the current simulated time, modeling a
 // full process crash: every up adjacency fails (in-flight messages on it
 // are lost, each neighbor receives LinkDown), the protocol instance's
@@ -917,6 +976,7 @@ func (n *Network) CrashNode(id routing.NodeID) bool {
 		}
 		ls.up = false
 		ls.epoch++
+		ls.since = n.now
 		span := n.emitSpan(TraceLinkDown, id, ar.id, nil, crash, 0)
 		n.push(event{kind: evLinkDown, to: ar.node, from: id, cause: span})
 	}
@@ -947,6 +1007,7 @@ func (n *Network) RestartNode(id routing.NodeID) bool {
 			continue
 		}
 		ls.up = true
+		ls.since = n.now
 		span := n.emitSpan(TraceLinkUp, id, ar.id, nil, restart, 0)
 		n.push(event{kind: evLinkUp, to: ar.node, from: id, cause: span})
 	}
@@ -1014,6 +1075,7 @@ func (n *Network) FailLink(a, b routing.NodeID) bool {
 	}
 	n.links[li].up = false
 	n.links[li].epoch++
+	n.links[li].since = n.now
 	span := n.emitSpan(TraceLinkDown, a, b, nil, n.rootCause, 0)
 	n.curCause, n.curDepth = span, 0
 	n.push(event{kind: evLinkDown, to: int32(n.idx.Pos(a)), from: b, cause: span})
@@ -1035,6 +1097,7 @@ func (n *Network) RestoreLink(a, b routing.NodeID) bool {
 		return false
 	}
 	n.links[li].up = true
+	n.links[li].since = n.now
 	span := n.emitSpan(TraceLinkUp, a, b, nil, n.rootCause, 0)
 	n.curCause, n.curDepth = span, 0
 	n.push(event{kind: evLinkUp, to: int32(n.idx.Pos(a)), from: b, cause: span})
@@ -1062,6 +1125,9 @@ func (n *Network) Run(maxEvents int64) (processed int64, quiesced bool) {
 			return processed, false
 		}
 		ev := n.pq.pop()
+		if n.instantHook != nil && ev.at > n.now {
+			n.instantHook(n.now)
+		}
 		n.now = ev.at
 		// Load the event's captured causality into the active registers
 		// before its handler runs; rootCause stays fixed for the whole
@@ -1135,6 +1201,29 @@ type PendingWork struct {
 	// events (start, link up/down notifications) addressed to the node.
 	Timers int
 	ByKind map[string]int
+	// Links is the node's per-adjacency liveness state at the moment the
+	// watchdog fired: the detector's session FSM state when the node's
+	// protocol reports sessions (SessionReporter), the raw carrier state
+	// otherwise. A stall under high loss is then attributable — sessions
+	// stuck in init point at detection, not routing.
+	Links []LinkSession
+}
+
+// LinkSession is one adjacency's liveness state for diagnostics.
+type LinkSession struct {
+	Peer routing.NodeID
+	// State is "up" or "down" for raw carrier state, "up", "init", or
+	// "down" for a liveness detector's session FSM.
+	State string
+	// Since is the simulated time of the state's last transition.
+	Since time.Duration
+}
+
+// SessionReporter is implemented by liveness-detection wrappers that
+// track per-adjacency session state; the convergence watchdog includes
+// their report in stall diagnostics instead of the raw carrier state.
+type SessionReporter interface {
+	LinkSessions() []LinkSession
 }
 
 // ConvergenceError reports a network that failed to quiesce within its
@@ -1177,8 +1266,46 @@ func (e *ConvergenceError) Error() string {
 		for _, k := range kinds {
 			fmt.Fprintf(&b, " [%s×%d]", k, p.ByKind[k])
 		}
+		renderLinkSessions(&b, p.Links)
 	}
 	return b.String()
+}
+
+// renderLinkSessions appends a compact per-adjacency session summary:
+// every non-up session (those explain stalls) plus up-session count,
+// capped so a high-degree node cannot flood the message.
+func renderLinkSessions(b *strings.Builder, links []LinkSession) {
+	if len(links) == 0 {
+		return
+	}
+	const maxShown = 6
+	up, shown, omitted := 0, 0, 0
+	b.WriteString(" links[")
+	for _, s := range links {
+		if s.State == "up" {
+			up++
+			continue
+		}
+		if shown == maxShown {
+			omitted++
+			continue
+		}
+		if shown > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(b, "%v:%s@%v", s.Peer, s.State, s.Since)
+		shown++
+	}
+	if omitted > 0 {
+		fmt.Fprintf(b, " +%d more", omitted)
+	}
+	if up > 0 {
+		if shown > 0 || omitted > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(b, "%d up", up)
+	}
+	b.WriteString("]")
 }
 
 // convergenceError scans the event queue into a *ConvergenceError.
@@ -1206,7 +1333,21 @@ func (n *Network) convergenceError(maxEvents int64) error {
 			at(ev.to).Timers++
 		}
 	}
-	for _, p := range byNode {
+	for pos, p := range byNode {
+		// Attach the node's liveness view: detector sessions when its
+		// protocol reports them, raw carrier state otherwise.
+		if rep, ok := n.nodes[pos].(SessionReporter); ok {
+			p.Links = rep.LinkSessions()
+		} else {
+			for _, ar := range n.envs[pos].adj {
+				ls := &n.links[ar.link]
+				st := "down"
+				if ls.up {
+					st = "up"
+				}
+				p.Links = append(p.Links, LinkSession{Peer: ar.id, State: st, Since: ls.since})
+			}
+		}
 		e.Pending = append(e.Pending, *p)
 	}
 	sort.Slice(e.Pending, func(i, j int) bool {

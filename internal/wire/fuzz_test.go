@@ -118,6 +118,34 @@ func FuzzDecodeTransportAck(f *testing.F) {
 	})
 }
 
+func FuzzDecodeBFDControl(f *testing.F) {
+	f.Add(AppendBFDControl(nil, BFDControl{State: BFDStateDown, Remaining: 0}))
+	f.Add(AppendBFDControl(nil, BFDControl{State: BFDStateInit, Remaining: 0}))
+	f.Add(AppendBFDControl(nil, BFDControl{State: BFDStateUp, Remaining: 3}))
+	f.Add([]byte{KindBFDControl, 0, 0})       // invalid state 0
+	f.Add([]byte{KindBFDControl, 4, 0})       // invalid state 4
+	f.Add([]byte{KindBFDControl, 3})          // truncated
+	f.Add([]byte{KindBFDControl, 3, 1, 1})    // trailing byte
+	f.Add([]byte{KindBFDControl, 3, 0x80, 1}) // non-canonical... still a valid uvarint 128
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := DecodeBFDControl(data)
+		if err != nil {
+			return
+		}
+		enc := AppendBFDControl(nil, c)
+		if got := BFDControlSize(c); got != len(enc) {
+			t.Fatalf("BFDControlSize = %d, encoded %d bytes", got, len(enc))
+		}
+		c2, err := DecodeBFDControl(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !bytes.Equal(AppendBFDControl(nil, c2), enc) {
+			t.Fatal("canonical encoding not a fixpoint")
+		}
+	})
+}
+
 func FuzzDecodeOSPFLSA(f *testing.F) {
 	f.Add(AppendOSPFLSA(nil, OSPFLSA{Origin: 1, Seq: 1}))
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -41,6 +41,18 @@ const (
 	KindTransportData = 4
 	// KindTransportAck tags a reliable-transport cumulative ack.
 	KindTransportAck = 5
+	// KindBFDControl tags a liveness-detection session control frame
+	// (see internal/liveness).
+	KindBFDControl = 6
+)
+
+// BFD session states on the wire (RFC 5880's three-state FSM; AdminDown
+// is not modeled). Zero is deliberately invalid so an uninitialized
+// frame cannot decode.
+const (
+	BFDStateDown = 1
+	BFDStateInit = 2
+	BFDStateUp   = 3
 )
 
 // CentaurUpdate is the wire form of a Centaur routing update: the delta
@@ -413,6 +425,55 @@ func DecodeTransportAck(buf []byte) (TransportAck, error) {
 	}
 	a.Seq = d.uvarint()
 	return a, d.finish()
+}
+
+// BFDControl is the wire form of one liveness-session control frame:
+// the sender's session FSM state and, for up-state confirmation frames,
+// how many more frames the sender's current transmit schedule will emit
+// (0 = this is the final frame before the session goes quiet; see
+// internal/liveness for the schedule semantics).
+type BFDControl struct {
+	State     uint8
+	Remaining uint32
+}
+
+// AppendBFDControl appends the encoded control frame to buf.
+func AppendBFDControl(buf []byte, c BFDControl) []byte {
+	buf = binary.AppendUvarint(buf, KindBFDControl)
+	buf = binary.AppendUvarint(buf, uint64(c.State))
+	return binary.AppendUvarint(buf, uint64(c.Remaining))
+}
+
+// BFDControlSize returns len(AppendBFDControl(nil, c)) without
+// allocating.
+func BFDControlSize(c BFDControl) int {
+	return uvarintLen(KindBFDControl) + uvarintLen(uint64(c.State)) +
+		uvarintLen(uint64(c.Remaining))
+}
+
+// DecodeBFDControl decodes a frame produced by AppendBFDControl. Only
+// canonical frames are accepted: the state must be one of the three FSM
+// states and the remaining count plausible, so decode→re-encode is the
+// identity on anything that decodes.
+func DecodeBFDControl(buf []byte) (BFDControl, error) {
+	d := decoder{buf: buf}
+	var c BFDControl
+	if kind := d.uvarint(); kind != KindBFDControl {
+		return c, fmt.Errorf("wire: kind %d is not a bfd control frame", kind)
+	}
+	s := d.uvarint()
+	if d.err == nil && (s < BFDStateDown || s > BFDStateUp) {
+		d.fail("invalid bfd session state")
+	}
+	r := d.uvarint()
+	if d.err == nil && r > maxCount {
+		d.fail("implausible bfd remaining count")
+	}
+	if d.err == nil {
+		c.State = uint8(s)
+		c.Remaining = uint32(r)
+	}
+	return c, d.finish()
 }
 
 // appendLink encodes one directed link.
