@@ -65,18 +65,18 @@ type benchStep struct {
 
 // benchReport is the BENCH_report.json schema.
 type benchReport struct {
-	Generated    string      `json:"generated"`
-	Nodes        int         `json:"nodes"`
-	Seed         int64       `json:"seed"`
-	Quick        bool        `json:"quick"`
-	Workers      int         `json:"workers"`
+	Generated string `json:"generated"`
+	Nodes     int    `json:"nodes"`
+	Seed      int64  `json:"seed"`
+	Quick     bool   `json:"quick"`
+	Workers   int    `json:"workers"`
 	// DeriveWorkers is the per-node recompute fan-out
 	// (centaur.Config.DeriveWorkers); omitted when serial so default
 	// runs stay byte-identical to builds predating the knob.
-	DeriveWorkers int `json:"derive_workers,omitempty"`
-	GoMaxProcs    int `json:"gomaxprocs"`
-	Steps        []benchStep `json:"steps"`
-	TotalSeconds float64     `json:"total_seconds"`
+	DeriveWorkers int         `json:"derive_workers,omitempty"`
+	GoMaxProcs    int         `json:"gomaxprocs"`
+	Steps         []benchStep `json:"steps"`
+	TotalSeconds  float64     `json:"total_seconds"`
 	// ColdStartsAvoided counts trial chunks served by forking a shared
 	// converged checkpoint instead of cold-starting a fresh network
 	// (the run-wide sim.forks counter).
@@ -107,16 +107,18 @@ func run() error {
 		traceFile  = flag.String("trace", "", "write a structured JSONL event trace of the figure 6-8 and reliability steps to this file")
 		prov       = flag.Bool("prov", false, "emit the trace with causal provenance (schema v2; requires -trace) and add per-series critical-path percentiles to the report")
 
-		loss      = flag.String("loss", "0,0.1,0.2", "reliability step: comma-separated per-message loss rates")
-		dup       = flag.Float64("dup", 0, "reliability step: per-message duplication probability")
-		jitter    = flag.Duration("jitter", 0, "reliability step: max extra per-message delivery delay")
-		churn     = flag.String("churn", "0,10", "reliability step: comma-separated link-flap rates (flaps per simulated second)")
-		crashes   = flag.Int("crashes", 1, "reliability step: node crash/restart cycles per trial")
-		faultSeed = flag.Int64("fault-seed", 10_000, "reliability step: fault-plan seed (same seed ⇒ same faults)")
-		flows     = flag.Int("flows", 64, "user-impact step: tracked src→dst flows (quick: halved; 0 skips the step)")
-		detect    = flag.String("detect", "2ms,10ms,50ms", "user-impact step: comma-separated BFD detection transmit intervals swept against the oracle point")
-		bloomPL   = flag.Bool("bloom-pl", false, "measure Bloom-compressed Permission Lists: adds the PL-overhead step and switches the reliability centaur series to compressed lists")
-		plFPRate  = flag.Float64("pl-fp-rate", 0, "per-filter false-positive target for -bloom-pl (0 = protocol default)")
+		loss       = flag.String("loss", "0,0.1,0.2", "reliability step: comma-separated per-message loss rates")
+		dup        = flag.Float64("dup", 0, "reliability step: per-message duplication probability")
+		jitter     = flag.Duration("jitter", 0, "reliability step: max extra per-message delivery delay")
+		churn      = flag.String("churn", "0,10", "reliability step: comma-separated link-flap rates (flaps per simulated second)")
+		crashes    = flag.Int("crashes", 1, "reliability step: node crash/restart cycles per trial")
+		faultSeed  = flag.Int64("fault-seed", 10_000, "reliability step: fault-plan seed (same seed ⇒ same faults)")
+		flows      = flag.Int("flows", 64, "user-impact step: tracked src→dst flows (quick: halved; 0 skips the step)")
+		detect     = flag.String("detect", "2ms,10ms,50ms", "user-impact step: comma-separated BFD detection transmit intervals swept against the oracle point")
+		bloomPL    = flag.Bool("bloom-pl", false, "measure Bloom-compressed Permission Lists: adds the PL-overhead step and switches the reliability centaur series to compressed lists")
+		plFPRate   = flag.Float64("pl-fp-rate", 0, "per-filter false-positive target for -bloom-pl (0 = protocol default)")
+		advStep    = flag.Bool("adv", false, "add the adversarial step: route leaks and hijacks with the invariant checker as the detector, 1000 nodes (quick: 150)")
+		advSeed    = flag.Int64("adv-seed", 40_000, "adversarial step: attacker-selection and noise-relabeling seed")
 		scaling    = flag.Bool("scaling", false, "add the solver scaling step: cold solve vs incremental flips at 1k/4k/16k nodes (quick: 300/600), verified answer-identical")
 		scalingMax = flag.Int("scaling-max-nodes", 16000, "scaling step: largest sweep tier (75000 adds the real-AS-scale point on the sharded table layout)")
 		deriveWork = flag.Int("derive-workers", 0, "goroutines per centaur node's recompute round (0/1 = serial; results identical at any setting)")
@@ -188,9 +190,9 @@ func run() error {
 
 	start := time.Now()
 	report := benchReport{
-		Generated:  time.Now().UTC().Format(time.RFC3339),
-		Nodes:      sc.Nodes,
-		Seed:       *seed,
+		Generated:     time.Now().UTC().Format(time.RFC3339),
+		Nodes:         sc.Nodes,
+		Seed:          *seed,
 		Quick:         *quick,
 		Workers:       *workers,
 		DeriveWorkers: *deriveWork,
@@ -327,6 +329,23 @@ func run() error {
 		impCfg.DetectIntervals = append([]time.Duration{0}, detects...)
 		if err := step("user impact", func() (fmt.Stringer, error) {
 			return experiments.RunReliability(impCfg)
+		}); err != nil {
+			return err
+		}
+	}
+
+	// Opt-in like -bloom-pl: a run without -adv produces byte-identical
+	// output (report and stdout) to builds predating the suite.
+	if *advStep {
+		advCfg := experiments.DefaultAdversarialConfig()
+		advCfg.Nodes = 1000
+		if *quick {
+			advCfg.Nodes = 150
+		}
+		advCfg.Seed, advCfg.AdvSeed = *seed, *advSeed
+		advCfg.Workers, advCfg.Telemetry, advCfg.Trace = *workers, reg, tc
+		if err := step("adversarial", func() (fmt.Stringer, error) {
+			return experiments.RunAdversarial(advCfg)
 		}); err != nil {
 			return err
 		}
@@ -480,6 +499,32 @@ func keyStats(res fmt.Stringer) map[string]any {
 			})
 		}
 		return map[string]any{"fp_rate": r.FPRate, "rows": rows}
+	case *experiments.AdversarialResult:
+		rows := make([]map[string]any, 0, len(r.Samples))
+		for _, s := range r.Samples {
+			row := map[string]any{
+				"series":             s.Protocol,
+				"kind":               s.Kind,
+				"attackers":          s.Attackers,
+				"noise":              s.Noise,
+				"trial":              s.Trial,
+				"honest":             s.Honest,
+				"ever_contaminated":  s.EverContaminated,
+				"final_contaminated": s.FinalContaminated,
+				"ever_fraction":      num(s.EverFraction),
+				"final_fraction":     num(s.FinalFraction),
+				"radius":             s.Radius,
+				"injected_units":     s.InjectedUnits,
+			}
+			if len(s.StructuralDenials) > 0 {
+				row["structural_denials"] = s.StructuralDenials
+			}
+			if s.UnexplainedViolations > 0 {
+				row["unexplained_violations"] = s.UnexplainedViolations
+			}
+			rows = append(rows, row)
+		}
+		return map[string]any{"scenarios": rows}
 	case *experiments.ReliabilityResult:
 		okTrials := 0
 		var delivery float64

@@ -63,6 +63,7 @@ import (
 	"sync"
 	"time"
 
+	"centaur/internal/adversary"
 	"centaur/internal/bgp"
 	"centaur/internal/centaur"
 	"centaur/internal/experiments"
@@ -122,7 +123,13 @@ func run() error {
 		bloomPL     = flag.Bool("bloom-pl", false, "reliability: centaur sends Bloom-compressed Permission Lists")
 		plFPRate    = flag.Float64("pl-fp-rate", 0, "reliability: per-filter false-positive target for -bloom-pl (0 = protocol default)")
 
-		flows        = flag.Int("flows", 0, "data plane: src→dst traffic aggregates walked through the live RIBs (0 = off); figures 6/7 and -rel")
+		adv          = flag.Bool("adv", false, "run the adversarial experiment (route leaks, hijacks, interception, relationship-inference noise)")
+		advKinds     = flag.String("adv-kinds", "leak,hijack", "adversarial: comma-separated attack kinds (leak|hijack|intercept)")
+		advAttackers = flag.String("adv-attackers", "1", "adversarial: comma-separated simultaneous attacker counts")
+		advNoise     = flag.String("adv-noise", "0", "adversarial: comma-separated fractions of c2p/p2p labels flipped before the protocols see the topology")
+		advSeed      = flag.Int64("adv-seed", 40_000, "adversarial: attacker-selection and noise-relabeling seed")
+
+		flows        = flag.Int("flows", 0, "data plane: src→dst traffic aggregates walked through the live RIBs (0 = off); figures 6/7, -rel, and -adv")
 		flowSeed     = flag.Int64("flow-seed", 42, "data plane: flow sampling seed")
 		flowRate     = flag.Float64("flow-rate", 0, "data plane: packets per second per flow for packet-equivalent metrics (0 = 1000)")
 		detectIntv   = flag.String("detect-interval", "", "liveness: BFD transmit interval(s) — one duration for figures 6/7, a comma-separated sweep for -rel (empty = oracle detection)")
@@ -196,6 +203,12 @@ func run() error {
 			crashes: *crashes, faultSeed: *faultSeed, trials: *trials,
 			noTransport: *noTransport, bloomPL: *bloomPL, plFPRate: *plFPRate,
 			dp: dp,
+		}, reg, tc)
+	case *adv:
+		dispatchErr = runAdversarial(advFlags{
+			nodes: *nodes, m: *m, seed: *seed, workers: *workers,
+			kinds: *advKinds, attackers: *advAttackers, noise: *advNoise,
+			advSeed: *advSeed, trials: *trials, dp: dp,
 		}, reg, tc)
 	default:
 		dispatchErr = dispatch(*fig, *compare, *nodes, *m, *flips, *seed, *mrai, *sizes, *workers, *trialsPer, *deriveWork, *noCheckpt, *verify, dp, reg, tc)
@@ -409,6 +422,50 @@ func runReliability(f relFlags, reg *telemetry.Registry, tc *telemetry.TraceColl
 	return nil
 }
 
+// advFlags bundles the adversarial-mode flag values.
+type advFlags struct {
+	nodes, m  int
+	seed      int64
+	workers   int
+	kinds     string
+	attackers string
+	noise     string
+	advSeed   int64
+	trials    int
+	dp        dataPlaneFlags
+}
+
+// runAdversarial runs the misbehavior sweep and prints the containment
+// table: for each drawn attack scenario, how far contaminated state
+// propagated under BGP vs under Centaur's Permission-List structure.
+func runAdversarial(f advFlags, reg *telemetry.Registry, tc *telemetry.TraceCollector) error {
+	kinds, err := adversary.ParseKinds(f.kinds)
+	if err != nil {
+		return fmt.Errorf("-adv-kinds: %w", err)
+	}
+	counts, err := parseCounts(f.attackers)
+	if err != nil {
+		return fmt.Errorf("-adv-attackers: %w", err)
+	}
+	noises, err := parseRates(f.noise)
+	if err != nil {
+		return fmt.Errorf("-adv-noise: %w", err)
+	}
+	res, err := experiments.RunAdversarial(experiments.AdversarialConfig{
+		Nodes: f.nodes, LinksPerNode: f.m,
+		Kinds: kinds, AttackerCounts: counts, NoiseFracs: noises,
+		Trials: f.trials, Seed: f.seed, AdvSeed: f.advSeed,
+		Flows: f.dp.flows, FlowSeed: f.dp.flowSeed, FlowRate: f.dp.flowRate,
+		Workers:   f.workers,
+		Telemetry: reg, Trace: tc,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res)
+	return nil
+}
+
 // parseDetects parses the -detect-interval list: comma-separated Go
 // durations, with "0" or "oracle" naming the instantaneous-detection
 // point. Empty means no liveness sweep at all (oracle only).
@@ -606,6 +663,20 @@ func compareRow(g *topology.Graph, name string, build sim.Builder, flips int, se
 		float64(bytes)/float64(phases)/1024,
 		(down / time.Duration(len(samples))).Round(time.Microsecond),
 		(up / time.Duration(len(samples))).Round(time.Microsecond)), nil
+}
+
+// parseCounts parses a comma-separated list of positive integers.
+func parseCounts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad count %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func parseSizes(s string) ([]int, error) {

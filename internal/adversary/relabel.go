@@ -1,0 +1,152 @@
+package adversary
+
+import (
+	"cmp"
+	"math/rand"
+	"slices"
+
+	"centaur/internal/routing"
+	"centaur/internal/topology"
+)
+
+// RelabelNoise returns a copy of g in which round(frac × eligible)
+// c2p/p2p edge labels are flipped, modeling PARI-style
+// relationship-inference error: a customer-provider edge is inferred
+// as a peering, or a peering as a customer-provider edge. Sibling
+// edges are never touched. It also returns the flipped edges with
+// their ORIGINAL (ground-truth) labels, sorted, for reporting.
+//
+// Determinism (the PR 2 bug class): edges are taken from g.Edges() —
+// a sorted snapshot — candidates are drawn by a local
+// rand.New(rand.NewSource(seed)) shuffle, and flips are applied in
+// sorted edge order, so the same (g, frac, seed) yields a
+// byte-identical graph on every run at any worker count.
+//
+// Safety: flipping a peering into a customer-provider edge could close
+// a customer→provider cycle, which leaves the Gao–Rexford safety zone
+// and can diverge the solver and the protocols. The relabeler orients
+// each such flip so no provider cycle forms (trying both
+// orientations); edges where both orientations would close a cycle
+// are skipped and the next shuffled candidate takes their place.
+func RelabelNoise(g *topology.Graph, frac float64, seed int64) (*topology.Graph, []topology.Edge) {
+	out := g.Clone()
+	if frac <= 0 {
+		return out, nil
+	}
+	edges := g.Edges()
+	var eligible []topology.Edge
+	for _, e := range edges {
+		switch e.Rel {
+		case topology.RelCustomer, topology.RelProvider, topology.RelPeer:
+			eligible = append(eligible, e)
+		}
+	}
+	want := int(frac*float64(len(eligible)) + 0.5)
+	if want > len(eligible) {
+		want = len(eligible)
+	}
+	if want == 0 {
+		return out, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	order := make([]int, len(eligible))
+	for i := range order {
+		order[i] = i
+	}
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+
+	// Walk shuffled candidates, deciding each flip (and drawing the RNG
+	// orientation bit) in shuffle order so the choice sequence is a pure
+	// function of the seed; record the decided flips and apply them
+	// afterwards in sorted order.
+	type flip struct {
+		e   topology.Edge
+		rel topology.Relationship // new label, from e.A's point of view
+	}
+	var flips []flip
+	var flipped []topology.Edge
+	for _, idx := range order {
+		if len(flips) == want {
+			break
+		}
+		e := eligible[idx]
+		switch e.Rel {
+		case topology.RelCustomer, topology.RelProvider:
+			// c2p inferred as p2p: always safe (removes a directed
+			// provider edge).
+			flips = append(flips, flip{e: e, rel: topology.RelPeer})
+		case topology.RelPeer:
+			// p2p inferred as c2p: draw the orientation, then fall back
+			// to the other one if it would close a provider cycle; skip
+			// the edge if both would.
+			aIsProvider := rng.Intn(2) == 0
+			rel, ok := orientFlip(out, e, aIsProvider)
+			if !ok {
+				continue
+			}
+			flips = append(flips, flip{e: e, rel: rel})
+		}
+		flipped = append(flipped, e)
+	}
+	slices.SortFunc(flips, func(x, y flip) int { return edgeCompare(x.e, y.e) })
+	for _, f := range flips {
+		out.RemoveEdge(f.e.A, f.e.B)
+		if err := out.AddEdge(f.e.A, f.e.B, f.rel); err != nil {
+			// The edge was just removed from a valid graph; re-adding
+			// with a valid label cannot fail.
+			panic(err)
+		}
+	}
+	slices.SortFunc(flipped, edgeCompare)
+	return out, flipped
+}
+
+// edgeCompare orders edges by (A, B).
+func edgeCompare(a, b topology.Edge) int {
+	if c := cmp.Compare(a.A, b.A); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.B, b.B)
+}
+
+// orientFlip picks a cycle-safe c2p orientation for peer edge e on
+// graph g, preferring aIsProvider. The returned relationship is from
+// e.A's point of view (RelCustomer means B becomes A's customer).
+func orientFlip(g *topology.Graph, e topology.Edge, aIsProvider bool) (topology.Relationship, bool) {
+	// A provider of B (B customer of A, from A's view: RelCustomer).
+	first, firstRel := [2]routing.NodeID{e.A, e.B}, topology.RelCustomer
+	second, secondRel := [2]routing.NodeID{e.B, e.A}, topology.RelProvider
+	if !aIsProvider {
+		first, second = second, first
+		firstRel, secondRel = secondRel, firstRel
+	}
+	if !closesProviderCycle(g, first[0], first[1]) {
+		return firstRel, true
+	}
+	if !closesProviderCycle(g, second[0], second[1]) {
+		return secondRel, true
+	}
+	return 0, false
+}
+
+// closesProviderCycle reports whether making prov a provider of cust
+// would close a customer→provider cycle on g: true iff prov already
+// reaches cust by walking provider edges upward.
+func closesProviderCycle(g *topology.Graph, prov, cust routing.NodeID) bool {
+	seen := map[routing.NodeID]bool{prov: true}
+	stack := []routing.NodeID{prov}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur == cust {
+			return true
+		}
+		for _, nb := range g.Neighbors(cur) {
+			if nb.Rel == topology.RelProvider && !seen[nb.ID] {
+				seen[nb.ID] = true
+				stack = append(stack, nb.ID)
+			}
+		}
+	}
+	return false
+}

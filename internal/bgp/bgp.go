@@ -15,6 +15,7 @@ import (
 	"slices"
 	"time"
 
+	"centaur/internal/adversary"
 	"centaur/internal/policy"
 	"centaur/internal/routing"
 	"centaur/internal/sim"
@@ -73,6 +74,12 @@ type Config struct {
 	// RCNMaskTTL bounds how long an RCN mask suppresses candidates
 	// crossing a failed link; zero means one second.
 	RCNMaskTTL time.Duration
+	// Adversary, when non-nil, makes the model's attacker nodes
+	// misbehave (route leaks, hijack originations, data-plane drops —
+	// see internal/adversary). All hooks are nil-checked: a nil model
+	// leaves every honest code path untouched and runs byte-identical
+	// to builds without the suite.
+	Adversary *adversary.Model
 }
 
 // Node is one BGP speaker. Create with New; it implements sim.Protocol.
@@ -81,6 +88,7 @@ type Node struct {
 	pol  policy.Policy
 	env  sim.Env
 	self routing.NodeID
+	adv  *adversary.Model // nil for honest runs
 	rel  map[routing.NodeID]topology.Relationship
 	// nbrs is the fixed neighbor set in ascending ID order, cached so the
 	// decision process doesn't rebuild and re-sort it per destination.
@@ -130,6 +138,7 @@ func New(cfg Config) sim.Builder {
 			pol:        pol,
 			env:        env,
 			self:       env.Self(),
+			adv:        cfg.Adversary,
 			rel:        make(map[routing.NodeID]topology.Relationship),
 			adjIn:      make(map[routing.NodeID]map[routing.NodeID]routing.Path),
 			best:       make(map[routing.NodeID]policy.Candidate),
@@ -163,6 +172,13 @@ func (n *Node) Start(env sim.Env) {
 	sim.RouteChangedVia(env, n.self, routing.None, routing.None)
 	for _, nb := range n.nbrs {
 		n.scheduleAdvert(nb, n.self)
+	}
+	// A hijacking attacker additionally announces its victim destination
+	// from session start; advertise supplies the forged path.
+	if v, ok := n.adv.HijackVictim(n.self); ok {
+		for _, nb := range n.nbrs {
+			n.scheduleAdvert(nb, v)
+		}
 	}
 }
 
@@ -327,13 +343,27 @@ func (n *Node) flushPending(nb routing.NodeID) {
 
 // advertise sends the current state of dest to neighbor nb if it differs
 // from what was last advertised: the best path when exportable, a
-// withdrawal otherwise.
+// withdrawal otherwise. Attacker nodes (Config.Adversary) deviate here
+// — and only here — on the control plane: a hijacker forges an
+// origination of its victim destination, and a leaker re-exports
+// provider/peer routes to providers and peers where the export rule
+// forbids it (CAIR's route-leak pattern). The honest branch is
+// untouched when no model is attached.
 func (n *Node) advertise(nb, dest routing.NodeID) {
 	var toSend routing.Path
-	if best, ok := n.best[dest]; ok &&
-		n.pol.Export(n.self, best.Class, n.rel[nb]) &&
+	injected := false
+	if v, ok := n.adv.HijackVictim(n.self); ok && dest == v {
+		toSend = routing.Path{n.self} // forged origination of the victim
+		injected = true
+	} else if best, ok := n.best[dest]; ok &&
 		!best.Path.Contains(nb) { // sender-side loop avoidance
-		toSend = best.Path
+		switch {
+		case n.pol.Export(n.self, best.Class, n.rel[nb]):
+			toSend = best.Path
+		case n.adv.Leaks(n.self) && adversary.LeakClass(best.Class) && adversary.LeakTarget(n.rel[nb]):
+			toSend = best.Path
+			injected = true
+		}
 	}
 	prev, hadPrev := n.advertised[nb][dest]
 	if toSend == nil {
@@ -352,6 +382,9 @@ func (n *Node) advertise(nb, dest routing.NodeID) {
 	// without defensive clones.
 	n.advertised[nb][dest] = toSend
 	n.env.Send(nb, Update{Dest: dest, Path: toSend, FailedLinks: n.drainRCN(nb)})
+	if injected {
+		n.adv.NoteInjected(dest, 1)
+	}
 }
 
 // drainRCN empties neighbor nb's queued root cause notifications for
@@ -419,6 +452,13 @@ func (n *Node) LinkUp(nb routing.NodeID) {
 	for _, d := range dests {
 		n.scheduleAdvert(nb, d)
 	}
+	// A hijack victim destination is advertised without a best-path
+	// entry, so the table walk above misses it.
+	if v, ok := n.adv.HijackVictim(n.self); ok {
+		if _, has := n.best[v]; !has {
+			n.scheduleAdvert(nb, v)
+		}
+	}
 }
 
 // BestPath returns the node's selected path to dest (nil when it has no
@@ -430,7 +470,13 @@ func (n *Node) BestPath(dest routing.NodeID) routing.Path {
 // NextHopTo returns the first hop of the selected route to dest without
 // cloning the path (routing.None when no route is selected) — the
 // allocation-free read the data-plane forwarding walker takes per hop.
+// Hijack and intercept attackers drop their victim's traffic here: the
+// control plane keeps whatever it announced, the data plane sinks the
+// packets (forward-then-drop).
 func (n *Node) NextHopTo(dest routing.NodeID) routing.NodeID {
+	if n.adv.Drops(n.self, dest) {
+		return routing.None
+	}
 	if p := n.best[dest].Path; len(p) >= 2 {
 		return p[1]
 	}

@@ -30,6 +30,7 @@ import (
 	"slices"
 	"time"
 
+	"centaur/internal/adversary"
 	"centaur/internal/pgraph"
 	"centaur/internal/policy"
 	"centaur/internal/routing"
@@ -113,6 +114,12 @@ type Config struct {
 	// Bloom false-positive hits are observed from inside the backtrace
 	// and their trace order is part of the byte-identical contract.
 	DeriveWorkers int
+	// Adversary, when non-nil, makes the model's attacker nodes
+	// misbehave (leaked P-graph injections, hijack link fabrications,
+	// data-plane drops — see internal/adversary). All hooks are
+	// nil-checked: a nil model leaves every honest code path untouched
+	// and runs byte-identical to builds without the suite.
+	Adversary *adversary.Model
 }
 
 // DefaultPLFPRate is the Bloom filter sizing target used when
@@ -177,6 +184,12 @@ type Node struct {
 	// Entries are invalidated by the affected-set analysis.
 	derived map[routing.NodeID]map[routing.NodeID]derivedEntry
 
+	// adv is the misbehavior model (nil for honest runs); injectedTo[b]
+	// records the adversarial link announcements already sent to
+	// neighbor b, so injection re-sends only on change and quiesces.
+	adv        *adversary.Model
+	injectedTo map[routing.NodeID]map[routing.Link]pgraph.LinkInfo
+
 	// Per-round scratch, reused across Handle calls (each round finishes
 	// before the next event is dispatched).
 	destBuf  []routing.NodeID
@@ -213,6 +226,7 @@ func New(cfg Config) sim.Builder {
 			vias:      make(map[routing.NodeID]routing.NodeID),
 			localView: pgraph.NewView(env.Self()),
 			views:     make(map[routing.NodeID]*pgraph.View),
+			adv:       cfg.Adversary,
 		}
 		for _, nb := range env.Neighbors() {
 			n.rel[nb.ID] = nb.Rel
@@ -481,6 +495,7 @@ func (n *Node) LinkDown(b routing.NodeID) {
 	delete(n.nbGraph, b)
 	delete(n.views, b)
 	delete(n.derived, b)
+	delete(n.injectedTo, b)
 	if !n.cfg.DisableRootCause {
 		for _, l := range []routing.Link{{From: n.self, To: b}, {From: b, To: n.self}} {
 			// This node is the link's endpoint: its note is authoritative,
@@ -507,6 +522,7 @@ func (n *Node) LinkUp(b routing.NodeID) {
 	n.nbGraph[b] = n.freshNeighborGraph(b)
 	delete(n.views, b)
 	delete(n.derived, b)
+	delete(n.injectedTo, b)
 	var affected map[routing.NodeID]struct{}
 	if n.cfg.Incremental {
 		affected = map[routing.NodeID]struct{}{b: {}}
@@ -597,6 +613,9 @@ func (n *Node) finish(changed []routing.NodeID, dirty map[routing.NodeID]bool) {
 		if _, up := n.nbGraph[b]; !up {
 			continue
 		}
+		// Adversarial injections (nil for honest nodes) ride the same
+		// delta so the receiver processes them like any announcement.
+		inject := n.advInjects(b)
 		view, hasView := n.views[b]
 		switch {
 		case !hasView:
@@ -607,7 +626,7 @@ func (n *Node) finish(changed []routing.NodeID, dirty map[routing.NodeID]bool) {
 			for d := range n.paths {
 				view.Set(d, n.exportable(d, b))
 			}
-		case len(changed) == 0 || (dirty != nil && !dirty[b]):
+		case (len(changed) == 0 || (dirty != nil && !dirty[b])) && len(inject) == 0:
 			// No exportable-to-b route changed; the view is current.
 			continue
 		default:
@@ -616,6 +635,12 @@ func (n *Node) finish(changed []routing.NodeID, dirty map[routing.NodeID]bool) {
 			}
 		}
 		delta := view.Flush()
+		if len(inject) > 0 {
+			delta.Adds = append(delta.Adds, inject...)
+			slices.SortFunc(delta.Adds, func(x, y pgraph.LinkInfo) int {
+				return advLinkCompare(x.Link, y.Link)
+			})
+		}
 		if delta.Empty() {
 			continue
 		}
@@ -801,7 +826,13 @@ func (n *Node) BestPath(dest routing.NodeID) routing.Path {
 // NextHopTo returns the first hop of the selected route to dest without
 // cloning the path (routing.None when no route is selected) — the
 // allocation-free read the data-plane forwarding walker takes per hop.
+// Hijack and intercept attackers drop their victim's traffic here: the
+// control plane keeps whatever it announced, the data plane sinks the
+// packets (forward-then-drop).
 func (n *Node) NextHopTo(dest routing.NodeID) routing.NodeID {
+	if n.adv.Drops(n.self, dest) {
+		return routing.None
+	}
 	if p := n.paths[dest]; len(p) >= 2 {
 		return p[1]
 	}

@@ -25,6 +25,7 @@ import (
 	"sort"
 	"time"
 
+	"centaur/internal/policy"
 	"centaur/internal/routing"
 	"centaur/internal/sim"
 	"centaur/internal/topology"
@@ -147,28 +148,25 @@ func nextHopOf(net *sim.Network, cur, dst routing.NodeID) routing.NodeID {
 }
 
 // WalkFlow forwards f hop-by-hop through the live RIBs: at each node it
-// reads the selected next hop, requires the node up and the link to the
-// next hop up, and tracks the Gao–Rexford phase (uphill, at most one
-// peer crossing, then downhill) of the edges actually traversed. It
-// returns the traversed path (ending at the dead-end node for
-// blackholes, at the budget cutoff for loops) and the outcome.
+// reads the selected next hop and requires the node up and the link to
+// the next hop up. A delivered flow is classified by replaying the
+// Gao–Rexford export chain over the edges actually traversed
+// (policy.ExportCompliant) — the phase walk previously used here
+// misflagged legal sibling-laundered deliveries, since a sibling-learned
+// route may legally climb to peers and providers again. It returns the
+// traversed path (ending at the dead-end node for blackholes, at the
+// budget cutoff for loops) and the outcome.
 func WalkFlow(net *sim.Network, f Flow) (routing.Path, Outcome) {
 	g := net.Topology()
 	maxHops := len(g.Nodes())
 	path := routing.Path{f.Src}
 	cur := f.Src
-	const (
-		uphill   = 0
-		downhill = 1
-	)
-	phase := uphill
-	valley := false
 	for hops := 0; hops <= maxHops; hops++ {
 		if !net.NodeIsUp(cur) {
 			return path, Blackholed
 		}
 		if cur == f.Dst {
-			if valley {
+			if !policy.ExportCompliant(g, path) {
 				return path, ValleyDelivered
 			}
 			return path, Delivered
@@ -181,23 +179,6 @@ func WalkFlow(net *sim.Network, f Flow) (routing.Path, Outcome) {
 			// The RIB still points across a dead link: packets fall into
 			// the failure the control plane has not routed around yet.
 			return path, Blackholed
-		}
-		if rel, ok := g.Rel(cur, nh); ok {
-			switch rel {
-			case topology.RelProvider:
-				if phase != uphill {
-					valley = true
-				}
-			case topology.RelPeer:
-				if phase != uphill {
-					valley = true
-				}
-				phase = downhill
-			case topology.RelCustomer:
-				phase = downhill
-			case topology.RelSibling:
-				// transparent in any phase
-			}
 		}
 		cur = nh
 		path = append(path, cur)

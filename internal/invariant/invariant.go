@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"centaur/internal/forward"
+	"centaur/internal/policy"
 	"centaur/internal/routing"
 	"centaur/internal/sim"
 	"centaur/internal/solver"
@@ -294,40 +295,23 @@ func loopCheck(id, dest routing.NodeID, p routing.Path) (Violation, bool) {
 	return Violation{}, true
 }
 
-// valleyCheck verifies p obeys Gao–Rexford: an uphill (to-provider)
-// prefix, at most one peer edge, then a downhill (to-customer) suffix.
-// Sibling edges are transparent in any phase.
+// valleyCheck verifies p obeys Gao–Rexford by replaying its export
+// chain (policy.ExportViolation). A phase walk with "transparent"
+// sibling edges was the previous implementation; it misflagged legal
+// sibling-laundered routes — a provider route learned from a sibling is
+// ClassSibling and legally climbs to peers and providers again — so the
+// check now asks the export rule itself.
 func valleyCheck(g *topology.Graph, id, dest routing.NodeID, p routing.Path) (Violation, bool) {
-	const (
-		uphill   = 0
-		downhill = 1
-	)
-	phase := uphill
-	for i := 0; i+1 < len(p); i++ {
-		rel, ok := g.Rel(p[i], p[i+1])
-		if !ok {
-			return Violation{Node: id, Dest: dest, Kind: "valley",
-				Detail: fmt.Sprintf("path %v uses non-existent link %v-%v", p, p[i], p[i+1])}, false
-		}
-		switch rel {
-		case topology.RelProvider: // next hop is p[i]'s provider: uphill
-			if phase != uphill {
-				return Violation{Node: id, Dest: dest, Kind: "valley",
-					Detail: fmt.Sprintf("path %v climbs to provider %v after going down", p, p[i+1])}, false
-			}
-		case topology.RelPeer:
-			if phase != uphill {
-				return Violation{Node: id, Dest: dest, Kind: "valley",
-					Detail: fmt.Sprintf("path %v crosses peer link %v-%v after going down", p, p[i], p[i+1])}, false
-			}
-			phase = downhill // at most one peer edge, then strictly down
-		case topology.RelCustomer: // next hop is p[i]'s customer: downhill
-			phase = downhill
-		case topology.RelSibling:
-			// transparent: siblings forward anything in any phase
-		}
+	hop, ok := policy.ExportViolation(g, p)
+	if ok {
+		return Violation{}, true
 	}
-	return Violation{}, true
+	if _, present := g.Rel(p[hop], p[hop+1]); !present {
+		return Violation{Node: id, Dest: dest, Kind: "valley",
+			Detail: fmt.Sprintf("path %v uses non-existent link %v-%v", p, p[hop], p[hop+1])}, false
+	}
+	return Violation{Node: id, Dest: dest, Kind: "valley",
+		Detail: fmt.Sprintf("path %v: %v's export to %v violates Gao-Rexford", p, p[hop+1], p[hop])}, false
 }
 
 // CheckNextHops verifies every NextHopRIB node: each next-hop walk

@@ -27,21 +27,75 @@ func (g *Graph) DerivePath(dest routing.NodeID) (routing.Path, bool) {
 // mutating the neighbor's announced graph — the announcement contract
 // stays intact and derivation simply avoids the dead links.
 func (g *Graph) DerivePathWith(dest routing.NodeID, skip func(routing.Link) bool) (routing.Path, bool) {
-	p, ok, _ := g.derivePath(dest, skip, nil)
+	p, ok, _, _ := g.derivePath(dest, skip, nil)
 	return p, ok
+}
+
+// DenialReason classifies why a derivation returned no path. The
+// adversarial detector uses it to split *structural* denials — the
+// graph simply admits no compliant path to the destination, which is
+// how Permission Lists confine leaked announcements — from denials a
+// Bloom-compressed list's false positive caused, so containment
+// numbers are not polluted by FP accounting (and vice versa).
+type DenialReason uint8
+
+const (
+	// DenialNone: the derivation succeeded.
+	DenialNone DenialReason = iota
+	// DenialAbsent: dest has no in-links in the graph at all.
+	DenialAbsent
+	// DenialUnreachable: the backtrace reached a node with no usable
+	// in-link — the announced subtree is not rooted at the graph root
+	// (the signature of a replayed/leaked announcement chain).
+	DenialUnreachable
+	// DenialLoop: the step budget was exhausted (malformed graph).
+	DenialLoop
+	// DenialNoPermit: a restricted node's Permission Lists admit no
+	// parent and no unrestricted in-link exists.
+	DenialNoPermit
+	// DenialAmbiguous: no Permission List admits a parent and several
+	// unrestricted in-links compete — no unique compliant path.
+	DenialAmbiguous
+)
+
+// String names the reason.
+func (r DenialReason) String() string {
+	switch r {
+	case DenialNone:
+		return "none"
+	case DenialAbsent:
+		return "absent"
+	case DenialUnreachable:
+		return "unreachable"
+	case DenialLoop:
+		return "loop"
+	case DenialNoPermit:
+		return "no-permit"
+	case DenialAmbiguous:
+		return "ambiguous"
+	default:
+		return fmt.Sprintf("denial(%d)", uint8(r))
+	}
+}
+
+// DerivePathReason is DerivePath returning, on failure, why the
+// derivation was denied.
+func (g *Graph) DerivePathReason(dest routing.NodeID) (routing.Path, bool, DenialReason) {
+	p, ok, reason, _ := g.derivePath(dest, nil, nil)
+	return p, ok, reason
 }
 
 // derivePath is the backtrace core of DerivePathWith. scratch, when
 // non-nil, is reused as the reversed-path work buffer; the (possibly
 // grown) buffer is returned so batch callers (DeriveAllInto) amortize
 // it across destinations. The returned path never aliases scratch.
-func (g *Graph) derivePath(dest routing.NodeID, skip func(routing.Link) bool, scratch routing.Path) (routing.Path, bool, routing.Path) {
+func (g *Graph) derivePath(dest routing.NodeID, skip func(routing.Link) bool, scratch routing.Path) (routing.Path, bool, DenialReason, routing.Path) {
 	tele.deriveCalls.Inc()
 	if dest == g.root {
-		return routing.Path{g.root}, true, scratch
+		return routing.Path{g.root}, true, DenialNone, scratch
 	}
 	if len(g.parents[dest]) == 0 {
-		return nil, false, scratch
+		return nil, false, DenialAbsent, scratch
 	}
 	// Backtrace produces the path reversed (dest first); reverse at the
 	// end. A step budget of nLinks+1 bounds the walk: any longer chain
@@ -57,13 +111,13 @@ func (g *Graph) derivePath(dest routing.NodeID, skip func(routing.Link) bool, sc
 	next := routing.None // current's successor on the path being rebuilt
 	for current != g.root {
 		if steps--; steps < 0 {
-			return nil, false, reversed
+			return nil, false, DenialLoop, reversed
 		}
 		parents := g.parents[current]
 		var parent routing.NodeID
 		switch {
 		case len(parents) == 0:
-			return nil, false, reversed
+			return nil, false, DenialUnreachable, reversed
 		case skip == nil && len(parents) == 1 && g.perms[routing.Link{From: parents[0], To: current}] == nil:
 			parent = parents[0]
 		default:
@@ -103,8 +157,11 @@ func (g *Graph) derivePath(dest routing.NodeID, skip func(routing.Link) bool, sc
 				}
 			}
 			if parent == routing.None {
-				if unrestricted == routing.None || ambiguous {
-					return nil, false, reversed
+				if unrestricted == routing.None {
+					return nil, false, DenialNoPermit, reversed
+				}
+				if ambiguous {
+					return nil, false, DenialAmbiguous, reversed
 				}
 				parent = unrestricted
 			}
@@ -118,7 +175,7 @@ func (g *Graph) derivePath(dest routing.NodeID, skip func(routing.Link) bool, sc
 	for i, n := range reversed {
 		path[len(reversed)-1-i] = n
 	}
-	return path, true, reversed
+	return path, true, DenialNone, reversed
 }
 
 // DeriveAll derives the policy-compliant path for every marked
@@ -144,7 +201,7 @@ func (g *Graph) DeriveAllInto(out map[routing.NodeID]routing.Path) map[routing.N
 	for d := range g.dests {
 		var p routing.Path
 		var ok bool
-		if p, ok, scratch = g.derivePath(d, nil, scratch); ok {
+		if p, ok, _, scratch = g.derivePath(d, nil, scratch); ok {
 			out[d] = p
 		}
 	}

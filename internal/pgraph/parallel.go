@@ -54,7 +54,7 @@ func (g *Graph) DeriveAllParallel(workers int, out map[routing.NodeID]routing.Pa
 			for i := lo; i < hi; i++ {
 				var p routing.Path
 				var ok bool
-				if p, ok, scratch = g.derivePath(dests[i], nil, scratch); ok {
+				if p, ok, _, scratch = g.derivePath(dests[i], nil, scratch); ok {
 					results[i] = p
 				}
 			}

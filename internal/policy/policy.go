@@ -275,39 +275,52 @@ func Best(pol Policy, self routing.NodeID, cands []Candidate) Candidate {
 }
 
 // ValleyFree reports whether path p respects the Gao–Rexford export
-// rules on graph g: ignoring sibling hops, the path must consist of zero
-// or more uphill (customer-to-provider) steps, at most one peer step,
-// and zero or more downhill (provider-to-customer) steps. It returns
-// false if any hop of p is not an edge of g.
+// rules on graph g: p must be constructible by a chain of compliant
+// export decisions starting at its destination. On sibling-free graphs
+// this is the classic phase condition — zero or more uphill
+// (customer-to-provider) steps, at most one peer step, then zero or
+// more downhill steps — but a phase walk that merely treats sibling
+// edges as transparent rejects legal paths: a route learned from a
+// sibling carries ClassSibling and is legally exportable to peers and
+// providers (see Export), so a provider-learned route laundered through
+// a sibling pair may climb again. ValleyFree therefore replays the
+// export chain itself. It returns false if any hop of p is not an edge
+// of g.
 func ValleyFree(g *topology.Graph, p routing.Path) bool {
-	const (
-		phaseUp = iota
-		phasePeer
-		phaseDown
-	)
-	phase := phaseUp
-	for i := 0; i+1 < len(p); i++ {
-		rel, ok := g.Rel(p[i], p[i+1])
-		if !ok {
-			return false
+	_, ok := ExportViolation(g, p)
+	return ok
+}
+
+// ExportCompliant is ValleyFree under its precise name: it reports
+// whether every announcement hop along p was a legal Gao–Rexford
+// export on graph g.
+func ExportCompliant(g *topology.Graph, p routing.Path) bool {
+	_, ok := ExportViolation(g, p)
+	return ok
+}
+
+// ExportViolation replays the announcement chain that built path p on
+// graph g: the destination p[len-1] originates its own route
+// (ClassOwn), and each node p[i+1] exports its current route to p[i],
+// where it is re-classified by the receiver's view of the announcer.
+// It returns the first non-compliant hop, as the index i such that
+// announcer p[i+1]'s export to receiver p[i] violated the export rule
+// (or the hop does not exist in g), walking from the destination
+// toward the source — so the returned hop is the original leak, not a
+// downstream symptom. ok is true when the whole chain is compliant
+// (hop is then -1).
+func ExportViolation(g *topology.Graph, p routing.Path) (hop int, ok bool) {
+	cl := ClassOwn
+	for i := len(p) - 2; i >= 0; i-- {
+		rel, present := g.Rel(p[i+1], p[i]) // the receiver, as the announcer sees it
+		if !present {
+			return i, false
 		}
-		switch rel {
-		case topology.RelSibling:
-			// Sibling hops are transparent: allowed in any phase.
-		case topology.RelProvider: // uphill step
-			if phase != phaseUp {
-				return false
-			}
-		case topology.RelPeer:
-			if phase != phaseUp {
-				return false
-			}
-			phase = phasePeer
-		case topology.RelCustomer: // downhill step
-			phase = phaseDown
-		default:
-			return false
+		if !(GaoRexford{}).Export(p[i+1], cl, rel) {
+			return i, false
 		}
+		back, _ := g.Rel(p[i], p[i+1]) // the announcer, as the receiver sees it
+		cl = ClassOf(back)
 	}
-	return true
+	return -1, true
 }

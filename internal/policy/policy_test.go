@@ -241,3 +241,45 @@ func TestValleyFree(t *testing.T) {
 		t.Error("down-then-up must be a valley")
 	}
 }
+
+// TestValleyFreeSiblingLaundering is the regression test for the
+// phase-walk bug: a provider route laundered through a sibling pair is
+// re-classified ClassSibling at the sibling and legally climbs to peers
+// and providers again. The old implementation treated sibling edges as
+// transparent and flagged the climb as a valley; the export-chain
+// replay accepts it — and still catches a genuine leak on the same
+// graph.
+func TestValleyFreeSiblingLaundering(t *testing.T) {
+	g := topology.NewGraph(6)
+	add := func(a, b routing.NodeID, rel topology.Relationship) {
+		t.Helper()
+		if err := g.AddEdge(a, b, rel); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(2, 1, topology.RelCustomer) // 1 is customer of 2
+	add(2, 3, topology.RelCustomer) // 3 is customer of 2
+	add(3, 4, topology.RelSibling)  // 3 and 4 are siblings
+	add(5, 4, topology.RelCustomer) // 4 is customer of 5
+	add(6, 3, topology.RelCustomer) // 3 is customer of 6
+
+	// 2 sends 1's route down to 3 (ClassProvider at 3); 3 hands it to
+	// sibling 4 (ClassSibling at 4); 4 exports it UP to provider 5 —
+	// legal, because sibling routes export everywhere.
+	laundered := routing.Path{5, 4, 3, 2, 1}
+	if !ValleyFree(g, laundered) {
+		t.Errorf("sibling-laundered path %v misflagged as a valley", laundered)
+	}
+	if !ExportCompliant(g, laundered) {
+		t.Errorf("ExportCompliant rejects legal path %v", laundered)
+	}
+	// Without the sibling detour the same climb is a route leak: 3's
+	// provider-learned route must not go to its other provider 6.
+	leak := routing.Path{6, 3, 2, 1}
+	if ValleyFree(g, leak) {
+		t.Errorf("provider→provider leak %v accepted", leak)
+	}
+	if hop, ok := ExportViolation(g, leak); ok || hop != 0 {
+		t.Errorf("ExportViolation(%v) = (%d, %v), want hop 0 (3's export to 6)", leak, hop, ok)
+	}
+}

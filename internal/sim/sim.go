@@ -408,6 +408,14 @@ const (
 	// Permission List check (From is the node deriving, To the
 	// destination whose check hit; the path was denied).
 	TracePLFalsePositive
+	// TraceAdvInject is the attachment of an adversarial attack before
+	// the run starts (From is the attacker, To its victim destination or
+	// routing.None). A root event: no parent, depth 0.
+	TraceAdvInject
+	// TraceAdvBad is the route-audit hook flagging a just-installed
+	// route as contaminated (From is the node, To the destination).
+	// Like route events it inherits the causing delivery's span.
+	TraceAdvBad
 )
 
 // String names the trace kind.
@@ -439,6 +447,10 @@ func (k TraceKind) String() string {
 		return "restart"
 	case TracePLFalsePositive:
 		return "pl-fp"
+	case TraceAdvInject:
+		return "adv-inject"
+	case TraceAdvBad:
+		return "adv-bad"
 	default:
 		return fmt.Sprintf("trace(%d)", uint8(k))
 	}
@@ -539,6 +551,9 @@ type Network struct {
 	// instantHook, when non-nil, runs each time Run is about to advance
 	// the clock past a processed instant (see SetInstantHook).
 	instantHook func(now time.Duration)
+	// routeAudit, when non-nil, inspects every reported route change
+	// (see SetRouteAudit); returning true emits a TraceAdvBad event.
+	routeAudit func(node, dest routing.NodeID) bool
 }
 
 // kindCount is one per-kind accumulator of sent messages, units, and
@@ -831,17 +846,25 @@ func (e *nodeEnv) routeChanged(dest, oldNext, newNext routing.NodeID, hasVia boo
 		if net.prov {
 			net.spanSeq++ // keep span IDs independent of trace presence
 		}
-		return
+	} else {
+		ev := TraceEvent{Kind: TraceRouteChange, At: net.now, From: e.self, To: dest,
+			OldNext: oldNext, NewNext: newNext, HasVia: hasVia}
+		if net.prov {
+			net.spanSeq++
+			ev.Span = net.spanSeq
+			ev.Parent = net.curCause
+			ev.Depth = net.curDepth
+		}
+		net.trace(ev)
 	}
-	ev := TraceEvent{Kind: TraceRouteChange, At: net.now, From: e.self, To: dest,
-		OldNext: oldNext, NewNext: newNext, HasVia: hasVia}
-	if net.prov {
-		net.spanSeq++
-		ev.Span = net.spanSeq
-		ev.Parent = net.curCause
-		ev.Depth = net.curDepth
+	// The audit runs after the route event is on the wire so its
+	// TraceAdvBad span follows the route span it annotates; like route
+	// and pl-fp events it parents to the causing delivery. Emission goes
+	// through emitSpan, so span allocation stays identical with tracing
+	// off and runs without an audit are byte-identical to before.
+	if net.routeAudit != nil && net.routeAudit(e.self, dest) {
+		net.emitSpan(TraceAdvBad, e.self, dest, nil, net.curCause, net.curDepth)
 	}
-	net.trace(ev)
 }
 
 // RouteChangedVia reports a best-route change like Env.RouteChanged but
@@ -941,6 +964,24 @@ func (n *Network) AddObserver(fn func(TraceEvent)) {
 		return
 	}
 	n.trace = func(ev TraceEvent) { fn(ev); prev(ev) }
+}
+
+// SetRouteAudit installs fn (nil removes it) to inspect every route
+// change any node reports, synchronously at the moment of the report —
+// the only point at which "did this RIB ever hold bad state" can be
+// answered without scanning every node at every instant. When fn
+// returns true a TraceAdvBad event is emitted, parented like the route
+// event itself. The adversarial detector (internal/invariant) is the
+// intended client; runs without an audit are untouched.
+func (n *Network) SetRouteAudit(fn func(node, dest routing.NodeID) bool) { n.routeAudit = fn }
+
+// NoteAdversaryInject records the attachment of an adversarial attack
+// as a root trace event (depth 0, no parent): from is the attacker, to
+// its victim destination (routing.None for kinds without one). Call it
+// after construction and before Run, once per attacker, in
+// deterministic order.
+func (n *Network) NoteAdversaryInject(from, to routing.NodeID) {
+	n.emitSpan(TraceAdvInject, from, to, nil, 0, 0)
 }
 
 // SetInstantHook installs fn (nil removes it) to run whenever Run is

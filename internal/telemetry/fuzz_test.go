@@ -33,6 +33,30 @@ const validV2Trace = `{"chunk":0,"v":2,"label":"fig6.centaur","seed":42}
 {"t":20,"k":"link-up","f":1,"o":2,"c":8,"p":1,"d":0}
 `
 
+// validAdvTrace is a schema-v2 corpus seed with the adversarial event
+// kinds: an adv-inject root (the pre-run attack attachment) whose
+// contaminated deliveries chain down to an adv-bad annotation on the
+// route span that installed the bad entry.
+const validAdvTrace = `{"chunk":0,"v":2,"label":"adv.centaur","seed":7}
+{"t":0,"k":"adv-inject","f":9,"o":2,"c":1,"d":0}
+{"t":5,"k":"send","f":9,"o":3,"m":"centaur.update","u":1,"b":40,"c":2,"p":1,"d":1}
+{"t":7,"k":"deliver","f":9,"o":3,"m":"centaur.update","u":1,"b":40,"c":3,"p":2,"d":1}
+{"t":7,"k":"route","f":3,"o":2,"c":4,"p":3,"d":1,"oh":0,"nh":9}
+{"t":7,"k":"adv-bad","f":3,"o":2,"c":5,"p":3,"d":1}
+`
+
+// TestFuzzSeedsValidate pins the corpus seeds as genuinely valid: a
+// seed the validator rejects exercises nothing.
+func TestFuzzSeedsValidate(t *testing.T) {
+	for name, trace := range map[string]string{
+		"v1": validV1Trace, "v2": validV2Trace, "adv": validAdvTrace,
+	} {
+		if _, err := ValidateTrace(strings.NewReader(trace)); err != nil {
+			t.Errorf("%s seed rejected: %v", name, err)
+		}
+	}
+}
+
 // FuzzValidateTrace: the validator must never panic and must stay
 // consistent — anything it accepts, it accepts again byte-for-byte, and
 // the summary counts match a re-validation.
@@ -48,6 +72,14 @@ func FuzzValidateTrace(f *testing.F) {
 	f.Add([]byte(strings.Replace(validV2Trace, `"p":2`, `"p":99`, 1)))
 	f.Add([]byte(strings.Replace(validV2Trace, `"v":2`, `"v":3`, 1)))
 	f.Add([]byte(strings.Replace(validV1Trace, `"k":"route","f":2,"o":9`, `"k":"route","f":2,"o":9,"c":1,"d":0`, 1)))
+	// Adversarial kinds: the valid chain, an adv-inject at nonzero
+	// depth (must reject — it is a root kind), an adv-bad orphaned from
+	// its route span, and adv-inject in a v1 chunk (legal: kinds are
+	// version-independent, provenance is not).
+	f.Add([]byte(validAdvTrace))
+	f.Add([]byte(strings.Replace(validAdvTrace, `"k":"adv-inject","f":9,"o":2,"c":1,"d":0`, `"k":"adv-inject","f":9,"o":2,"c":1,"d":1`, 1)))
+	f.Add([]byte(strings.Replace(validAdvTrace, `"k":"adv-bad","f":3,"o":2,"c":5,"p":3,"d":1`, `"k":"adv-bad","f":3,"o":2,"c":5,"p":77,"d":1`, 1)))
+	f.Add([]byte(validV1Trace + `{"t":20,"k":"adv-inject","f":9,"o":2}` + "\n"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		sum, err := ValidateTrace(bytes.NewReader(data))
 		if err != nil {

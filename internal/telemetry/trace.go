@@ -43,11 +43,13 @@
 //	   (OSPF — SPF is lazy, so next hops aren't known at update time).
 //
 // Depth rules by kind, checked by ValidateTrace: link-down, link-up,
-// crash and restart are roots (d=0; p, when present, is the root
+// crash, restart and adv-inject (the pre-run attachment of an
+// adversarial attack) are roots (d=0; p, when present, is the root
 // operation that batched them — e.g. a crash's adjacency link-downs
 // parent to the crash). A send has d = parent depth + 1 (d=1 when p is
 // omitted). deliver, fault-loss, fault-dup, fault-jitter and drop-fault
-// require p and d equal to the parent's depth. route and pl-fp carry
+// require p and d equal to the parent's depth. route, pl-fp and
+// adv-bad (the route audit flagging a contaminated RIB entry) carry
 // their cause's depth (d=0 when p is omitted). drop has two shapes — a
 // refused send (d = cause depth + 1) and an in-flight loss (d = send
 // depth) — so only its parent reference is checked.
@@ -258,16 +260,19 @@ var traceKinds = map[string]bool{
 	"crash":        false,
 	"restart":      false,
 	"pl-fp":        false,
+	"adv-inject":   false,
+	"adv-bad":      false,
 }
 
 // rootKinds are the event kinds that originate causal chains: their
 // depth is 0 and their parent, when present, is the root operation that
 // batched them (a crash parents its adjacency link-downs).
 var rootKinds = map[string]bool{
-	"link-down": true,
-	"link-up":   true,
-	"crash":     true,
-	"restart":   true,
+	"link-down":  true,
+	"link-up":    true,
+	"crash":      true,
+	"restart":    true,
+	"adv-inject": true,
 }
 
 // ValidateTrace checks a JSONL trace against the golden schema: every
@@ -440,7 +445,7 @@ func validateProvenance(tl *traceLine, chunkProv bool, lastSpan *int64, spanDept
 		if *tl.D != parentDepth {
 			return fmt.Errorf("%s depth %d, want parent's %d", k, *tl.D, parentDepth)
 		}
-	case k == "route" || k == "pl-fp":
+	case k == "route" || k == "pl-fp" || k == "adv-bad":
 		want := int64(0)
 		if tl.P != nil {
 			want = parentDepth

@@ -44,6 +44,25 @@ func FuzzDecodeCentaurUpdate(f *testing.F) {
 	bloomSeed.Adds = append(bloomSeed.Adds, big)
 	f.Add(AppendCentaurUpdate(nil, bloomSeed))
 	f.Add([]byte{KindCentaurUpdate, 1, 1, 2, 4, 1, 3, 1, 4, 1, 0x0f, 0, 0})
+	// Adversarial frames (internal/adversary): a leak replay — an
+	// un-rooted link chain whose Permission List excludes the leaked
+	// origin — and a hijack fabrication, a dest-marked link with no
+	// Permission List at all. Semantically bad but syntactically legal:
+	// the decoder must reject canonically or decode cleanly, never
+	// panic; containment is the receiver P-graph's job, not the wire's.
+	leakSeed := CentaurUpdate{}
+	leakSeed.Adds = append(leakSeed.Adds,
+		pgraph.LinkInfo{Link: routing.Link{From: 40, To: 41},
+			Perm: []pgraph.PermEntry{{Dest: 9, Next: 40}}},
+		pgraph.LinkInfo{Link: routing.Link{From: 41, To: 42}},
+		pgraph.LinkInfo{Link: routing.Link{From: 42, To: 43}, ToIsDest: true},
+	)
+	leakSeed.Removes = append(leakSeed.Removes, routing.Link{From: 2, To: 1})
+	f.Add(AppendCentaurUpdate(nil, leakSeed))
+	hijackSeed := CentaurUpdate{}
+	hijackSeed.Adds = append(hijackSeed.Adds,
+		pgraph.LinkInfo{Link: routing.Link{From: 7, To: 99}, ToIsDest: true})
+	f.Add(AppendCentaurUpdate(nil, hijackSeed))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		u, err := DecodeCentaurUpdate(data)
 		if err != nil {
